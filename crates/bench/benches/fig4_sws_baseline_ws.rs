@@ -1,0 +1,32 @@
+//! Figure 4 — SWS web-server throughput vs. number of clients, with and
+//! without the Libasync-smp workstealing (1 KB files).
+//!
+//! Paper shape: enabling the legacy workstealing *hurts* the web server
+//! at every load level, by up to -33% — steals scan long event queues
+//! (~197 Kcycles) to obtain ~20 Kcycles of work.
+
+use mely_bench::scenarios::sws_run;
+use mely_bench::table::TextTable;
+use mely_bench::PaperConfig;
+
+fn main() {
+    let clients = [200usize, 600, 1_000, 1_400, 1_800];
+    let mut t = TextTable::new(vec![
+        "Clients",
+        "Libasync-smp (KReq/s)",
+        "Libasync-smp WS (KReq/s)",
+        "WS effect",
+    ]);
+    for &n in &clients {
+        let plain = sws_run(PaperConfig::Libasync, n, 50_000_000);
+        let ws = sws_run(PaperConfig::LibasyncWs, n, 50_000_000);
+        t.row(vec![
+            n.to_string(),
+            format!("{:.1}", plain.kreq_per_sec()),
+            format!("{:.1}", ws.kreq_per_sec()),
+            format!("{:+.0}%", (ws.kreq_per_sec() / plain.kreq_per_sec() - 1.0) * 100.0),
+        ]);
+    }
+    t.print("Figure 4: SWS with and without workstealing (Libasync-smp)");
+    println!("(paper shape: WS degrades throughput at every point, up to -33%)");
+}

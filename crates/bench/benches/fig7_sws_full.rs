@@ -1,0 +1,48 @@
+//! Figure 7 — SWS throughput vs. number of clients across all server
+//! configurations: Mely with its improved workstealing, the N-copy
+//! µserver comparator, Libasync-smp with and without workstealing, and
+//! the Apache-worker comparator model.
+//!
+//! Paper shape: Mely-WS on top (+25% over Libasync without WS, +73%
+//! over Libasync with WS); µserver competitive; Apache lowest;
+//! Libasync-WS hurt by its stealing costs.
+
+use mely_bench::scenarios::{sws_ncopy_run, sws_run, sws_threaded_run};
+use mely_bench::table::TextTable;
+use mely_bench::PaperConfig;
+
+fn main() {
+    let clients = [200usize, 600, 1_000, 1_400, 1_800];
+    let dur = 50_000_000;
+    let mut t = TextTable::new(vec![
+        "Clients",
+        "Mely - WS",
+        "Userver",
+        "Libasync-smp",
+        "Libasync-smp - WS",
+        "Apache (model)",
+    ]);
+    let mut peak = (0.0f64, 0.0f64, 0.0f64); // mely, libasync, libasync-ws
+    for &n in &clients {
+        let mely = sws_run(PaperConfig::MelyImprovedWs, n, dur).kreq_per_sec();
+        let userver = sws_ncopy_run(n, dur).kreq_per_sec();
+        let plain = sws_run(PaperConfig::Libasync, n, dur).kreq_per_sec();
+        let ws = sws_run(PaperConfig::LibasyncWs, n, dur).kreq_per_sec();
+        let apache = sws_threaded_run(n, dur);
+        peak = (peak.0.max(mely), peak.1.max(plain), peak.2.max(ws));
+        t.row(vec![
+            n.to_string(),
+            format!("{mely:.1}"),
+            format!("{userver:.1}"),
+            format!("{plain:.1}"),
+            format!("{ws:.1}"),
+            format!("{apache:.1}"),
+        ]);
+    }
+    t.print("Figure 7: SWS throughput (KRequests/s) across configurations");
+    println!(
+        "Mely-WS vs Libasync no-WS: {:+.0}% (paper +25%); vs Libasync-WS: {:+.0}% (paper +73%)",
+        (peak.0 / peak.1 - 1.0) * 100.0,
+        (peak.0 / peak.2 - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,34 @@
+//! Figure 8 — SFS throughput across configurations: Libasync-smp with
+//! and without workstealing, and Mely with its improved workstealing.
+//!
+//! Paper shape: both workstealing configurations improve SFS by ~35%
+//! over the no-WS baseline, and Mely's improved algorithm does *not*
+//! regress on a workload where the legacy algorithm is already good.
+
+use mely_bench::scenarios::sfs_run;
+use mely_bench::table::TextTable;
+use mely_bench::PaperConfig;
+
+fn main() {
+    let mut t = TextTable::new(vec!["Configuration", "Throughput (MB/s)", "corrupt"]);
+    let mut v = Vec::new();
+    for c in [
+        PaperConfig::Libasync,
+        PaperConfig::LibasyncWs,
+        PaperConfig::MelyImprovedWs,
+    ] {
+        let r = sfs_run(c, 16, 120_000_000);
+        t.row(vec![
+            r.label.clone(),
+            format!("{:.1}", r.mb_per_sec()),
+            r.corrupt.to_string(),
+        ]);
+        v.push(r.mb_per_sec());
+    }
+    t.print("Figure 8: SFS throughput across configurations");
+    println!(
+        "Libasync-WS {:+.0}% vs no-WS; Mely-WS {:+.0}% vs no-WS (paper: both about +35%)",
+        (v[1] / v[0] - 1.0) * 100.0,
+        (v[2] / v[0] - 1.0) * 100.0
+    );
+}

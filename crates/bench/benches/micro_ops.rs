@@ -1,0 +1,110 @@
+//! Criterion microbenchmarks of the runtime's hot paths: queue
+//! operations in both flavors, the steal decision/extraction primitives,
+//! the cache-simulator access path and the crypto kernels.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use mely_core::color::Color;
+use mely_core::event::Event;
+use mely_core::queue::{LegacyQueue, MelyQueue};
+use mely_crypto::{Mac, SessionKey, StreamCipher};
+
+fn queue_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    g.bench_function("legacy_push_pop", |b| {
+        b.iter_batched(
+            LegacyQueue::new,
+            |mut q| {
+                for i in 0..64u16 {
+                    q.push(Event::new(Color::new(i % 8), 100));
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("mely_push_pop", |b| {
+        b.iter_batched(
+            || MelyQueue::new(true),
+            |mut q| {
+                for i in 0..64u16 {
+                    q.push(Event::new(Color::new(i % 8), 100));
+                }
+                while q.pop(10).is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn steal_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("steal");
+    g.bench_function("legacy_choose_and_extract_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut q = LegacyQueue::new();
+                for i in 0..1_000u16 {
+                    q.push(Event::new(Color::new(i % 100), 100));
+                }
+                q
+            },
+            |mut q| {
+                let (color, _) = q.choose_color_to_steal(None).expect("stealable");
+                let (set, _) = q.extract_color(color);
+                (q, set)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("mely_choose_and_detach_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut q = MelyQueue::new(true);
+                q.set_steal_cost_estimate(50);
+                for i in 0..1_000u16 {
+                    q.push(Event::new(Color::new(i % 100), 100));
+                }
+                q
+            },
+            |mut q| {
+                let slot = q.choose_worthy(None).expect("worthy color");
+                let d = q.detach(slot);
+                (q, d)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn crypto(c: &mut Criterion) {
+    let key = SessionKey::from_seed(7);
+    let mut g = c.benchmark_group("crypto");
+    g.throughput(criterion::Throughput::Bytes(8 << 10));
+    g.bench_function("encrypt_8k", |b| {
+        let mut buf = vec![7u8; 8 << 10];
+        b.iter(|| StreamCipher::new(&key, 1).apply(&mut buf))
+    });
+    g.bench_function("mac_8k", |b| {
+        let buf = vec![7u8; 8 << 10];
+        b.iter(|| Mac::new(&key).compute(&buf))
+    });
+    g.finish();
+}
+
+fn cachesim(c: &mut Criterion) {
+    use mely_cachesim::Hierarchy;
+    use mely_topology::MachineModel;
+    let mut g = c.benchmark_group("cachesim");
+    g.bench_function("sweep_64k", |b| {
+        let mut h = Hierarchy::new(&MachineModel::xeon_e5410());
+        b.iter(|| h.sweep(0, 0, 64 << 10, 2))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, queue_ops, steal_primitives, crypto, cachesim);
+criterion_main!(benches);

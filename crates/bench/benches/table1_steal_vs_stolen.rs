@@ -1,0 +1,33 @@
+//! Table I — time spent stealing a set of events vs. time spent
+//! executing these events, for SFS and the SWS web server under
+//! Libasync-smp with its base workstealing.
+//!
+//! Paper values: SFS 4.8K / 1200K cycles; Web server 197K / 20K cycles.
+//! The shape to reproduce: SFS steals are cheap relative to the stolen
+//! work; web-server steals cost far more than the work they obtain.
+
+use mely_bench::scenarios::{sfs_run, sws_run};
+use mely_bench::table::{kcycles, TextTable};
+use mely_bench::PaperConfig;
+
+fn main() {
+    let sfs = sfs_run(PaperConfig::LibasyncWs, 16, 60_000_000);
+    let sws = sws_run(PaperConfig::LibasyncWs, 1_000, 60_000_000);
+    let mut t = TextTable::new(vec![
+        "System",
+        "Stealing time (cycles)",
+        "Stolen time (cycles)",
+    ]);
+    for (name, r) in [
+        ("SFS", (sfs.report.avg_steal_cycles(), sfs.report.avg_stolen_cost())),
+        ("Web server", (sws.report.avg_steal_cycles(), sws.report.avg_stolen_cost())),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            kcycles(r.0.unwrap_or(0.0)),
+            kcycles(r.1.unwrap_or(0.0)),
+        ]);
+    }
+    t.print("Table I: time spent stealing vs executing stolen events (Libasync-smp WS)");
+    println!("(paper: SFS 4.8K vs 1200K; Web server 197K vs 20K)");
+}

@@ -1,0 +1,40 @@
+//! Table III — impact of the base workstealing on the *unbalanced*
+//! microbenchmark: throughput, time spent in runtime locks, and the
+//! average cost of one steal.
+//!
+//! Paper values:
+//! Libasync-smp 1310 KEv/s / 0.93% / –; Libasync-smp WS 122 / 39.73% /
+//! 28329; Mely 1265 / 0.89% / –; Mely base WS 1195 / 1.42% / 2261.
+//! Shapes: WS collapses the legacy runtime (scan-based steals, lock
+//! explosion); Mely's O(1) steals keep the same workload close to its
+//! no-WS throughput, with steals >10x cheaper.
+
+use mely_bench::table::{kcycles, TextTable};
+use mely_bench::workloads::{unbalanced, UnbalancedCfg};
+use mely_bench::PaperConfig;
+
+fn main() {
+    let cfg = UnbalancedCfg::default();
+    let mut t = TextTable::new(vec![
+        "Configuration",
+        "KEvents/s",
+        "Locking time",
+        "WS cost (cycles)",
+    ]);
+    for c in [
+        PaperConfig::Libasync,
+        PaperConfig::LibasyncWs,
+        PaperConfig::Mely,
+        PaperConfig::MelyBaseWs,
+    ] {
+        let r = unbalanced(c, &cfg);
+        t.row(vec![
+            c.label().to_string(),
+            format!("{:.0}", r.kevents_per_sec()),
+            format!("{:.2}%", r.lock_time_fraction() * 100.0),
+            r.avg_steal_cycles().map(kcycles).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t.print("Table III: impact of the base workstealing (unbalanced)");
+    println!("(paper: 1310/0.93%/- ; 122/39.73%/28329 ; 1265/0.89%/- ; 1195/1.42%/2261)");
+}

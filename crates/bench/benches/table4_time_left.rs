@@ -1,0 +1,33 @@
+//! Table IV — impact of the time-left heuristic on the *unbalanced*
+//! microbenchmark: throughput and the average processing time of a
+//! stolen event set.
+//!
+//! Paper values: Libasync-smp 1310/– ; Libasync-smp WS 122/484 ;
+//! Mely base WS 1195/445 ; Mely time-aware WS 2042/49987.
+//! Shape: the time-left heuristic refuses unworthy (short) colors, so
+//! stolen sets are orders of magnitude larger and throughput beats both
+//! the base algorithm and the no-WS baseline.
+
+use mely_bench::table::{kcycles, TextTable};
+use mely_bench::workloads::{unbalanced, UnbalancedCfg};
+use mely_bench::PaperConfig;
+
+fn main() {
+    let cfg = UnbalancedCfg::default();
+    let mut t = TextTable::new(vec!["Configuration", "KEvents/s", "Stolen time (cycles)"]);
+    for c in [
+        PaperConfig::Libasync,
+        PaperConfig::LibasyncWs,
+        PaperConfig::MelyBaseWs,
+        PaperConfig::MelyTimeWs,
+    ] {
+        let r = unbalanced(c, &cfg);
+        t.row(vec![
+            c.label().to_string(),
+            format!("{:.0}", r.kevents_per_sec()),
+            r.avg_stolen_cost().map(kcycles).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t.print("Table IV: impact of the time-left heuristic (unbalanced)");
+    println!("(paper: 1310/- ; 122/484 ; 1195/445 ; 2042/49987)");
+}

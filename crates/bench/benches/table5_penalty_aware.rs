@@ -1,0 +1,32 @@
+//! Table V — impact of the penalty-aware heuristic on the *penalty*
+//! microbenchmark: throughput and L2 misses per processed event.
+//!
+//! Paper values: Libasync-smp 1103/29 ; Libasync-smp WS 190/167K ;
+//! Mely base WS 1386/42K ; Mely penalty-aware WS 2122/2K.
+//! Shape: base stealing migrates B chains away from their parent arrays
+//! and pays for it in L2 misses; the penalty annotation steers thieves
+//! to the A events and keeps chains cache-local.
+
+use mely_bench::table::TextTable;
+use mely_bench::workloads::{penalty, PenaltyCfg};
+use mely_bench::PaperConfig;
+
+fn main() {
+    let cfg = PenaltyCfg::default();
+    let mut t = TextTable::new(vec!["Configuration", "KEvents/s", "L2 misses/Event"]);
+    for c in [
+        PaperConfig::Libasync,
+        PaperConfig::LibasyncWs,
+        PaperConfig::MelyBaseWs,
+        PaperConfig::MelyPenaltyWs,
+    ] {
+        let r = penalty(c, &cfg);
+        t.row(vec![
+            c.label().to_string(),
+            format!("{:.0}", r.kevents_per_sec()),
+            format!("{:.1}", r.l2_misses_per_event()),
+        ]);
+    }
+    t.print("Table V: impact of the penalty-aware stealing (penalty)");
+    println!("(paper: 1103/29 ; 190/167K ; 1386/42K ; 2122/2K)");
+}

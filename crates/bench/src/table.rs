@@ -1,0 +1,120 @@
+//! Fixed-width text tables for the bench harnesses, so each target's
+//! output reads like the corresponding table of the paper.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded or truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:<w$} ", c, w = width[i]);
+            }
+            out.push_str("|\n");
+        };
+        line(&mut out, &self.header);
+        for (i, w) in width.iter().enumerate() {
+            let _ = write!(out, "|{:-<w$}", "", w = w + 2);
+            if i == cols - 1 {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the table to stdout with a title.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a cycle count the way the paper does (`4.8K`, `1200K`, `28329`).
+pub fn kcycles(v: f64) -> String {
+    if v >= 100_000.0 {
+        format!("{:.0}K", v / 1_000.0)
+    } else if v >= 10_000.0 {
+        format!("{:.1}K", v / 1_000.0)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Configuration", "KEvents/s"]);
+        t.row(vec!["Libasync-smp", "1310"]);
+        t.row(vec!["Mely - WS", "2042"]);
+        let s = t.render();
+        assert!(s.contains("| Configuration | KEvents/s |"));
+        assert!(s.contains("| Libasync-smp  | 1310      |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        assert!(t.render().lines().count() >= 3);
+    }
+
+    #[test]
+    fn kcycles_formatting() {
+        assert_eq!(kcycles(4_800.0), "4800");
+        assert_eq!(kcycles(28_329.0), "28.3K");
+        assert_eq!(kcycles(1_200_000.0), "1200K");
+        assert_eq!(kcycles(484.0), "484");
+    }
+}

@@ -1,0 +1,20 @@
+//! The three microbenchmarks of Section V-B.
+//!
+//! - [`unbalanced`] — a fork/join round of many short and a few long
+//!   independent events, all registered on core 0 (Tables III and IV);
+//! - [`penalty`] — parent events spawning chains of children that walk
+//!   the parent's cache-resident array (Table V);
+//! - [`cache_efficient`] — a per-core-pair merge-sort fork/join whose
+//!   halves should be stolen by the L2 neighbour (Table VI).
+//!
+//! Every workload takes a [`crate::PaperConfig`] plus its own parameter
+//! struct, runs on the simulation executor and returns the
+//! [`mely_core::metrics::RunReport`] the tables are printed from.
+
+pub mod cache_efficient;
+pub mod penalty;
+pub mod unbalanced;
+
+pub use cache_efficient::{cache_efficient, CacheEfficientCfg};
+pub use penalty::{penalty, PenaltyCfg};
+pub use unbalanced::{unbalanced, UnbalancedCfg};

@@ -1,0 +1,197 @@
+//! The *penalty* microbenchmark (paper Section V-B, Table V).
+//!
+//! "A single core starts with many events of type A associated to
+//! different colors, while the other cores start with an empty event
+//! queue. When an event of type A is processed, an event of type B with
+//! the same color is created. Moreover, the event of type A creates an
+//! array fitting in the core cache. Each event of type B accesses an
+//! offset of its parent array and registers a new event of type B with
+//! the same color. This operation is repeated until the array has been
+//! completely accessed. [...] idle cores have more opportunities to
+//! steal events of type B but should preferably steal events of type A
+//! to preserve cache locality." The penalty of type-B events is 1000.
+//!
+//! Run with the cache simulator on; the table reports throughput and L2
+//! misses per event. Stealing a B mid-chain migrates the rest of the
+//! chain (the color moves with it), so the remaining array walks miss in
+//! the new core's caches — exactly the cost the penalty annotation
+//! avoids.
+
+use std::sync::Arc;
+
+use mely_core::dataset::DataSetRef;
+use mely_core::metrics::RunReport;
+use mely_core::prelude::*;
+use mely_core::sim::SimRuntime;
+
+use crate::PaperConfig;
+
+/// Parameters of the penalty workload.
+#[derive(Debug, Clone)]
+pub struct PenaltyCfg {
+    /// Simulated cores.
+    pub cores: usize,
+    /// Type-A events seeded on core 0 (each with its own color).
+    pub n_a: usize,
+    /// Array allocated per A, in bytes (must fit the simulated cache).
+    pub array_len: u64,
+    /// Bytes each B event walks before chaining the next B.
+    pub window: u64,
+    /// Cost annotation of an A event (allocation + first touch).
+    pub a_cost: u64,
+    /// Cost annotation of a B event (compute on its window).
+    pub b_cost: u64,
+    /// Workstealing penalty of B events (paper: 1000).
+    pub b_penalty: u32,
+}
+
+impl Default for PenaltyCfg {
+    fn default() -> Self {
+        PenaltyCfg {
+            cores: 8,
+            n_a: 64,
+            array_len: 64 << 10,
+            window: 4 << 10,
+            a_cost: 500_000,
+            b_cost: 2_500,
+            b_penalty: 1_000,
+        }
+    }
+}
+
+fn chain_b(
+    rt_array: DataSetRef,
+    color: Color,
+    offset: u64,
+    cfg: Arc<PenaltyCfg>,
+    b: mely_core::handler::HandlerId,
+) -> Event {
+    Event::for_handler(color, b).with_action(move |ctx| {
+        ctx.touch_range(&rt_array, offset, cfg.window);
+        let next = offset + cfg.window;
+        if next < rt_array.len() {
+            ctx.register(chain_b(
+                Arc::clone(&rt_array),
+                color,
+                next,
+                Arc::clone(&cfg),
+                b,
+            ));
+        }
+    })
+}
+
+/// Runs the penalty workload and returns the report (throughput and L2
+/// misses per event — the two columns of Table V).
+pub fn penalty(config: PaperConfig, cfg: &PenaltyCfg) -> RunReport {
+    let (flavor, ws) = config.setup();
+    // Full-size Xeon caches: like the paper's, the whole set of arrays
+    // fits one 6 MB L2, so misses come from *migration*, not capacity.
+    let mut rt: SimRuntime = RuntimeBuilder::new()
+        .cores(cfg.cores)
+        .flavor(flavor)
+        .workstealing(ws)
+        .track_cache(true)
+        .machine(mely_topology::MachineModel::xeon_e5410())
+        .build_sim();
+    let cfg = Arc::new(cfg.clone());
+    let h_a = rt.register_handler(
+        mely_core::handler::HandlerSpec::new("A").cost(cfg.a_cost),
+    );
+    let h_b = rt.register_handler(
+        mely_core::handler::HandlerSpec::new("B")
+            .cost(cfg.b_cost)
+            .penalty(cfg.b_penalty),
+    );
+    for i in 0..cfg.n_a {
+        let color = Color::new((1 + (i % 65_000)) as u16);
+        let array = rt.alloc_dataset(cfg.array_len);
+        let cfg2 = Arc::clone(&cfg);
+        let ev = Event::for_handler(color, h_a).with_action(move |ctx| {
+            // A creates the array: an expensive allocation + fill of a
+            // cache-sized buffer (cost annotation) that also warms the
+            // creating core's cache (touch). The B chain then walks it
+            // window by window; migrating the chain away from the array
+            // is what the penalty annotation prevents.
+            ctx.touch(&array);
+            ctx.register(chain_b(array.clone(), color, 0, cfg2, h_b));
+        });
+        rt.register_pinned(ev, 0);
+    }
+    rt.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> PenaltyCfg {
+        PenaltyCfg::default()
+    }
+
+    #[test]
+    fn chains_complete_fully() {
+        let r = penalty(PaperConfig::Mely, &quick());
+        let cfg = quick();
+        let per_a = 1 + (cfg.array_len / cfg.window); // A + its B chain
+        assert_eq!(
+            r.events_processed(),
+            cfg.n_a as u64 * per_a,
+            "every chain must run to completion"
+        );
+    }
+
+    #[test]
+    fn penalty_aware_reduces_l2_misses_vs_base() {
+        let base = penalty(PaperConfig::MelyBaseWs, &quick());
+        let pen = penalty(PaperConfig::MelyPenaltyWs, &quick());
+        assert!(
+            pen.l2_misses_per_event() < base.l2_misses_per_event(),
+            "penalty-aware {:.2} misses/ev must beat base {:.2}",
+            pen.l2_misses_per_event(),
+            base.l2_misses_per_event()
+        );
+    }
+
+    #[test]
+    fn penalty_aware_matches_base_throughput_with_fewer_misses() {
+        // The paper reports +53% throughput for penalty-aware stealing;
+        // our simulator reproduces the *direction* of the cache effect
+        // (fewer misses, no migrated chains) with throughput at parity —
+        // the gap between the two is recorded in EXPERIMENTS.md.
+        let base = penalty(PaperConfig::MelyBaseWs, &quick());
+        let pen = penalty(PaperConfig::MelyPenaltyWs, &quick());
+        assert!(
+            pen.kevents_per_sec() > base.kevents_per_sec() * 0.9,
+            "penalty-aware {:.0} must stay within 10% of base {:.0} KEvents/s",
+            pen.kevents_per_sec(),
+            base.kevents_per_sec()
+        );
+        assert!(pen.l2_misses_per_event() < base.l2_misses_per_event());
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn diag() {
+        for cfgp in [
+            PaperConfig::Mely,
+            PaperConfig::MelyBaseWs,
+            PaperConfig::MelyPenaltyWs,
+            PaperConfig::MelyTimeWs,
+        ] {
+            let r = penalty(cfgp, &PenaltyCfg { n_a: 48, ..PenaltyCfg::default() });
+            let t = r.total();
+            eprintln!(
+                "{:<28} ev={} wall={} kev/s={:.0} steals={} stolen_ev={} steal_cy={} fail_cy={} idle={} l2/ev={:.1} lock%={:.1}",
+                cfgp.label(), t.events_processed, r.wall_cycles(), r.kevents_per_sec(),
+                t.steals, t.stolen_events, t.steal_cycles, t.failed_steal_cycles,
+                t.idle_cycles, r.l2_misses_per_event(), r.lock_time_fraction()*100.0
+            );
+        }
+    }
+}

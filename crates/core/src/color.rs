@@ -1,0 +1,106 @@
+//! Event colors.
+//!
+//! Colors are the concurrency-control annotation of the event-coloring
+//! model (paper Section II-A): two events with *different* colors may be
+//! handled concurrently, while events of the *same* color are handled
+//! serially, which the runtime guarantees by keeping all events of one
+//! color on a single core at any time. Events without an annotation all
+//! map to the default color and are therefore fully serialized.
+
+use std::fmt;
+
+/// Number of distinct colors. The paper represents colors as a "short
+/// integer" and sizes the color-map accordingly (Section IV-A).
+pub const COLOR_SPACE: usize = 1 << 16;
+
+/// An event color: a 16-bit concurrency-control annotation.
+///
+/// # Examples
+///
+/// ```
+/// use mely_core::color::Color;
+///
+/// let per_connection = Color::new(1042);
+/// assert_eq!(per_connection.value(), 1042);
+/// assert!(!per_connection.is_default());
+/// assert!(Color::DEFAULT.is_default());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Color(u16);
+
+impl Color {
+    /// The color of unannotated events. All such events are mutually
+    /// exclusive with each other (paper Section II-A).
+    pub const DEFAULT: Color = Color(0);
+
+    /// Creates a color from its 16-bit value.
+    pub const fn new(value: u16) -> Self {
+        Color(value)
+    }
+
+    /// The raw 16-bit value.
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+
+    /// Whether this is the default (serializing) color.
+    pub const fn is_default(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The initial core a color is dispatched to on an `n`-core machine:
+    /// the "simple hashing function on colors" of Section II-A.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub const fn home_core(self, n: usize) -> usize {
+        assert!(n > 0, "machine must have at least one core");
+        self.0 as usize % n
+    }
+}
+
+impl From<u16> for Color {
+    fn from(v: u16) -> Self {
+        Color(v)
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "color#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_color_is_zero() {
+        assert_eq!(Color::DEFAULT, Color::new(0));
+        assert!(Color::DEFAULT.is_default());
+        assert_eq!(Color::default(), Color::DEFAULT);
+    }
+
+    #[test]
+    fn home_core_is_modular_hash() {
+        assert_eq!(Color::new(0).home_core(8), 0);
+        assert_eq!(Color::new(13).home_core(8), 5);
+        assert_eq!(Color::new(16).home_core(8), 0);
+        assert_eq!(Color::new(65535).home_core(3), 65535 % 3);
+    }
+
+    #[test]
+    fn display_and_conversion() {
+        let c: Color = 7u16.into();
+        assert_eq!(c.to_string(), "color#7");
+        assert_eq!(c.value(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn home_core_rejects_zero_cores() {
+        let _ = Color::new(1).home_core(0);
+    }
+}

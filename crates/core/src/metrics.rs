@@ -1,0 +1,239 @@
+//! Per-core metrics and run reports.
+//!
+//! These counters are the runtime's "built-in monitoring facilities"
+//! (paper Section IV-B) and carry exactly the quantities the paper's
+//! evaluation reports: throughput (KEvents/s, Tables III–VI), time spent
+//! locking (Table III), average steal cost and average stolen processing
+//! time (Tables I, III, IV), and L2 cache misses per event (Tables V,
+//! VI).
+
+use crate::steal::WsPolicy;
+
+/// Counters accumulated by one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreMetrics {
+    /// Events executed on this core.
+    pub events_processed: u64,
+    /// Cycles spent executing handlers (dispatch + handler body).
+    pub busy_cycles: u64,
+    /// Cycles spent waiting for spinlocks (own or remote).
+    pub lock_wait_cycles: u64,
+    /// Number of lock acquisitions.
+    pub lock_ops: u64,
+    /// Cycles spent idle (no events, no successful steal).
+    pub idle_cycles: u64,
+    /// Steal attempts initiated by this core (successful or not).
+    pub steal_attempts: u64,
+    /// Successful steals performed by this core.
+    pub steals: u64,
+    /// Cycles spent inside successful steal operations, from decision to
+    /// migration complete (the paper's "stealing time").
+    pub steal_cycles: u64,
+    /// Cycles spent in steal attempts that found nothing.
+    pub failed_steal_cycles: u64,
+    /// Events migrated into this core by its steals.
+    pub stolen_events: u64,
+    /// Declared processing cost of the event sets this core stole (the
+    /// paper's "stolen time").
+    pub stolen_cost_cycles: u64,
+    /// Events this core registered (initial or from handlers).
+    pub registered: u64,
+    /// L2 cache misses attributed to this core (simulation only).
+    pub l2_misses: u64,
+    /// Cycles added by simulated memory accesses.
+    pub mem_stall_cycles: u64,
+}
+
+impl CoreMetrics {
+    /// Adds another core's counters into this one.
+    pub fn merge(&mut self, o: &CoreMetrics) {
+        self.events_processed += o.events_processed;
+        self.busy_cycles += o.busy_cycles;
+        self.lock_wait_cycles += o.lock_wait_cycles;
+        self.lock_ops += o.lock_ops;
+        self.idle_cycles += o.idle_cycles;
+        self.steal_attempts += o.steal_attempts;
+        self.steals += o.steals;
+        self.steal_cycles += o.steal_cycles;
+        self.failed_steal_cycles += o.failed_steal_cycles;
+        self.stolen_events += o.stolen_events;
+        self.stolen_cost_cycles += o.stolen_cost_cycles;
+        self.registered += o.registered;
+        self.l2_misses += o.l2_misses;
+        self.mem_stall_cycles += o.mem_stall_cycles;
+    }
+}
+
+/// Summary of a runtime execution.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    per_core: Vec<CoreMetrics>,
+    wall_cycles: u64,
+    freq_hz: u64,
+    policy: WsPolicy,
+}
+
+impl RunReport {
+    pub(crate) fn new(
+        per_core: Vec<CoreMetrics>,
+        wall_cycles: u64,
+        freq_hz: u64,
+        policy: WsPolicy,
+    ) -> Self {
+        RunReport {
+            per_core,
+            wall_cycles,
+            freq_hz,
+            policy,
+        }
+    }
+
+    /// Per-core counters.
+    pub fn per_core(&self) -> &[CoreMetrics] {
+        &self.per_core
+    }
+
+    /// Aggregated counters over all cores.
+    pub fn total(&self) -> CoreMetrics {
+        let mut t = CoreMetrics::default();
+        for c in &self.per_core {
+            t.merge(c);
+        }
+        t
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Elapsed time in cycles (virtual under simulation, measured under
+    /// the threaded executor).
+    pub fn wall_cycles(&self) -> u64 {
+        self.wall_cycles
+    }
+
+    /// Elapsed time in seconds at the machine's nominal frequency.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_cycles as f64 / self.freq_hz as f64
+    }
+
+    /// The workstealing policy the run used.
+    pub fn policy(&self) -> WsPolicy {
+        self.policy
+    }
+
+    /// Total events executed.
+    pub fn events_processed(&self) -> u64 {
+        self.total().events_processed
+    }
+
+    /// Throughput in thousands of events per second (the unit of Tables
+    /// III–VI). Returns 0.0 for an empty run.
+    pub fn kevents_per_sec(&self) -> f64 {
+        let s = self.wall_secs();
+        if s <= 0.0 {
+            return 0.0;
+        }
+        self.events_processed() as f64 / s / 1e3
+    }
+
+    /// Fraction of total core time spent waiting on locks (the paper's
+    /// "Locking time", Table III).
+    pub fn lock_time_fraction(&self) -> f64 {
+        let denom = self.wall_cycles as f64 * self.per_core.len() as f64;
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        self.total().lock_wait_cycles as f64 / denom
+    }
+
+    /// Average cycles per successful steal (the paper's "stealing time" /
+    /// "WS cost"). `None` when no steal succeeded.
+    pub fn avg_steal_cycles(&self) -> Option<f64> {
+        let t = self.total();
+        (t.steals > 0).then(|| t.steal_cycles as f64 / t.steals as f64)
+    }
+
+    /// Average declared processing time of a stolen event set (the
+    /// paper's "stolen time"). `None` when no steal succeeded.
+    pub fn avg_stolen_cost(&self) -> Option<f64> {
+        let t = self.total();
+        (t.steals > 0).then(|| t.stolen_cost_cycles as f64 / t.steals as f64)
+    }
+
+    /// L2 misses per processed event (Tables V and VI). Returns 0.0 when
+    /// nothing was processed.
+    pub fn l2_misses_per_event(&self) -> f64 {
+        let t = self.total();
+        if t.events_processed == 0 {
+            return 0.0;
+        }
+        t.l2_misses as f64 / t.events_processed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(events: u64, lock: u64) -> CoreMetrics {
+        CoreMetrics {
+            events_processed: events,
+            lock_wait_cycles: lock,
+            ..CoreMetrics::default()
+        }
+    }
+
+    #[test]
+    fn totals_merge_cores() {
+        let r = RunReport::new(vec![m(10, 100), m(20, 300)], 1_000, 1_000_000_000, WsPolicy::off());
+        assert_eq!(r.events_processed(), 30);
+        assert_eq!(r.total().lock_wait_cycles, 400);
+        assert_eq!(r.cores(), 2);
+    }
+
+    #[test]
+    fn throughput_units() {
+        // 1000 events in 1e9 cycles at 1 GHz = 1 second => 1 KEvents/s.
+        let r = RunReport::new(vec![m(1_000, 0)], 1_000_000_000, 1_000_000_000, WsPolicy::off());
+        assert!((r.kevents_per_sec() - 1.0).abs() < 1e-9);
+        assert!((r.wall_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lock_fraction_is_over_total_core_time() {
+        // 2 cores, wall 1000 cycles => 2000 core-cycles; 400 locked = 20%.
+        let r = RunReport::new(vec![m(1, 100), m(1, 300)], 1_000, 1_000_000_000, WsPolicy::off());
+        assert!((r.lock_time_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steal_averages_none_without_steals() {
+        let r = RunReport::new(vec![m(1, 0)], 100, 1_000, WsPolicy::base());
+        assert!(r.avg_steal_cycles().is_none());
+        assert!(r.avg_stolen_cost().is_none());
+        assert_eq!(r.l2_misses_per_event(), 0.0);
+    }
+
+    #[test]
+    fn steal_averages() {
+        let mut c = CoreMetrics::default();
+        c.events_processed = 4;
+        c.steals = 2;
+        c.steal_cycles = 300;
+        c.stolen_cost_cycles = 5_000;
+        c.l2_misses = 8;
+        let r = RunReport::new(vec![c], 100, 1_000, WsPolicy::improved());
+        assert_eq!(r.avg_steal_cycles().unwrap(), 150.0);
+        assert_eq!(r.avg_stolen_cost().unwrap(), 2_500.0);
+        assert_eq!(r.l2_misses_per_event(), 2.0);
+    }
+
+    #[test]
+    fn empty_run_has_zero_throughput() {
+        let r = RunReport::new(vec![], 0, 1_000, WsPolicy::off());
+        assert_eq!(r.kevents_per_sec(), 0.0);
+        assert_eq!(r.lock_time_fraction(), 0.0);
+    }
+}

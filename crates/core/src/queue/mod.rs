@@ -1,0 +1,109 @@
+//! Per-core event queues, in both flavors evaluated by the paper.
+//!
+//! - [`legacy::LegacyQueue`] — Libasync-smp's single FIFO event queue per
+//!   core (paper Section II). Stealing a color requires scanning the
+//!   queue, which is what makes its workstealing expensive (about 190
+//!   cycles per scanned event, Section II-C).
+//! - [`mely::MelyQueue`] — Mely's architecture (Section IV-A): events
+//!   grouped by color in *color-queues*, chained into a doubly-linked
+//!   *core-queue*, plus a three-interval *stealing-queue* holding the
+//!   colors currently worth stealing. Stealing a color detaches a whole
+//!   color-queue in O(1).
+//!
+//! Both queues are plain data structures; executors wrap them in the
+//! appropriate synchronisation ([`crate::sync::SpinLock`] under threads,
+//! a lock *cost model* under simulation).
+
+pub mod legacy;
+pub mod mely;
+
+pub use legacy::LegacyQueue;
+pub use mely::{DetachedColorQueue, MelyQueue};
+
+use crate::event::Event;
+
+/// A per-core queue of either flavor (executors dispatch on this).
+#[derive(Debug)]
+pub enum QueueImpl {
+    /// Libasync-smp FIFO.
+    Legacy(LegacyQueue),
+    /// Mely color-queues.
+    Mely(MelyQueue),
+}
+
+impl QueueImpl {
+    /// Total queued events.
+    pub fn len(&self) -> usize {
+        match self {
+            QueueImpl::Legacy(q) => q.len(),
+            QueueImpl::Mely(q) => q.len(),
+        }
+    }
+
+    /// Whether no event is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct colors currently queued.
+    pub fn distinct_colors(&self) -> usize {
+        match self {
+            QueueImpl::Legacy(q) => q.distinct_colors(),
+            QueueImpl::Mely(q) => q.distinct_colors(),
+        }
+    }
+
+    /// Pushes one event (appending to its color's position for the
+    /// flavor's discipline).
+    pub fn push(&mut self, ev: Event) {
+        match self {
+            QueueImpl::Legacy(q) => q.push(ev),
+            QueueImpl::Mely(q) => {
+                q.push(ev);
+            }
+        }
+    }
+
+    /// Pops the next event according to the flavor's scheduling
+    /// discipline (`batch_threshold` only matters for Mely).
+    pub fn pop(&mut self, batch_threshold: u32) -> Option<Event> {
+        match self {
+            QueueImpl::Legacy(q) => q.pop(),
+            QueueImpl::Mely(q) => q.pop(batch_threshold),
+        }
+    }
+
+    /// Earliest virtual time at which the next event (per the scheduling
+    /// discipline) can run; `None` when empty. Simulation only.
+    pub fn next_ready_time(&mut self, batch_threshold: u32) -> Option<u64> {
+        match self {
+            QueueImpl::Legacy(q) => q.next_ready_time(),
+            QueueImpl::Mely(q) => q.next_ready_time(batch_threshold),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Color;
+
+    #[test]
+    fn queue_impl_dispatches() {
+        for mut q in [
+            QueueImpl::Legacy(LegacyQueue::new()),
+            QueueImpl::Mely(MelyQueue::new(true)),
+        ] {
+            assert!(q.is_empty());
+            q.push(Event::new(Color::new(1), 10));
+            q.push(Event::new(Color::new(2), 10));
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.distinct_colors(), 2);
+            assert_eq!(q.next_ready_time(10), Some(0));
+            assert!(q.pop(10).is_some());
+            assert!(q.pop(10).is_some());
+            assert!(q.pop(10).is_none());
+            assert!(q.next_ready_time(10).is_none());
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Runtime construction: flavor selection and the builder.
+
+use mely_topology::{CacheLevel, MachineModel};
+
+use crate::cost::CostParams;
+use crate::sim::{SimConfig, SimRuntime};
+use crate::steal::WsPolicy;
+use crate::threaded::ThreadedRuntime;
+
+/// Which runtime architecture to use (paper Sections II and IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flavor {
+    /// Libasync-smp: one FIFO event queue per core.
+    Libasync,
+    /// Mely: per-color color-queues chained in a core-queue, with a
+    /// stealing-queue of worthy colors.
+    Mely,
+}
+
+impl Flavor {
+    /// Short label used by reports and benches.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Flavor::Libasync => "Libasync-smp",
+            Flavor::Mely => "Mely",
+        }
+    }
+}
+
+/// Builder for both executors.
+///
+/// # Examples
+///
+/// ```
+/// use mely_core::prelude::*;
+///
+/// let rt = RuntimeBuilder::new()
+///     .cores(8)
+///     .flavor(Flavor::Libasync)
+///     .workstealing(WsPolicy::base())
+///     .build_sim();
+/// assert_eq!(rt.config().cores, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuntimeBuilder {
+    cores: Option<usize>,
+    flavor: Flavor,
+    ws: WsPolicy,
+    machine: Option<MachineModel>,
+    costs: CostParams,
+    batch_threshold: u32,
+    track_cache: bool,
+    max_cycles: Option<u64>,
+    initial_steal_estimate: u64,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuntimeBuilder {
+    /// A builder with the paper's defaults: the Mely flavor, workstealing
+    /// off, batch threshold 10, the Xeon E5410 machine model.
+    pub fn new() -> Self {
+        RuntimeBuilder {
+            cores: None,
+            flavor: Flavor::Mely,
+            ws: WsPolicy::off(),
+            machine: None,
+            costs: CostParams::default(),
+            batch_threshold: 10,
+            track_cache: false,
+            max_cycles: None,
+            initial_steal_estimate: 2_000,
+        }
+    }
+
+    /// Number of cores (default: the machine model's core count).
+    pub fn cores(mut self, n: usize) -> Self {
+        self.cores = Some(n);
+        self
+    }
+
+    /// Queue architecture (default [`Flavor::Mely`]).
+    pub fn flavor(mut self, flavor: Flavor) -> Self {
+        self.flavor = flavor;
+        self
+    }
+
+    /// Workstealing policy (default off).
+    pub fn workstealing(mut self, ws: WsPolicy) -> Self {
+        self.ws = ws;
+        self
+    }
+
+    /// Machine model (default: Xeon E5410 when it has enough cores,
+    /// otherwise a generic paired-L2 machine of the requested size).
+    pub fn machine(mut self, machine: MachineModel) -> Self {
+        self.machine = Some(machine);
+        self
+    }
+
+    /// Overrides the runtime cost constants (simulation only).
+    pub fn costs(mut self, costs: CostParams) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Max events of one color processed in a row before rotating
+    /// (default 10, as in all the paper's experiments).
+    pub fn batch_threshold(mut self, n: u32) -> Self {
+        self.batch_threshold = n.max(1);
+        self
+    }
+
+    /// Enables the cache simulator (simulation only; needed for the
+    /// L2-misses-per-event metrics of Tables V and VI).
+    pub fn track_cache(mut self, on: bool) -> Self {
+        self.track_cache = on;
+        self
+    }
+
+    /// Hard virtual-time limit for [`SimRuntime::run`].
+    pub fn max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = Some(cycles);
+        self
+    }
+
+    /// Initial steal-cost estimate (cycles) used by the time-left
+    /// heuristic before the first monitored steal (default 2000).
+    pub fn initial_steal_estimate(mut self, cycles: u64) -> Self {
+        self.initial_steal_estimate = cycles;
+        self
+    }
+
+    fn resolve(&self) -> (usize, MachineModel) {
+        let machine = match &self.machine {
+            Some(m) => m.clone(),
+            None => {
+                let wanted = self.cores.unwrap_or(8);
+                if wanted <= 8 {
+                    if self.track_cache {
+                        MachineModel::xeon_e5410_scaled()
+                    } else {
+                        MachineModel::xeon_e5410()
+                    }
+                } else {
+                    generic_machine(wanted)
+                }
+            }
+        };
+        let cores = self.cores.unwrap_or_else(|| machine.num_cores());
+        (cores, machine)
+    }
+
+    /// Builds the deterministic simulation executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested core count is zero or exceeds the machine
+    /// model's cores.
+    pub fn build_sim(self) -> SimRuntime {
+        let (cores, machine) = self.resolve();
+        SimRuntime::new(SimConfig {
+            cores,
+            flavor: self.flavor,
+            ws: self.ws,
+            machine,
+            costs: self.costs,
+            batch_threshold: self.batch_threshold,
+            track_cache: self.track_cache,
+            max_cycles: self.max_cycles,
+            initial_steal_estimate: self.initial_steal_estimate,
+        })
+    }
+
+    /// Builds the threaded executor (one OS thread per core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested core count is zero or exceeds the machine
+    /// model's cores.
+    pub fn build_threaded(self) -> ThreadedRuntime {
+        let (cores, machine) = self.resolve();
+        ThreadedRuntime::new(
+            cores,
+            self.flavor,
+            self.ws,
+            machine,
+            self.batch_threshold,
+            self.initial_steal_estimate,
+        )
+    }
+}
+
+/// A generic machine for core counts the Xeon model cannot cover: private
+/// 32 KB L1s, 6 MB L2s shared by pairs, Table II latencies.
+fn generic_machine(cores: usize) -> MachineModel {
+    MachineModel::new(
+        format!("generic ({cores} cores, paired L2)"),
+        cores,
+        vec![
+            CacheLevel {
+                level: 1,
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                associativity: 8,
+                latency_cycles: 4,
+                cores_per_instance: 1,
+            },
+            CacheLevel {
+                level: 2,
+                size_bytes: 6 * 1024 * 1024,
+                line_bytes: 64,
+                associativity: 24,
+                latency_cycles: 15,
+                cores_per_instance: 2,
+            },
+        ],
+        110,
+        2_330_000_000,
+    )
+    .expect("generic model is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let rt = RuntimeBuilder::new().build_sim();
+        assert_eq!(rt.config().cores, 8);
+        assert_eq!(rt.config().batch_threshold, 10);
+        assert_eq!(rt.config().flavor, Flavor::Mely);
+        assert!(!rt.config().ws.enabled);
+    }
+
+    #[test]
+    fn large_core_counts_get_a_generic_machine() {
+        let rt = RuntimeBuilder::new().cores(16).build_sim();
+        assert_eq!(rt.config().machine.num_cores(), 16);
+    }
+
+    #[test]
+    fn track_cache_defaults_to_scaled_model() {
+        let rt = RuntimeBuilder::new().cores(8).track_cache(true).build_sim();
+        assert!(rt.config().machine.name().contains("scaled"));
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn too_many_cores_for_explicit_machine_panics() {
+        let _ = RuntimeBuilder::new()
+            .cores(12)
+            .machine(MachineModel::xeon_e5410())
+            .build_sim();
+    }
+
+    #[test]
+    fn flavor_labels() {
+        assert_eq!(Flavor::Libasync.label(), "Libasync-smp");
+        assert_eq!(Flavor::Mely.label(), "Mely");
+    }
+
+    #[test]
+    fn batch_threshold_clamps_to_one() {
+        let rt = RuntimeBuilder::new().batch_threshold(0).build_sim();
+        assert_eq!(rt.config().batch_threshold, 1);
+    }
+}

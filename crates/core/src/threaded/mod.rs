@@ -1,0 +1,636 @@
+//! The threaded executor: one OS thread per simulated core.
+//!
+//! This is the "real" runtime: per-core queues protected by cache-padded
+//! spinlocks ([`crate::sync::SpinLock`]), events executed by the core's
+//! thread, idle cores running the workstealing algorithm. It executes the
+//! same queue and policy code as the simulator; an event's declared cost
+//! is materialised by busy-spinning the cycle counter, and its action
+//! closure runs for real.
+//!
+//! Two deliberate deviations from the paper's implementation, both
+//! documented here for reviewers:
+//!
+//! - **No thread pinning.** The paper pins threads with
+//!   `pthread_setaffinity_np`; this reproduction must run on machines
+//!   with fewer physical cores than simulated ones, so workers are plain
+//!   threads. On a real 8-core host the scheduler keeps them apart; all
+//!   cycle-accurate claims are made by the simulation executor instead.
+//! - **Two-lock migration.** Figure 2 releases the victim's lock before
+//!   taking the thief's. With concurrent producers routing new events
+//!   through the color map, that window could place events of one color
+//!   on two cores. The threaded executor therefore performs
+//!   detach + color-map update + absorb while holding both locks,
+//!   acquired in core-id order (deadlock-free). The simulator charges
+//!   costs per the paper's original sequence.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::color::{Color, COLOR_SPACE};
+use crate::ctx::{Ctx, CtxEffects};
+use crate::cycles;
+use crate::dataset::{DataSetAlloc, DataSetRef};
+use crate::event::Event;
+use crate::handler::{HandlerId, HandlerRegistry, HandlerSpec};
+use crate::metrics::{CoreMetrics, RunReport};
+use crate::queue::{LegacyQueue, MelyQueue, QueueImpl};
+use crate::runtime::Flavor;
+use crate::steal::{construct_core_set, WsPolicy};
+use crate::sync::SpinLock;
+use mely_topology::MachineModel;
+
+const NO_COLOR: u32 = u32::MAX;
+const NO_OWNER: u32 = u32::MAX;
+
+struct CoreShared {
+    queue: SpinLock<QueueImpl>,
+    /// Color currently executing on this core (`NO_COLOR` when none).
+    in_flight: AtomicU32,
+    /// Approximate queue length for `construct_core_set`.
+    len_hint: AtomicUsize,
+}
+
+struct TimerEntry {
+    due: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap becomes a min-heap on (due, seq).
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+struct Shared {
+    cores: Vec<CoreShared>,
+    color_owner: Vec<AtomicU32>,
+    registry: HandlerRegistry,
+    machine: MachineModel,
+    ws: WsPolicy,
+    batch_threshold: u32,
+    /// Events registered but not yet fully executed (timers included).
+    outstanding: AtomicU64,
+    stop: AtomicBool,
+    steal_est: AtomicU64,
+    next_seq: AtomicU64,
+    timers: Mutex<std::collections::BinaryHeap<TimerEntry>>,
+}
+
+impl Shared {
+    /// Routes an event to the core currently owning its color. Retries if
+    /// a concurrent steal moves the color between lookup and lock.
+    fn route(&self, mut ev: Event) {
+        if let Some(h) = ev.handler {
+            if ev.cost == 0 {
+                ev.cost = self.registry.estimate(h);
+            }
+            if ev.penalty == 1 {
+                ev.penalty = self.registry.penalty(h);
+            }
+        }
+        ev.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let slot = ev.color().value() as usize;
+        loop {
+            let mut owner = self.color_owner[slot].load(Ordering::Acquire);
+            if owner == NO_OWNER {
+                let home = ev.color().home_core(self.cores.len()) as u32;
+                owner = match self.color_owner[slot].compare_exchange(
+                    NO_OWNER,
+                    home,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => home,
+                    Err(cur) => cur,
+                };
+            }
+            let core = &self.cores[owner as usize];
+            let mut q = core.queue.lock();
+            // Re-check under the lock: a steal may have moved the color.
+            if self.color_owner[slot].load(Ordering::Acquire) == owner {
+                q.push(ev);
+                core.len_hint.store(q.len(), Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    fn register(&self, ev: Event) {
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+        self.route(ev);
+    }
+
+    fn register_after(&self, delay: u64, event: Event) {
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+        let due = cycles::now() + delay;
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.timers.lock().push(TimerEntry { due, seq, event });
+    }
+}
+
+/// Handle for injecting events into a running [`ThreadedRuntime`] from
+/// other threads (e.g. a load generator).
+#[derive(Clone)]
+pub struct RuntimeHandle {
+    shared: Arc<Shared>,
+}
+
+impl RuntimeHandle {
+    /// Registers an event (hash-dispatched, or to the color's current
+    /// owner).
+    pub fn register(&self, ev: Event) {
+        self.shared.register(ev);
+    }
+
+    /// Asks every worker to stop at the next opportunity.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+    }
+
+    /// Events registered but not yet executed.
+    pub fn outstanding(&self) -> u64 {
+        self.shared.outstanding.load(Ordering::Acquire)
+    }
+}
+
+/// The threaded executor.
+pub struct ThreadedRuntime {
+    shared: Arc<Shared>,
+    ds_alloc: DataSetAlloc,
+}
+
+impl ThreadedRuntime {
+    pub(crate) fn new(
+        cores: usize,
+        flavor: Flavor,
+        ws: WsPolicy,
+        machine: MachineModel,
+        batch_threshold: u32,
+        initial_steal_estimate: u64,
+    ) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(
+            cores <= machine.num_cores(),
+            "machine model {} has only {} cores (asked for {})",
+            machine.name(),
+            machine.num_cores(),
+            cores
+        );
+        cycles::init();
+        let cores_vec = (0..cores)
+            .map(|_| CoreShared {
+                queue: SpinLock::new(match flavor {
+                    Flavor::Libasync => QueueImpl::Legacy(LegacyQueue::new()),
+                    Flavor::Mely => {
+                        let mut q = MelyQueue::new(ws.penalty);
+                        q.set_steal_cost_estimate(initial_steal_estimate);
+                        QueueImpl::Mely(q)
+                    }
+                }),
+                in_flight: AtomicU32::new(NO_COLOR),
+                len_hint: AtomicUsize::new(0),
+            })
+            .collect();
+        let mut owners = Vec::with_capacity(COLOR_SPACE);
+        owners.resize_with(COLOR_SPACE, || AtomicU32::new(NO_OWNER));
+        ThreadedRuntime {
+            shared: Arc::new(Shared {
+                cores: cores_vec,
+                color_owner: owners,
+                registry: HandlerRegistry::new(),
+                machine,
+                ws,
+                batch_threshold,
+                outstanding: AtomicU64::new(0),
+                stop: AtomicBool::new(false),
+                steal_est: AtomicU64::new(initial_steal_estimate),
+                next_seq: AtomicU64::new(0),
+                timers: Mutex::new(std::collections::BinaryHeap::new()),
+            }),
+            ds_alloc: DataSetAlloc::new(),
+        }
+    }
+
+    /// Registers an application handler before the run starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the runtime is running (the registry is
+    /// frozen once workers exist).
+    pub fn register_handler(&mut self, spec: HandlerSpec) -> HandlerId {
+        let shared = Arc::get_mut(&mut self.shared)
+            .expect("register handlers before starting the runtime");
+        shared.registry.register(spec)
+    }
+
+    /// Allocates a (simulation-style) data set; under the threaded
+    /// executor touches are accounted but not materialised.
+    pub fn alloc_dataset(&mut self, len: u64) -> DataSetRef {
+        self.ds_alloc.alloc(len)
+    }
+
+    /// Registers an event before or during the run.
+    pub fn register(&self, ev: Event) {
+        self.shared.register(ev);
+    }
+
+    /// Registers an event and pins its color to `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn register_pinned(&self, ev: Event, core: usize) {
+        assert!(core < self.shared.cores.len(), "core out of range");
+        self.shared.color_owner[ev.color().value() as usize]
+            .store(core as u32, Ordering::Release);
+        self.shared.register(ev);
+    }
+
+    /// A cloneable handle for injecting events from other threads.
+    pub fn handle(&self) -> RuntimeHandle {
+        RuntimeHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The workstealing policy.
+    pub fn policy(&self) -> WsPolicy {
+        self.shared.ws
+    }
+
+    /// Runs until every registered event (and every event they spawn) has
+    /// executed, then returns the report. Workers also exit on
+    /// [`Ctx::stop_runtime`] or [`RuntimeHandle::stop`].
+    pub fn run(self) -> RunReport {
+        let n = self.shared.cores.len();
+        let start = cycles::now();
+        let mut joins = Vec::with_capacity(n);
+        for core in 0..n {
+            let shared = Arc::clone(&self.shared);
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("mely-core-{core}"))
+                    .spawn(move || worker_loop(&shared, core))
+                    .expect("spawn worker"),
+            );
+        }
+        let per_core: Vec<CoreMetrics> = joins
+            .into_iter()
+            .map(|j| j.join().expect("worker must not panic"))
+            .collect();
+        let wall = cycles::now().wrapping_sub(start);
+        RunReport::new(per_core, wall, cycles::NOMINAL_FREQ_HZ, self.shared.ws)
+    }
+}
+
+fn worker_loop(shared: &Shared, me: usize) -> CoreMetrics {
+    let mut m = CoreMetrics::default();
+    let batch = shared.batch_threshold;
+    let mut idle_spins: u32 = 0;
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        drain_timers(shared);
+
+        // Pop from our own queue.
+        let popped = {
+            let core = &shared.cores[me];
+            let mut q = core.queue.lock();
+            m.lock_wait_cycles += q.waited_cycles();
+            m.lock_ops += 1;
+            let ev = q.pop(batch);
+            if let Some(ev) = &ev {
+                core.in_flight
+                    .store(ev.color().value() as u32, Ordering::Release);
+            }
+            core.len_hint.store(q.len(), Ordering::Relaxed);
+            ev
+        };
+
+        if let Some(ev) = popped {
+            execute_event(shared, me, ev, &mut m);
+            shared.cores[me].in_flight.store(NO_COLOR, Ordering::Release);
+            shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+            idle_spins = 0;
+            continue;
+        }
+
+        // Idle: steal or wind down.
+        if shared.ws.enabled && try_steal(shared, me, &mut m) {
+            idle_spins = 0;
+            continue;
+        }
+        if shared.outstanding.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        idle_spins = idle_spins.saturating_add(1);
+        if idle_spins > 64 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+    m
+}
+
+fn drain_timers(shared: &Shared) {
+    let Some(mut timers) = shared.timers.try_lock() else {
+        return;
+    };
+    let now = cycles::now();
+    while let Some(t) = timers.peek() {
+        if t.due > now {
+            break;
+        }
+        let t = timers.pop().expect("peeked");
+        shared.route(t.event);
+    }
+}
+
+fn execute_event(shared: &Shared, me: usize, mut ev: Event, m: &mut CoreMetrics) {
+    let t0 = cycles::now();
+    cycles::spin(ev.cost());
+    let mut fx = CtxEffects::default();
+    if let Some(action) = ev.take_action() {
+        let mut ctx = Ctx::new(me, cycles::now(), &mut fx);
+        action(&mut ctx);
+    }
+    cycles::spin(fx.charged);
+    let elapsed = cycles::now().wrapping_sub(t0);
+    m.busy_cycles += elapsed;
+    m.events_processed += 1;
+    if let Some(h) = ev.handler() {
+        shared.registry.record(h, elapsed);
+    }
+    for (delay, ev2) in fx.delayed {
+        shared.register_after(delay, ev2);
+    }
+    for ev2 in fx.registrations {
+        m.registered += 1;
+        shared.register(ev2);
+    }
+    if fx.stop {
+        shared.stop.store(true, Ordering::Release);
+    }
+}
+
+/// One steal attempt (both queue flavors). Migration happens with the
+/// victim's and the thief's locks both held, in core-id order.
+fn try_steal(shared: &Shared, me: usize, m: &mut CoreMetrics) -> bool {
+    m.steal_attempts += 1;
+    let t0 = cycles::now();
+    let loads: Vec<usize> = shared
+        .cores
+        .iter()
+        .map(|c| c.len_hint.load(Ordering::Relaxed))
+        .collect();
+    let set = construct_core_set(shared.ws, me, &loads, &shared.machine);
+    for v in set {
+        if v == me || v >= shared.cores.len() {
+            continue;
+        }
+        if shared.cores[v].len_hint.load(Ordering::Relaxed) == 0 {
+            continue;
+        }
+        if steal_from(shared, me, v, m) {
+            let dur = cycles::now().wrapping_sub(t0);
+            m.steals += 1;
+            m.steal_cycles += dur;
+            update_estimate(shared, dur);
+            return true;
+        }
+    }
+    m.failed_steal_cycles += cycles::now().wrapping_sub(t0);
+    false
+}
+
+fn update_estimate(shared: &Shared, sample: u64) {
+    // Lock-free EWMA (racy updates are fine for an estimate).
+    let cur = shared.steal_est.load(Ordering::Relaxed);
+    let next = if cur == 0 {
+        sample
+    } else {
+        cur - cur / 8 + sample / 8
+    };
+    shared.steal_est.store(next, Ordering::Relaxed);
+}
+
+fn steal_from(shared: &Shared, me: usize, v: usize, m: &mut CoreMetrics) -> bool {
+    debug_assert_ne!(me, v);
+    let (a, b) = if v < me { (v, me) } else { (me, v) };
+    let ga = shared.cores[a].queue.lock();
+    let gb = shared.cores[b].queue.lock();
+    m.lock_wait_cycles += ga.waited_cycles() + gb.waited_cycles();
+    m.lock_ops += 2;
+    let (mut gv, mut gm) = if a == v { (ga, gb) } else { (gb, ga) };
+
+    let vin = match shared.cores[v].in_flight.load(Ordering::Acquire) {
+        NO_COLOR => None,
+        c => Some(Color::new(c as u16)),
+    };
+
+    let est = shared.steal_est.load(Ordering::Relaxed);
+    let stolen = match (&mut *gv, &mut *gm) {
+        (QueueImpl::Legacy(vq), QueueImpl::Legacy(mq)) => {
+            if vq.distinct_colors() < 2 {
+                return false;
+            }
+            let Some((color, _)) = vq.choose_color_to_steal(vin) else {
+                return false;
+            };
+            let (events, _) = vq.extract_color(color);
+            if events.is_empty() {
+                return false;
+            }
+            let n = events.len() as u64;
+            let cost: u64 = events.iter().map(|e| e.cost()).sum();
+            shared.color_owner[color.value() as usize].store(me as u32, Ordering::Release);
+            mq.append(events);
+            m.stolen_events += n;
+            m.stolen_cost_cycles += cost;
+            true
+        }
+        (QueueImpl::Mely(vq), QueueImpl::Mely(mq)) => {
+            vq.set_steal_cost_estimate(est);
+            let slot = if shared.ws.time_left {
+                vq.choose_worthy(vin)
+            } else {
+                if !vq.can_be_stolen_base() {
+                    return false;
+                }
+                vq.choose_scan(vin).map(|(s, _)| s)
+            };
+            let Some(slot) = slot else {
+                return false;
+            };
+            let d = vq.detach(slot);
+            let n = d.len() as u64;
+            let cost = d.cum_cost();
+            shared.color_owner[d.color().value() as usize]
+                .store(me as u32, Ordering::Release);
+            mq.set_steal_cost_estimate(est);
+            mq.absorb(d);
+            m.stolen_events += n;
+            m.stolen_cost_cycles += cost;
+            true
+        }
+        _ => unreachable!("both cores share one flavor"),
+    };
+    if stolen {
+        shared.cores[v].len_hint.store(gv.len(), Ordering::Relaxed);
+        shared.cores[me].len_hint.store(gm.len(), Ordering::Relaxed);
+    }
+    stolen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeBuilder;
+    use std::sync::atomic::AtomicI64;
+
+    fn rt(flavor: Flavor, ws: WsPolicy, cores: usize) -> ThreadedRuntime {
+        RuntimeBuilder::new()
+            .cores(cores)
+            .flavor(flavor)
+            .workstealing(ws)
+            .build_threaded()
+    }
+
+    #[test]
+    fn executes_everything_without_ws() {
+        for flavor in [Flavor::Libasync, Flavor::Mely] {
+            let r = {
+                let rt = rt(flavor, WsPolicy::off(), 2);
+                for i in 0..200u16 {
+                    rt.register(Event::new(Color::new(i), 0));
+                }
+                rt.run()
+            };
+            assert_eq!(r.events_processed(), 200, "{flavor:?}");
+        }
+    }
+
+    #[test]
+    fn actions_run_and_cascade() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let rt = rt(Flavor::Mely, WsPolicy::off(), 2);
+        for i in 0..50u16 {
+            let c1 = Arc::clone(&counter);
+            rt.register(Event::new(Color::new(i), 0).with_action(move |ctx| {
+                let c2 = Arc::clone(&c1);
+                ctx.register(Event::new(Color::new(1_000), 0).with_action(move |_| {
+                    c2.fetch_add(1, Ordering::Relaxed);
+                }));
+                c1.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        let r = rt.run();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(r.events_processed(), 100);
+    }
+
+    #[test]
+    fn mutual_exclusion_per_color_under_stealing() {
+        // Events of one color must never run concurrently even with
+        // aggressive stealing. A non-atomic-looking critical section
+        // protected only by the color discipline detects violations.
+        let rt = rt(Flavor::Mely, WsPolicy::base(), 4);
+        let in_crit: Arc<AtomicI64> = Arc::new(AtomicI64::new(0));
+        let violations = Arc::new(AtomicU64::new(0));
+        for i in 0..400u16 {
+            // Two colors; many events each; plus background noise colors
+            // to give thieves something to do.
+            let color = Color::new((i % 2) + 1);
+            let crit = Arc::clone(&in_crit);
+            let bad = Arc::clone(&violations);
+            rt.register_pinned(
+                Event::new(color, 0).with_action(move |_| {
+                    // Per-color section: colors 1 and 2 may interleave with
+                    // each other, so track them separately via sign bits.
+                    let delta = if color.value() == 1 { 1 } else { 1 << 16 };
+                    let prev = crit.fetch_add(delta, Ordering::SeqCst);
+                    let mine = if color.value() == 1 {
+                        prev & 0xFFFF
+                    } else {
+                        prev >> 16
+                    };
+                    if mine != 0 {
+                        bad.fetch_add(1, Ordering::SeqCst);
+                    }
+                    std::hint::spin_loop();
+                    crit.fetch_sub(delta, Ordering::SeqCst);
+                }),
+                0,
+            );
+        }
+        let r = rt.run();
+        assert_eq!(violations.load(Ordering::SeqCst), 0, "color exclusion violated");
+        assert_eq!(r.events_processed(), 400);
+    }
+
+    #[test]
+    fn stealing_spreads_pinned_load() {
+        let rt = rt(Flavor::Mely, WsPolicy::base(), 4);
+        for i in 0..64u16 {
+            rt.register_pinned(Event::new(Color::new(i + 1), 200_000), 0);
+        }
+        let r = rt.run();
+        assert_eq!(r.events_processed(), 64);
+        assert!(r.total().steals > 0, "expected steals on an unbalanced load");
+    }
+
+    #[test]
+    fn handle_allows_external_injection_and_stop() {
+        let rt = rt(Flavor::Mely, WsPolicy::off(), 2);
+        // Seed one event so workers do not exit immediately.
+        rt.register(Event::new(Color::new(1), 0).with_action(|ctx| {
+            // Keep the runtime alive long enough for the injector thread
+            // to be scheduled (~20 ms of virtual headroom).
+            ctx.register_after(50_000_000, Event::new(Color::new(1), 0));
+        }));
+        let handle = rt.handle();
+        let injector = std::thread::spawn(move || {
+            for i in 0..20u16 {
+                handle.register(Event::new(Color::new(i + 10), 0));
+            }
+        });
+        let r = rt.run();
+        injector.join().unwrap();
+        assert!(r.events_processed() >= 21);
+    }
+
+    #[test]
+    fn timers_fire() {
+        let fired = Arc::new(AtomicU64::new(0));
+        let rt = rt(Flavor::Mely, WsPolicy::off(), 2);
+        let f = Arc::clone(&fired);
+        rt.register(Event::new(Color::new(1), 0).with_action(move |ctx| {
+            let f2 = Arc::clone(&f);
+            ctx.register_after(100_000, Event::new(Color::new(2), 0).with_action(
+                move |_| {
+                    f2.fetch_add(1, Ordering::Relaxed);
+                },
+            ));
+        }));
+        let r = rt.run();
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        assert_eq!(r.events_processed(), 2);
+    }
+}

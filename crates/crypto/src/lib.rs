@@ -1,0 +1,308 @@
+//! Stream cipher and keyed MAC for the SFS secure file server.
+//!
+//! SFS spends "more than 60% of its time performing cryptographic
+//! operations" (paper Section V-C2): every response is encrypted and
+//! authenticated over a persistent session. This crate supplies that
+//! CPU-bound workload with a from-scratch ChaCha20-style ARX stream
+//! cipher ([`StreamCipher`]) and a keyed block MAC ([`Mac`]). They are
+//! real, data-dependent computations — not sleeps — so the cost profile
+//! (cycles per byte) matches the role crypto plays in the paper's
+//! evaluation.
+//!
+//! **Security note:** this is a workload generator for a scheduling
+//! study, not an audited cryptographic library. Do not use it to protect
+//! data.
+//!
+//! # Examples
+//!
+//! ```
+//! use mely_crypto::{Mac, SessionKey, StreamCipher};
+//!
+//! let key = SessionKey::from_seed(42);
+//! let mut buf = b"hello, secure world".to_vec();
+//! let tag = Mac::new(&key).compute(&buf);
+//!
+//! StreamCipher::new(&key, 7).apply(&mut buf);
+//! assert_ne!(&buf, b"hello, secure world");
+//! StreamCipher::new(&key, 7).apply(&mut buf);
+//! assert_eq!(&buf, b"hello, secure world");
+//! assert!(Mac::new(&key).verify(&buf, tag));
+//! ```
+
+/// A 256-bit session key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionKey {
+    words: [u32; 8],
+}
+
+impl SessionKey {
+    /// Derives a key deterministically from a seed (clients and server
+    /// share seeds per session in the SFS workload).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut words = [0u32; 8];
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for w in &mut words {
+            // splitmix64 expansion.
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *w = (z ^ (z >> 31)) as u32;
+        }
+        SessionKey { words }
+    }
+
+    /// The raw key words.
+    pub fn words(&self) -> &[u32; 8] {
+        &self.words
+    }
+}
+
+const ROUNDS: usize = 20;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Produces one 64-byte keystream block (ChaCha20-style ARX core).
+fn block(key: &SessionKey, nonce: u64, counter: u64) -> [u8; 64] {
+    let mut state: [u32; 16] = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key.words[0],
+        key.words[1],
+        key.words[2],
+        key.words[3],
+        key.words[4],
+        key.words[5],
+        key.words[6],
+        key.words[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        nonce as u32,
+        (nonce >> 32) as u32,
+    ];
+    let initial = state;
+    for _ in 0..ROUNDS / 2 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for (i, (s, ini)) in state.iter().zip(initial.iter()).enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&s.wrapping_add(*ini).to_le_bytes());
+    }
+    out
+}
+
+/// A ChaCha20-style stream cipher: XORs the keystream over a buffer.
+/// Encryption and decryption are the same operation.
+#[derive(Debug, Clone)]
+pub struct StreamCipher {
+    key: SessionKey,
+    nonce: u64,
+}
+
+impl StreamCipher {
+    /// Creates a cipher for `key` and a per-message `nonce`.
+    pub fn new(key: &SessionKey, nonce: u64) -> Self {
+        StreamCipher { key: *key, nonce }
+    }
+
+    /// Encrypts/decrypts `buf` in place, starting at keystream block 0.
+    pub fn apply(&self, buf: &mut [u8]) {
+        self.apply_at(buf, 0);
+    }
+
+    /// Encrypts/decrypts `buf` in place as if it started `offset` bytes
+    /// into the message (for chunked processing).
+    pub fn apply_at(&self, buf: &mut [u8], offset: u64) {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let abs = offset + pos as u64;
+            let counter = abs / 64;
+            let in_block = (abs % 64) as usize;
+            let ks = block(&self.key, self.nonce, counter);
+            let n = (64 - in_block).min(buf.len() - pos);
+            for i in 0..n {
+                buf[pos + i] ^= ks[in_block + i];
+            }
+            pos += n;
+        }
+    }
+}
+
+/// A MAC tag.
+pub type Tag = u64;
+
+/// A keyed MAC built from the same ARX core in a sponge-like mode: the
+/// message is absorbed block-wise and the final state is squeezed into a
+/// 64-bit tag.
+#[derive(Debug, Clone)]
+pub struct Mac {
+    key: SessionKey,
+}
+
+impl Mac {
+    /// Creates a MAC instance for `key`.
+    pub fn new(key: &SessionKey) -> Self {
+        Mac { key: *key }
+    }
+
+    /// Computes the tag of `data`.
+    pub fn compute(&self, data: &[u8]) -> Tag {
+        let mut acc: u64 = 0x5851_F42D_4C95_7F2D ^ (data.len() as u64);
+        let mut counter: u64 = 0;
+        for chunk in data.chunks(64) {
+            let ks = block(&self.key, acc, counter);
+            let mut mixed: u64 = 0;
+            for (i, b) in chunk.iter().enumerate() {
+                mixed = mixed
+                    .rotate_left(7)
+                    .wrapping_add((*b ^ ks[i]) as u64)
+                    .wrapping_mul(0x100_0000_01B3);
+            }
+            acc ^= mixed;
+            counter += 1;
+        }
+        // Final squeeze through one more block.
+        let fin = block(&self.key, acc, counter);
+        u64::from_le_bytes(fin[..8].try_into().expect("block is 64 bytes"))
+    }
+
+    /// Verifies `data` against `tag`.
+    pub fn verify(&self, data: &[u8], tag: Tag) -> bool {
+        self.compute(data) == tag
+    }
+}
+
+/// Rough cost model: cycles per encrypted/MACed byte, used by the
+/// simulation executor to charge virtual time for crypto work. With the
+/// paper's SFS profile (coarse-grain handlers, ~1200 Kcycles of stolen
+/// work per set) this matches ~50 KB processed per handler invocation.
+pub const CYCLES_PER_BYTE: u64 = 12;
+
+/// Virtual cycles to encrypt + MAC `len` bytes (simulation accounting).
+pub fn crypto_cost_cycles(len: u64) -> u64 {
+    // Encrypt + MAC both walk the data once.
+    2 * CYCLES_PER_BYTE * len + 2_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let key = SessionKey::from_seed(1);
+        for len in [0usize, 1, 63, 64, 65, 500, 4096] {
+            let mut buf: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
+            let orig = buf.clone();
+            StreamCipher::new(&key, 9).apply(&mut buf);
+            if len > 0 {
+                assert_ne!(buf, orig, "len {len} must change");
+            }
+            StreamCipher::new(&key, 9).apply(&mut buf);
+            assert_eq!(buf, orig, "len {len} must round-trip");
+        }
+    }
+
+    #[test]
+    fn chunked_equals_whole() {
+        let key = SessionKey::from_seed(2);
+        let mut whole: Vec<u8> = (0..1000).map(|i| (i * 7) as u8).collect();
+        let mut chunked = whole.clone();
+        StreamCipher::new(&key, 5).apply(&mut whole);
+        let c = StreamCipher::new(&key, 5);
+        c.apply_at(&mut chunked[..100], 0);
+        c.apply_at(&mut chunked[100..777], 100);
+        c.apply_at(&mut chunked[777..], 777);
+        assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn different_keys_and_nonces_differ() {
+        let k1 = SessionKey::from_seed(1);
+        let k2 = SessionKey::from_seed(2);
+        let msg = vec![0u8; 64];
+        let enc = |k: &SessionKey, n: u64| {
+            let mut b = msg.clone();
+            StreamCipher::new(k, n).apply(&mut b);
+            b
+        };
+        assert_ne!(enc(&k1, 0), enc(&k2, 0));
+        assert_ne!(enc(&k1, 0), enc(&k1, 1));
+    }
+
+    #[test]
+    fn keystream_is_not_trivially_biased() {
+        let key = SessionKey::from_seed(3);
+        let mut buf = vec![0u8; 4096];
+        StreamCipher::new(&key, 0).apply(&mut buf);
+        let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        let total = 4096 * 8;
+        let ratio = ones as f64 / total as f64;
+        assert!((0.47..0.53).contains(&ratio), "bit ratio {ratio}");
+    }
+
+    #[test]
+    fn mac_detects_tampering() {
+        let key = SessionKey::from_seed(4);
+        let mac = Mac::new(&key);
+        let mut data = b"the quick brown fox".to_vec();
+        let tag = mac.compute(&data);
+        assert!(mac.verify(&data, tag));
+        data[3] ^= 1;
+        assert!(!mac.verify(&data, tag));
+        data[3] ^= 1;
+        assert!(mac.verify(&data, tag));
+        assert!(!mac.verify(&data[..data.len() - 1], tag));
+    }
+
+    #[test]
+    fn mac_differs_per_key() {
+        let data = b"payload";
+        let t1 = Mac::new(&SessionKey::from_seed(1)).compute(data);
+        let t2 = Mac::new(&SessionKey::from_seed(2)).compute(data);
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn mac_is_deterministic() {
+        let key = SessionKey::from_seed(9);
+        let data = vec![7u8; 300];
+        assert_eq!(Mac::new(&key).compute(&data), Mac::new(&key).compute(&data));
+    }
+
+    #[test]
+    fn cost_model_is_linear() {
+        assert!(crypto_cost_cycles(200_000) > crypto_cost_cycles(1_000));
+        assert_eq!(
+            crypto_cost_cycles(100) - crypto_cost_cycles(0),
+            2 * CYCLES_PER_BYTE * 100
+        );
+    }
+
+    #[test]
+    fn key_from_seed_deterministic_and_spread() {
+        assert_eq!(SessionKey::from_seed(5), SessionKey::from_seed(5));
+        assert_ne!(SessionKey::from_seed(5), SessionKey::from_seed(6));
+        let w = SessionKey::from_seed(5);
+        assert!(w.words().iter().any(|&x| x != 0));
+    }
+}

@@ -1,0 +1,783 @@
+//! SFS — the paper's NFS-like secure file server (Section V-C2).
+//!
+//! "As all communications are encrypted and authenticated, SFS is
+//! CPU-intensive": the server spends most of its time in cryptographic
+//! handlers. Following the coloring scheme the paper inherits from
+//! Zeldovich et al., **only the CPU-intensive handlers are colored**: the
+//! protocol handlers (`Epoll`, `Accept`, `ReadRequest`, `ProcessRead`,
+//! `SendReply`, `Close`) all share the default color 0 and therefore run
+//! serially, while each session's `Encrypt` handler gets its own color
+//! and parallelizes across cores:
+//!
+//! ```text
+//! Epoll(0) ─► ReadRequest(0) ─► ProcessRead(0) ─► Encrypt(session) ─► SendReply(0)
+//! ```
+//!
+//! The wire protocol is a minimal read protocol over persistent
+//! connections: requests are `READ <client> <offset> <len>\n` lines; the
+//! response is a 16-byte header (payload length + MAC tag, little
+//! endian) followed by the encrypted payload. Clients decrypt and verify
+//! every response ([`SfsProtocol`]), so the crypto work is real on both
+//! sides. Like the paper's `multio` benchmark, the requested file stays
+//! in the server's in-memory buffer cache ([`FileStore`]).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mely_core::color::Color;
+use mely_core::event::Event;
+use mely_core::handler::{HandlerId, HandlerSpec};
+use mely_core::sim::SimRuntime;
+use mely_crypto::{crypto_cost_cycles, Mac, SessionKey, StreamCipher};
+use mely_loadgen::ClientProtocol;
+use mely_net::driver::Driver;
+use mely_net::{Fd, NetEvent, SimNet};
+
+/// The in-memory buffer cache holding the served files (the paper's
+/// workload never touches disk: "the content of the requested file
+/// remains in the server's disk buffer cache").
+#[derive(Debug, Default)]
+pub struct FileStore {
+    files: HashMap<String, Arc<Vec<u8>>>,
+}
+
+/// Deterministic file contents so clients can verify decrypted data
+/// without holding a copy: byte `i` of every generated file is
+/// `gen_byte(i)`.
+pub fn gen_byte(i: u64) -> u8 {
+    (i.wrapping_mul(2_654_435_761).rotate_right(13) & 0xFF) as u8
+}
+
+impl FileStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generates and stores a `len`-byte file under `path`.
+    pub fn put_generated(&mut self, path: &str, len: u64) {
+        let data: Vec<u8> = (0..len).map(gen_byte).collect();
+        self.files.insert(path.to_string(), Arc::new(data));
+    }
+
+    /// Looks up a file.
+    pub fn get(&self, path: &str) -> Option<&Arc<Vec<u8>>> {
+        self.files.get(path)
+    }
+
+    /// Number of stored files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+/// Per-handler cycle annotations. `encrypt` is derived from the chunk
+/// size via [`crypto_cost_cycles`], making the coarse-grain profile of
+/// the paper's SFS (stolen sets of ~1200 Kcycles, Table I) explicit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SfsCosts {
+    /// `Epoll` poll pass.
+    pub epoll: u64,
+    /// Extra cycles per readiness event found.
+    pub epoll_per_event: u64,
+    /// `Accept` per connection.
+    pub accept: u64,
+    /// `ReadRequest` (receive + line parse).
+    pub read_request: u64,
+    /// `ProcessRead` (buffer-cache lookup and copy).
+    pub process_read: u64,
+    /// `SendReply` fixed cost (plus per-byte).
+    pub send_reply: u64,
+    /// Per-byte transmit cost, in milli-cycles.
+    pub send_per_byte_milli: u64,
+    /// `Close`.
+    pub close: u64,
+}
+
+impl Default for SfsCosts {
+    fn default() -> Self {
+        SfsCosts {
+            epoll: 6_000,
+            epoll_per_event: 400,
+            accept: 20_000,
+            read_request: 10_000,
+            process_read: 12_000,
+            send_reply: 14_000,
+            send_per_byte_milli: 1_500,
+            close: 10_000,
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct SfsConfig {
+    /// Listening port.
+    pub port: u16,
+    /// Path of the served file.
+    pub path: String,
+    /// Length of the served file in bytes (the paper uses 200 MB; the
+    /// default here is scaled down so simulations stay laptop-sized —
+    /// see DESIGN.md).
+    pub file_len: u64,
+    /// Read chunk size per request.
+    pub chunk: u64,
+    /// Handler cost annotations.
+    pub costs: SfsCosts,
+    /// Fallback poll period.
+    pub poll_interval: u64,
+    /// Minimum delay between two `Epoll` passes (readiness batching).
+    pub min_poll: u64,
+}
+
+impl Default for SfsConfig {
+    fn default() -> Self {
+        SfsConfig {
+            port: 4_000,
+            path: "/data".to_string(),
+            file_len: 4 << 20,
+            chunk: 32 << 10,
+            costs: SfsCosts::default(),
+            poll_interval: 40_000,
+            min_poll: 12_000,
+        }
+    }
+}
+
+/// Server-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SfsStats {
+    /// Read requests served.
+    pub reads: u64,
+    /// Encrypted payload bytes sent.
+    pub bytes: u64,
+    /// Sessions accepted.
+    pub sessions: u64,
+    /// Malformed or out-of-range requests rejected (connection closed).
+    pub rejected: u64,
+}
+
+#[derive(Debug, Default)]
+struct ConnState {
+    buf: Vec<u8>,
+    read_pending: bool,
+}
+
+struct SfsState {
+    store: FileStore,
+    conns: HashMap<Fd, ConnState>,
+    accept_pending: bool,
+    stats: SfsStats,
+}
+
+#[derive(Clone, Copy)]
+struct Handlers {
+    epoll: HandlerId,
+    accept: HandlerId,
+    read_request: HandlerId,
+    process_read: HandlerId,
+    encrypt: HandlerId,
+    send_reply: HandlerId,
+    close: HandlerId,
+}
+
+/// All protocol handlers share the default color (serialized); only
+/// `Encrypt` is colored per session.
+const PROTO_COLOR: Color = Color::new(0);
+
+fn session_color(fd: Fd) -> Color {
+    // A realistic (imperfect) hash: session colors collide on a subset
+    // of the cores, giving the static dispatch the load imbalance that
+    // workstealing then corrects (the effect Figure 3 measures).
+    Color::new(16 + ((fd * 5) % 13) as u16)
+}
+
+struct AppInner<D> {
+    state: Mutex<SfsState>,
+    net: Arc<Mutex<SimNet>>,
+    driver: Arc<Mutex<D>>,
+    cfg: SfsConfig,
+    h: Handlers,
+}
+
+struct App<D>(Arc<AppInner<D>>);
+
+impl<D> Clone for App<D> {
+    fn clone(&self) -> Self {
+        App(Arc::clone(&self.0))
+    }
+}
+
+/// A parsed `READ` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ReadReq {
+    client: u64,
+    offset: u64,
+    len: u64,
+}
+
+fn parse_read_line(line: &str) -> Option<ReadReq> {
+    let mut it = line.split_ascii_whitespace();
+    if it.next()? != "READ" {
+        return None;
+    }
+    let client = it.next()?.parse().ok()?;
+    let offset = it.next()?.parse().ok()?;
+    let len = it.next()?.parse().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some(ReadReq {
+        client,
+        offset,
+        len,
+    })
+}
+
+/// A running SFS instance.
+pub struct Sfs {
+    stats: Arc<dyn Fn() -> SfsStats + Send + Sync>,
+}
+
+impl Sfs {
+    /// Installs SFS onto a simulation runtime: registers the handlers,
+    /// generates the served file into the buffer cache, opens the
+    /// listener and schedules the first `Epoll` event.
+    pub fn install<D: Driver + 'static>(
+        rt: &mut SimRuntime,
+        net: Arc<Mutex<SimNet>>,
+        driver: Arc<Mutex<D>>,
+        cfg: SfsConfig,
+    ) -> Sfs {
+        let c = &cfg.costs;
+        // Only the CPU-intensive Encrypt handler is a good steal: the
+        // protocol handlers share the serialized default color and carry
+        // a high stealing penalty (the paper's annotation mechanism,
+        // Section III-C), so thieves take crypto, not the event loop.
+        const LOOP_PENALTY: u32 = 100;
+        let h = Handlers {
+            epoll: rt.register_handler(
+                HandlerSpec::new("Epoll").cost(c.epoll).penalty(LOOP_PENALTY),
+            ),
+            accept: rt.register_handler(
+                HandlerSpec::new("Accept").cost(c.accept).penalty(LOOP_PENALTY),
+            ),
+            read_request: rt.register_handler(
+                HandlerSpec::new("ReadRequest")
+                    .cost(c.read_request)
+                    .penalty(LOOP_PENALTY),
+            ),
+            process_read: rt.register_handler(
+                HandlerSpec::new("ProcessRead")
+                    .cost(c.process_read)
+                    .penalty(LOOP_PENALTY),
+            ),
+            encrypt: rt.register_handler(
+                HandlerSpec::new("Encrypt").cost(crypto_cost_cycles(cfg.chunk)),
+            ),
+            send_reply: rt.register_handler(
+                HandlerSpec::new("SendReply")
+                    .cost(c.send_reply)
+                    .penalty(LOOP_PENALTY),
+            ),
+            close: rt.register_handler(
+                HandlerSpec::new("Close").cost(c.close).penalty(LOOP_PENALTY),
+            ),
+        };
+        let mut store = FileStore::new();
+        store.put_generated(&cfg.path, cfg.file_len);
+        net.lock().listen(cfg.port);
+        let app = App(Arc::new(AppInner {
+            state: Mutex::new(SfsState {
+                store,
+                conns: HashMap::new(),
+                accept_pending: false,
+                stats: SfsStats::default(),
+            }),
+            net,
+            driver,
+            cfg,
+            h,
+        }));
+        rt.register(app.epoll_event());
+        let inner = Arc::clone(&app.0);
+        Sfs {
+            stats: Arc::new(move || inner.state.lock().stats),
+        }
+    }
+
+    /// Current server-side counters.
+    pub fn stats(&self) -> SfsStats {
+        (self.stats)()
+    }
+}
+
+impl<D: Driver + 'static> App<D> {
+    fn epoll_event(&self) -> Event {
+        let app = self.clone();
+        Event::for_handler(PROTO_COLOR, self.0.h.epoll).with_action(move |ctx| {
+            let now = ctx.now();
+            let inner = &app.0;
+            let mut net = inner.net.lock();
+            let done = inner.driver.lock().advance(&mut net, now);
+            let events = net.poll(now);
+            ctx.charge(inner.cfg.costs.epoll_per_event * events.len() as u64);
+            {
+                let mut st = inner.state.lock();
+                for e in events {
+                    match e {
+                        NetEvent::Acceptable(_) => {
+                            if !st.accept_pending {
+                                st.accept_pending = true;
+                                ctx.register(app.accept_event());
+                            }
+                        }
+                        NetEvent::Readable(fd) | NetEvent::PeerClosed(fd) => {
+                            if let Some(conn) = st.conns.get_mut(&fd) {
+                                if !conn.read_pending {
+                                    conn.read_pending = true;
+                                    ctx.register(app.read_request_event(fd));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let next = [net.next_activity(now), inner.driver.lock().next_due(now)]
+                .into_iter()
+                .flatten()
+                .min();
+            drop(net);
+            match next {
+                Some(t) => ctx.register_after(
+                    t.saturating_sub(now).max(inner.cfg.min_poll),
+                    app.epoll_event(),
+                ),
+                None if !done => {
+                    ctx.register_after(inner.cfg.poll_interval, app.epoll_event())
+                }
+                None => {}
+            }
+        })
+    }
+
+    fn accept_event(&self) -> Event {
+        let app = self.clone();
+        Event::for_handler(PROTO_COLOR, self.0.h.accept).with_action(move |ctx| {
+            let inner = &app.0;
+            let now = ctx.now();
+            let mut net = inner.net.lock();
+            let mut st = inner.state.lock();
+            // Bounded accept batch (see the SWS accept handler).
+            let mut first = true;
+            let mut batch = 0;
+            while batch < 8 {
+                let Some(fd) = net.accept(inner.cfg.port, now) else {
+                    break;
+                };
+                if !first {
+                    ctx.charge(inner.cfg.costs.accept);
+                }
+                first = false;
+                batch += 1;
+                st.stats.sessions += 1;
+                st.conns.insert(fd, ConnState::default());
+            }
+            if batch == 8 {
+                ctx.register(app.accept_event());
+            } else {
+                st.accept_pending = false;
+            }
+        })
+    }
+
+    fn read_request_event(&self, fd: Fd) -> Event {
+        let app = self.clone();
+        Event::for_handler(PROTO_COLOR, self.0.h.read_request).with_action(move |ctx| {
+            let inner = &app.0;
+            let now = ctx.now();
+            let mut net = inner.net.lock();
+            let data = net.read(fd, now);
+            let hup = data.is_empty() && net.peer_closed(fd, now);
+            drop(net);
+            let mut st = inner.state.lock();
+            let Some(conn) = st.conns.get_mut(&fd) else {
+                return;
+            };
+            conn.read_pending = false;
+            if hup {
+                ctx.register(app.close_event(fd));
+                return;
+            }
+            conn.buf.extend_from_slice(&data);
+            // Extract complete request lines.
+            while let Some(pos) = conn.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = conn.buf.drain(..=pos).collect();
+                let parsed = std::str::from_utf8(&line[..line.len() - 1])
+                    .ok()
+                    .and_then(parse_read_line);
+                match parsed {
+                    Some(req) => ctx.register(app.process_read_event(fd, req)),
+                    None => {
+                        st.stats.rejected += 1;
+                        ctx.register(app.close_event(fd));
+                        return;
+                    }
+                }
+            }
+        })
+    }
+
+    fn process_read_event(&self, fd: Fd, req: ReadReq) -> Event {
+        let app = self.clone();
+        Event::for_handler(PROTO_COLOR, self.0.h.process_read).with_action(move |ctx| {
+            let inner = &app.0;
+            let st = inner.state.lock();
+            let Some(file) = st.store.get(&inner.cfg.path) else {
+                return;
+            };
+            let start = req.offset.min(file.len() as u64) as usize;
+            let end = (req.offset + req.len).min(file.len() as u64) as usize;
+            if start >= end {
+                drop(st);
+                let mut st = inner.state.lock();
+                st.stats.rejected += 1;
+                ctx.register(app.close_event(fd));
+                return;
+            }
+            let plain = file[start..end].to_vec();
+            drop(st);
+            ctx.register(app.encrypt_event(fd, req.clone(), plain));
+        })
+    }
+
+    fn encrypt_event(&self, fd: Fd, req: ReadReq, plain: Vec<u8>) -> Event {
+        let app = self.clone();
+        // The one colored handler: per-session parallelism.
+        Event::for_handler(session_color(fd), self.0.h.encrypt).with_action(move |ctx| {
+            let key = SessionKey::from_seed(req.client);
+            let mut payload = plain;
+            StreamCipher::new(&key, req.offset).apply(&mut payload);
+            let tag = Mac::new(&key).compute(&payload);
+            ctx.register(app.send_reply_event(fd, payload, tag));
+        })
+    }
+
+    fn send_reply_event(&self, fd: Fd, payload: Vec<u8>, tag: u64) -> Event {
+        let app = self.clone();
+        Event::for_handler(PROTO_COLOR, self.0.h.send_reply).with_action(move |ctx| {
+            let inner = &app.0;
+            let now = ctx.now();
+            ctx.charge(payload.len() as u64 * inner.cfg.costs.send_per_byte_milli / 1_000);
+            let mut frame = Vec::with_capacity(16 + payload.len());
+            frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            frame.extend_from_slice(&tag.to_le_bytes());
+            frame.extend_from_slice(&payload);
+            let n = payload.len() as u64;
+            inner.net.lock().write(fd, now, frame);
+            let mut st = inner.state.lock();
+            st.stats.reads += 1;
+            st.stats.bytes += n;
+        })
+    }
+
+    fn close_event(&self, fd: Fd) -> Event {
+        let app = self.clone();
+        Event::for_handler(PROTO_COLOR, self.0.h.close).with_action(move |ctx| {
+            let _ = ctx;
+            let inner = &app.0;
+            let now = ctx.now();
+            let mut net = inner.net.lock();
+            net.close(fd, now);
+            net.reap(fd);
+            drop(net);
+            inner.state.lock().conns.remove(&fd);
+        })
+    }
+}
+
+/// The SFS client protocol: sequential chunked reads of the served file
+/// over a persistent session, verifying the MAC and the decrypted
+/// contents of every response.
+#[derive(Debug)]
+pub struct SfsProtocol {
+    file_len: u64,
+    chunk: u64,
+    /// Per-client offset of the next expected response.
+    pending: Vec<u64>,
+    verified: u64,
+    corrupt: u64,
+}
+
+impl SfsProtocol {
+    /// Protocol for `clients` clients reading a `file_len`-byte file in
+    /// `chunk`-byte reads.
+    pub fn new(clients: usize, file_len: u64, chunk: u64) -> Self {
+        SfsProtocol {
+            file_len,
+            chunk,
+            pending: vec![0; clients],
+            verified: 0,
+            corrupt: 0,
+        }
+    }
+
+    /// Responses whose MAC and contents verified.
+    pub fn verified(&self) -> u64 {
+        self.verified
+    }
+
+    /// Responses that failed verification.
+    pub fn corrupt(&self) -> u64 {
+        self.corrupt
+    }
+
+    fn offset_for(&self, client: usize, seq: u64) -> u64 {
+        // Stagger clients so they do not all hit the same offsets in
+        // lockstep (irrelevant to correctness, realistic for caching).
+        ((client as u64 + seq) * self.chunk) % self.file_len.max(1)
+    }
+}
+
+impl ClientProtocol for SfsProtocol {
+    fn request(&mut self, client: usize, seq: u64) -> Vec<u8> {
+        let offset = self.offset_for(client, seq);
+        self.pending[client] = offset;
+        format!("READ {client} {offset} {}\n", self.chunk).into_bytes()
+    }
+
+    fn response_len(&self, buf: &[u8]) -> Option<usize> {
+        if buf.len() < 16 {
+            return None;
+        }
+        let len = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes")) as usize;
+        let total = 16 + len;
+        (buf.len() >= total).then_some(total)
+    }
+
+    fn on_response(&mut self, client: usize, response: &[u8]) {
+        let tag = u64::from_le_bytes(response[8..16].try_into().expect("8 bytes"));
+        let key = SessionKey::from_seed(client as u64);
+        let mut payload = response[16..].to_vec();
+        let offset = self.pending[client];
+        let mac_ok = Mac::new(&key).verify(&payload, tag);
+        StreamCipher::new(&key, offset).apply(&mut payload);
+        let data_ok = payload
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| b == gen_byte(offset + i as u64));
+        if mac_ok && data_ok {
+            self.verified += 1;
+        } else {
+            self.corrupt += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mely_core::prelude::*;
+    use mely_loadgen::{ClosedLoopLoad, LoadConfig};
+    use mely_net::NetConfig;
+
+    fn run_sfs(
+        flavor: Flavor,
+        ws: WsPolicy,
+        clients: usize,
+        duration: u64,
+        cfg: SfsConfig,
+    ) -> (SfsStats, mely_loadgen::LoadStats, u64, u64, RunReport) {
+        let mut rt = RuntimeBuilder::new()
+            .cores(8)
+            .flavor(flavor)
+            .workstealing(ws)
+            .build_sim();
+        let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
+        let load = ClosedLoopLoad::new(
+            SfsProtocol::new(clients, cfg.file_len, cfg.chunk),
+            LoadConfig {
+                clients,
+                ports: vec![cfg.port],
+                requests_per_conn: u64::MAX, // persistent sessions
+                duration,
+                ..LoadConfig::default()
+            },
+        );
+        let driver = Arc::new(Mutex::new(load));
+        let sfs = Sfs::install(&mut rt, net, Arc::clone(&driver), cfg);
+        let report = rt.run();
+        let d = driver.lock();
+        (
+            sfs.stats(),
+            d.stats(),
+            d.protocol().verified(),
+            d.protocol().corrupt(),
+            report,
+        )
+    }
+
+    fn small_cfg() -> SfsConfig {
+        SfsConfig {
+            file_len: 64 << 10,
+            chunk: 4 << 10,
+            ..SfsConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_verified_encrypted_reads() {
+        let (srv, cli, verified, corrupt, _) =
+            run_sfs(Flavor::Mely, WsPolicy::off(), 4, 60_000_000, small_cfg());
+        assert!(srv.reads > 4, "served {}", srv.reads);
+        assert_eq!(corrupt, 0, "every response must verify");
+        assert_eq!(verified, cli.responses);
+        assert_eq!(srv.rejected, 0);
+        assert!(srv.sessions >= 4);
+    }
+
+    #[test]
+    fn crypto_parallelizes_across_cores_with_ws() {
+        let (_, _, _, _, report) = run_sfs(
+            Flavor::Mely,
+            WsPolicy::improved(),
+            8,
+            60_000_000,
+            small_cfg(),
+        );
+        let active = report
+            .per_core()
+            .iter()
+            .filter(|c| c.events_processed > 0)
+            .count();
+        assert!(active >= 3, "encrypt colors must spread, got {active}");
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        struct Bad;
+        impl ClientProtocol for Bad {
+            fn request(&mut self, _c: usize, _s: u64) -> Vec<u8> {
+                b"WRITE nope\n".to_vec()
+            }
+            fn response_len(&self, _buf: &[u8]) -> Option<usize> {
+                None
+            }
+        }
+        let mut rt = RuntimeBuilder::new()
+            .cores(2)
+            .flavor(Flavor::Mely)
+            .workstealing(WsPolicy::off())
+            .build_sim();
+        let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
+        let cfg = small_cfg();
+        let load = ClosedLoopLoad::new(
+            Bad,
+            LoadConfig {
+                clients: 1,
+                ports: vec![cfg.port],
+                requests_per_conn: 1,
+                duration: 3_000_000,
+                poll_interval: 100_000,
+                ..LoadConfig::default()
+            },
+        );
+        let driver = Arc::new(Mutex::new(load));
+        let sfs = Sfs::install(&mut rt, net, driver, cfg);
+        rt.run();
+        assert!(sfs.stats().rejected > 0);
+        assert_eq!(sfs.stats().reads, 0);
+    }
+
+    #[test]
+    fn parse_read_lines() {
+        assert_eq!(
+            parse_read_line("READ 3 4096 8192"),
+            Some(ReadReq {
+                client: 3,
+                offset: 4096,
+                len: 8192
+            })
+        );
+        assert_eq!(parse_read_line("READ 3 4096"), None);
+        assert_eq!(parse_read_line("READ 3 4096 10 extra"), None);
+        assert_eq!(parse_read_line("WRITE 3 0 1"), None);
+        assert_eq!(parse_read_line("READ x 0 1"), None);
+    }
+
+    #[test]
+    fn filestore_generates_deterministic_content() {
+        let mut fs = FileStore::new();
+        assert!(fs.is_empty());
+        fs.put_generated("/a", 1024);
+        assert_eq!(fs.len(), 1);
+        let f = fs.get("/a").unwrap();
+        assert_eq!(f.len(), 1024);
+        assert_eq!(f[10], gen_byte(10));
+        assert!(fs.get("/b").is_none());
+    }
+
+    #[test]
+    fn out_of_range_reads_close_the_session() {
+        struct OffEnd;
+        impl ClientProtocol for OffEnd {
+            fn request(&mut self, _c: usize, _s: u64) -> Vec<u8> {
+                b"READ 0 999999999 4096\n".to_vec()
+            }
+            fn response_len(&self, _buf: &[u8]) -> Option<usize> {
+                None
+            }
+        }
+        let mut rt = RuntimeBuilder::new()
+            .cores(2)
+            .flavor(Flavor::Mely)
+            .workstealing(WsPolicy::off())
+            .build_sim();
+        let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
+        let cfg = small_cfg();
+        let load = ClosedLoopLoad::new(
+            OffEnd,
+            LoadConfig {
+                clients: 1,
+                ports: vec![cfg.port],
+                requests_per_conn: 1,
+                duration: 3_000_000,
+                poll_interval: 100_000,
+                ..LoadConfig::default()
+            },
+        );
+        let driver = Arc::new(Mutex::new(load));
+        let sfs = Sfs::install(&mut rt, net, driver, cfg);
+        rt.run();
+        assert!(sfs.stats().rejected > 0);
+    }
+
+    #[test]
+    fn protocol_detects_corruption() {
+        let mut p = SfsProtocol::new(1, 64 << 10, 4 << 10);
+        let req = p.request(0, 0);
+        assert!(req.starts_with(b"READ 0 0"));
+        // Build a legitimate response, then corrupt it.
+        let key = SessionKey::from_seed(0);
+        let mut payload: Vec<u8> = (0..64u64).map(gen_byte).collect();
+        StreamCipher::new(&key, 0).apply(&mut payload);
+        let tag = Mac::new(&key).compute(&payload);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        frame.extend_from_slice(&tag.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        assert_eq!(p.response_len(&frame), Some(frame.len()));
+        p.on_response(0, &frame);
+        assert_eq!(p.verified(), 1);
+        frame[20] ^= 0xFF;
+        p.on_response(0, &frame);
+        assert_eq!(p.corrupt(), 1);
+    }
+}

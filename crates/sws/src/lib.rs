@@ -1,0 +1,816 @@
+//! SWS — the paper's event-driven static web server (Section V-C1).
+//!
+//! SWS "handles static content, supports a subset of HTTP/1.1, builds
+//! responses during start-up, and handles error cases", structured in the
+//! nine event handlers of Figure 6:
+//!
+//! ```text
+//! Epoll ──► Accept ──► RegisterFdInEpoll (colored like Epoll)
+//!   │          ▲
+//!   └► ReadRequest ─► ParseRequest ─► GetFromCache ─► WriteResponse ─► Close
+//!                                                          │            │
+//!                                                          ▼            ▼
+//!                                               (keep-alive loop)  DecAccepted
+//! ```
+//!
+//! Coloring follows the paper exactly: `Epoll` and `RegisterFdInEpoll`
+//! share color 0, `Accept` and `DecClientAccepted` share color 1, and the
+//! per-request handlers (`ReadRequest`, `ParseRequest`, `GetFromCache`,
+//! `WriteResponse`, `Close`) are colored by the connection's descriptor
+//! so distinct clients are served concurrently.
+//!
+//! The server installs onto a [`SimRuntime`] and serves load produced by
+//! any [`mely_net::driver::Driver`] (normally
+//! `mely_loadgen::ClosedLoopLoad` with [`HttpProtocol`]).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mely_core::color::Color;
+use mely_core::event::Event;
+use mely_core::handler::{HandlerId, HandlerSpec};
+use mely_core::sim::SimRuntime;
+use mely_http::{parse_request, ParseOutcome, Request, Response, ResponseCache};
+use mely_loadgen::ClientProtocol;
+use mely_net::driver::Driver;
+use mely_net::{Fd, NetEvent, SimNet};
+
+pub mod comparators;
+
+/// Per-handler cycle annotations (the paper's profiled averages). The
+/// defaults put one full request at roughly 80 Kcycles of handler work —
+/// "short duration handlers", matching the ~20 Kcycle stolen sets of
+/// Table I and the throughput range of Figure 7.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwsCosts {
+    /// `Epoll`: one poll pass (plus `epoll_per_event` per readiness).
+    pub epoll: u64,
+    /// Extra cycles charged per readiness event found by a poll.
+    pub epoll_per_event: u64,
+    /// `Accept`: cost per accepted connection.
+    pub accept: u64,
+    /// `RegisterFdInEpoll`.
+    pub register_fd: u64,
+    /// `ReadRequest` (kernel receive path + copy).
+    pub read_request: u64,
+    /// `ParseRequest`.
+    pub parse_request: u64,
+    /// `GetFromCache`.
+    pub get_from_cache: u64,
+    /// `WriteResponse` fixed cost (plus `write_per_byte`).
+    pub write_response: u64,
+    /// Per-byte transmit cost.
+    pub write_per_byte_milli: u64,
+    /// `Close`.
+    pub close: u64,
+    /// `DecClientAccepted`.
+    pub dec_accepted: u64,
+}
+
+impl Default for SwsCosts {
+    fn default() -> Self {
+        SwsCosts {
+            epoll: 6_000,
+            epoll_per_event: 400,
+            accept: 28_000,
+            register_fd: 4_000,
+            read_request: 22_000,
+            parse_request: 9_000,
+            get_from_cache: 6_000,
+            write_response: 26_000,
+            write_per_byte_milli: 2_000, // 2 cycles/byte
+            close: 14_000,
+            dec_accepted: 1_500,
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct SwsConfig {
+    /// Listening port.
+    pub port: u16,
+    /// Number of distinct files prebuilt in the response cache.
+    pub files: usize,
+    /// Size of each file in bytes (1 KB in the paper's workload).
+    pub file_size: usize,
+    /// Maximum simultaneously accepted clients.
+    pub max_clients: usize,
+    /// Handler cost annotations.
+    pub costs: SwsCosts,
+    /// Fallback poll period when nothing predicts the next activity.
+    pub poll_interval: u64,
+    /// Minimum delay between two `Epoll` passes: the poll loop batches
+    /// readiness like `epoll_wait` does under load, instead of waking
+    /// for every individual client event.
+    pub min_poll: u64,
+    /// Workstealing penalty annotation for the per-connection handlers
+    /// (they carry the connection's buffers; see Section III-C).
+    pub conn_penalty: u32,
+}
+
+impl Default for SwsConfig {
+    fn default() -> Self {
+        SwsConfig {
+            port: 80,
+            files: 150,
+            file_size: 1024,
+            max_clients: 4_096,
+            costs: SwsCosts::default(),
+            poll_interval: 40_000,
+            min_poll: 12_000,
+            conn_penalty: 4,
+        }
+    }
+}
+
+/// Server-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwsStats {
+    /// Responses written (any status).
+    pub responses: u64,
+    /// 200 responses.
+    pub ok: u64,
+    /// 404 responses.
+    pub not_found: u64,
+    /// 400 responses.
+    pub bad_request: u64,
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections closed by the server.
+    pub closed: u64,
+}
+
+#[derive(Debug, Default)]
+struct ConnState {
+    buf: Vec<u8>,
+    registered: bool,
+    read_pending: bool,
+    cur: Option<Request>,
+    resp: Option<Response>,
+    close_after: bool,
+}
+
+struct SwsState {
+    conns: HashMap<Fd, ConnState>,
+    cache: ResponseCache,
+    accepted: usize,
+    accept_pending: bool,
+    stats: SwsStats,
+}
+
+#[derive(Clone, Copy)]
+struct Handlers {
+    epoll: HandlerId,
+    accept: HandlerId,
+    register_fd: HandlerId,
+    read_request: HandlerId,
+    parse_request: HandlerId,
+    get_from_cache: HandlerId,
+    write_response: HandlerId,
+    close: HandlerId,
+    dec_accepted: HandlerId,
+}
+
+/// Connections accepted per `Accept` event before yielding (the accept
+/// batch factor; Brecht et al., cited by the paper, study this knob).
+const ACCEPT_BATCH: u32 = 8;
+
+/// Color-plane assignment (paper Section V-C1): `Epoll` and
+/// `RegisterFdInEpoll` share one color, `Accept` and
+/// `DecClientAccepted` share another, per-request handlers are colored
+/// by descriptor. The N-copy comparator instantiates one disjoint plane
+/// per copy, chosen so that every color of copy `c` hashes to core `c`.
+#[derive(Debug, Clone, Copy)]
+pub struct ColorPlane {
+    epoll: Color,
+    accept: Color,
+    fd_base: u16,
+    fd_stride: u16,
+    fd_mod: u64,
+}
+
+impl ColorPlane {
+    /// The paper's single-instance plane: Epoll = color 0, Accept =
+    /// color 1, connections spread over the remaining colors.
+    pub fn single() -> Self {
+        ColorPlane {
+            epoll: Color::new(0),
+            accept: Color::new(1),
+            fd_base: 2,
+            fd_stride: 1,
+            fd_mod: 65_534,
+        }
+    }
+
+    /// The plane of N-copy instance `copy` on a `cores`-core machine:
+    /// every color ≡ `copy` (mod `cores`), so hash dispatch pins the
+    /// whole copy to its core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copy >= cores` or the machine is too large for the
+    /// 16-bit color space.
+    pub fn ncopy(copy: usize, cores: usize) -> Self {
+        assert!(copy < cores, "copy index must be below core count");
+        assert!(cores * 8_002 < 65_536, "color space exhausted");
+        ColorPlane {
+            epoll: Color::new(copy as u16),
+            accept: Color::new((copy + cores) as u16),
+            fd_base: (copy + 2 * cores) as u16,
+            fd_stride: cores as u16,
+            fd_mod: 8_000,
+        }
+    }
+
+    fn fd_color(&self, fd: Fd) -> Color {
+        Color::new(self.fd_base + self.fd_stride * (fd % self.fd_mod) as u16)
+    }
+}
+
+struct AppInner<D> {
+    state: Mutex<SwsState>,
+    net: Arc<Mutex<SimNet>>,
+    driver: Arc<Mutex<D>>,
+    cfg: SwsConfig,
+    h: Handlers,
+    colors: ColorPlane,
+}
+
+struct App<D>(Arc<AppInner<D>>);
+
+impl<D> Clone for App<D> {
+    fn clone(&self) -> Self {
+        App(Arc::clone(&self.0))
+    }
+}
+
+/// A running SWS instance (handle to its state and counters).
+pub struct Sws {
+    stats: Arc<dyn Fn() -> SwsStats + Send + Sync>,
+}
+
+impl Sws {
+    /// Installs SWS onto a simulation runtime: registers the nine
+    /// handlers, prebuilds the response cache, opens the listener and
+    /// schedules the first `Epoll` event. The `driver` is advanced by
+    /// every poll pass, injecting client traffic in virtual time.
+    pub fn install<D: Driver + 'static>(
+        rt: &mut SimRuntime,
+        net: Arc<Mutex<SimNet>>,
+        driver: Arc<Mutex<D>>,
+        cfg: SwsConfig,
+    ) -> Sws {
+        Sws::install_with_colors(rt, net, driver, cfg, ColorPlane::single())
+    }
+
+    /// Like [`Sws::install`] but with an explicit color plane (used by
+    /// the N-copy comparator to pin each copy to one core).
+    pub fn install_with_colors<D: Driver + 'static>(
+        rt: &mut SimRuntime,
+        net: Arc<Mutex<SimNet>>,
+        driver: Arc<Mutex<D>>,
+        cfg: SwsConfig,
+        colors: ColorPlane,
+    ) -> Sws {
+        let c = &cfg.costs;
+        let pen = cfg.conn_penalty;
+        // The paper's penalty annotations: the event-loop and accept
+        // handlers manage global, long-lived state (the interest set,
+        // the accepted-clients counter); stealing their colors migrates
+        // that state for no benefit, so they carry a high workstealing
+        // penalty (Section III-C). Per-request handlers keep a mild one.
+        const LOOP_PENALTY: u32 = 100;
+        let h = Handlers {
+            epoll: rt.register_handler(
+                HandlerSpec::new("Epoll").cost(c.epoll).penalty(LOOP_PENALTY),
+            ),
+            accept: rt.register_handler(
+                HandlerSpec::new("Accept").cost(c.accept).penalty(LOOP_PENALTY),
+            ),
+            register_fd: rt.register_handler(
+                HandlerSpec::new("RegisterFdInEpoll")
+                    .cost(c.register_fd)
+                    .penalty(LOOP_PENALTY),
+            ),
+            read_request: rt.register_handler(
+                HandlerSpec::new("ReadRequest").cost(c.read_request).penalty(pen),
+            ),
+            parse_request: rt.register_handler(
+                HandlerSpec::new("ParseRequest").cost(c.parse_request).penalty(pen),
+            ),
+            get_from_cache: rt
+                .register_handler(HandlerSpec::new("GetFromCache").cost(c.get_from_cache)),
+            write_response: rt.register_handler(
+                HandlerSpec::new("WriteResponse").cost(c.write_response).penalty(pen),
+            ),
+            close: rt.register_handler(HandlerSpec::new("Close").cost(c.close)),
+            dec_accepted: rt.register_handler(
+                HandlerSpec::new("DecClientAccepted")
+                    .cost(c.dec_accepted)
+                    .penalty(LOOP_PENALTY),
+            ),
+        };
+        let mut cache = ResponseCache::new();
+        cache.populate_uniform(cfg.files, cfg.file_size);
+        net.lock().listen(cfg.port);
+        let app = App(Arc::new(AppInner {
+            state: Mutex::new(SwsState {
+                conns: HashMap::new(),
+                cache,
+                accepted: 0,
+                accept_pending: false,
+                stats: SwsStats::default(),
+            }),
+            net,
+            driver,
+            cfg,
+            h,
+            colors,
+        }));
+        rt.register(app.epoll_event());
+        let inner = Arc::clone(&app.0);
+        Sws {
+            stats: Arc::new(move || inner.state.lock().stats),
+        }
+    }
+
+    /// Current server-side counters.
+    pub fn stats(&self) -> SwsStats {
+        (self.stats)()
+    }
+}
+
+impl<D: Driver + 'static> App<D> {
+    fn epoll_event(&self) -> Event {
+        let app = self.clone();
+        Event::for_handler(self.0.colors.epoll, self.0.h.epoll).with_action(move |ctx| {
+            let now = ctx.now();
+            let inner = &app.0;
+            let mut net = inner.net.lock();
+            let done = inner.driver.lock().advance(&mut net, now);
+            let events = net.poll(now);
+            ctx.charge(inner.cfg.costs.epoll_per_event * events.len() as u64);
+            {
+                let mut st = inner.state.lock();
+                for e in events {
+                    match e {
+                        NetEvent::Acceptable(_) => {
+                            if !st.accept_pending && st.accepted < inner.cfg.max_clients {
+                                st.accept_pending = true;
+                                ctx.register(app.accept_event());
+                            }
+                        }
+                        NetEvent::Readable(fd) | NetEvent::PeerClosed(fd) => {
+                            if let Some(conn) = st.conns.get_mut(&fd) {
+                                if conn.registered && !conn.read_pending {
+                                    conn.read_pending = true;
+                                    ctx.register(app.read_request_event(fd));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Re-arm: wake exactly when the network or the clients next
+            // have something for us.
+            let next = [net.next_activity(now), inner.driver.lock().next_due(now)]
+                .into_iter()
+                .flatten()
+                .min();
+            drop(net);
+            match next {
+                Some(t) => ctx.register_after(
+                    t.saturating_sub(now).max(inner.cfg.min_poll),
+                    app.epoll_event(),
+                ),
+                None if !done => {
+                    ctx.register_after(inner.cfg.poll_interval, app.epoll_event())
+                }
+                None => {
+                    // Load finished and the network is silent: stop
+                    // re-arming so the simulation can drain and return.
+                }
+            }
+        })
+    }
+
+    fn accept_event(&self) -> Event {
+        let app = self.clone();
+        Event::for_handler(self.0.colors.accept, self.0.h.accept).with_action(move |ctx| {
+            let inner = &app.0;
+            let now = ctx.now();
+            let mut net = inner.net.lock();
+            let mut st = inner.state.lock();
+            // Accept a bounded batch per event (the accept-batching
+            // factor of Brecht et al., which the paper cites), then
+            // yield and re-register so one connection storm cannot
+            // monopolize the core.
+            let mut first = true;
+            let mut batch = 0;
+            while st.accepted < inner.cfg.max_clients && batch < ACCEPT_BATCH {
+                let Some(fd) = net.accept(inner.cfg.port, now) else {
+                    break;
+                };
+                if !first {
+                    ctx.charge(inner.cfg.costs.accept);
+                }
+                first = false;
+                batch += 1;
+                st.accepted += 1;
+                st.stats.accepted += 1;
+                st.conns.insert(fd, ConnState::default());
+                ctx.register(app.register_fd_event(fd));
+            }
+            if batch == ACCEPT_BATCH && st.accepted < inner.cfg.max_clients {
+                // More connections may be pending: keep accepting.
+                ctx.register(app.accept_event());
+            } else {
+                st.accept_pending = false;
+            }
+        })
+    }
+
+    fn register_fd_event(&self, fd: Fd) -> Event {
+        let app = self.clone();
+        // Colored like Epoll "in order to manage concurrency" (paper).
+        Event::for_handler(self.0.colors.epoll, self.0.h.register_fd).with_action(move |_ctx| {
+            let mut st = app.0.state.lock();
+            if let Some(conn) = st.conns.get_mut(&fd) {
+                conn.registered = true;
+            }
+        })
+    }
+
+    fn read_request_event(&self, fd: Fd) -> Event {
+        let app = self.clone();
+        Event::for_handler(self.0.colors.fd_color(fd), self.0.h.read_request).with_action(move |ctx| {
+            let inner = &app.0;
+            let now = ctx.now();
+            let mut net = inner.net.lock();
+            let data = net.read(fd, now);
+            // EOF only counts once all data has been consumed.
+            let hup = data.is_empty() && net.peer_closed(fd, now);
+            drop(net);
+            let mut st = inner.state.lock();
+            let Some(conn) = st.conns.get_mut(&fd) else {
+                return;
+            };
+            conn.read_pending = false;
+            if hup {
+                ctx.register(app.close_event(fd));
+                return;
+            }
+            if !data.is_empty() {
+                conn.buf.extend_from_slice(&data);
+                ctx.register(app.parse_request_event(fd));
+            }
+        })
+    }
+
+    fn parse_request_event(&self, fd: Fd) -> Event {
+        let app = self.clone();
+        Event::for_handler(self.0.colors.fd_color(fd), self.0.h.parse_request).with_action(move |ctx| {
+            let inner = &app.0;
+            let mut st = inner.state.lock();
+            let Some(conn) = st.conns.get_mut(&fd) else {
+                return;
+            };
+            match parse_request(&conn.buf) {
+                ParseOutcome::Complete(req, n) => {
+                    conn.buf.drain(..n);
+                    conn.close_after = !req.keep_alive;
+                    conn.cur = Some(req);
+                    ctx.register(app.get_from_cache_event(fd));
+                }
+                ParseOutcome::Partial => {
+                    // Wait for more bytes; Epoll will re-trigger a read.
+                }
+                ParseOutcome::Bad(_) => {
+                    conn.resp = Some(Response::bad_request());
+                    conn.close_after = true;
+                    st.stats.bad_request += 1;
+                    ctx.register(app.write_response_event(fd));
+                }
+            }
+        })
+    }
+
+    fn get_from_cache_event(&self, fd: Fd) -> Event {
+        let app = self.clone();
+        Event::for_handler(self.0.colors.fd_color(fd), self.0.h.get_from_cache).with_action(move |ctx| {
+            let inner = &app.0;
+            let mut st = inner.state.lock();
+            let Some(conn) = st.conns.get_mut(&fd) else {
+                return;
+            };
+            let Some(req) = conn.cur.take() else {
+                return;
+            };
+            let resp = match st.cache.lookup(&req.path) {
+                Some(r) => r.clone(),
+                None => Response::not_found(),
+            };
+            let conn = st.conns.get_mut(&fd).expect("checked above");
+            conn.resp = Some(resp);
+            ctx.register(app.write_response_event(fd));
+        })
+    }
+
+    fn write_response_event(&self, fd: Fd) -> Event {
+        let app = self.clone();
+        Event::for_handler(self.0.colors.fd_color(fd), self.0.h.write_response).with_action(move |ctx| {
+            let inner = &app.0;
+            let now = ctx.now();
+            let mut st = inner.state.lock();
+            let Some(conn) = st.conns.get_mut(&fd) else {
+                return;
+            };
+            let Some(resp) = conn.resp.take() else {
+                return;
+            };
+            ctx.charge(resp.wire_len() as u64 * inner.cfg.costs.write_per_byte_milli / 1_000);
+            st.stats.responses += 1;
+            match resp.status() {
+                200 => st.stats.ok += 1,
+                404 => st.stats.not_found += 1,
+                400 => st.stats.bad_request += 0, // counted at parse time
+                _ => {}
+            }
+            let close_after = {
+                let conn = st.conns.get_mut(&fd).expect("checked above");
+                conn.close_after
+            };
+            let more = {
+                let conn = st.conns.get_mut(&fd).expect("checked above");
+                !conn.buf.is_empty()
+            };
+            drop(st);
+            inner.net.lock().write(fd, now, resp.to_vec());
+            if close_after {
+                ctx.register(app.close_event(fd));
+            } else if more {
+                // Pipelined request already buffered.
+                ctx.register(app.parse_request_event(fd));
+            }
+        })
+    }
+
+    fn close_event(&self, fd: Fd) -> Event {
+        let app = self.clone();
+        Event::for_handler(self.0.colors.fd_color(fd), self.0.h.close).with_action(move |ctx| {
+            let inner = &app.0;
+            let now = ctx.now();
+            let mut net = inner.net.lock();
+            net.close(fd, now);
+            net.reap(fd);
+            drop(net);
+            let mut st = inner.state.lock();
+            if st.conns.remove(&fd).is_some() {
+                st.stats.closed += 1;
+                ctx.register(app.dec_accepted_event());
+            }
+        })
+    }
+
+    fn dec_accepted_event(&self) -> Event {
+        let app = self.clone();
+        // Colored like Accept "to manage concurrency" (paper).
+        Event::for_handler(self.0.colors.accept, self.0.h.dec_accepted).with_action(move |_ctx| {
+            let mut st = app.0.state.lock();
+            st.accepted = st.accepted.saturating_sub(1);
+        })
+    }
+}
+
+/// The HTTP client protocol for SWS load: each request fetches one of
+/// the server's prebuilt files; responses are validated by status line
+/// and `Content-Length` framing.
+#[derive(Debug)]
+pub struct HttpProtocol {
+    files: usize,
+    ok: u64,
+    errors: u64,
+}
+
+impl HttpProtocol {
+    /// Clients will request one of `files` prebuilt paths.
+    pub fn new(files: usize) -> Self {
+        HttpProtocol {
+            files,
+            ok: 0,
+            errors: 0,
+        }
+    }
+
+    /// `200` responses observed.
+    pub fn ok_responses(&self) -> u64 {
+        self.ok
+    }
+
+    /// Non-200 responses observed.
+    pub fn error_responses(&self) -> u64 {
+        self.errors
+    }
+}
+
+impl ClientProtocol for HttpProtocol {
+    fn request(&mut self, client: usize, seq: u64) -> Vec<u8> {
+        let file = (client as u64 * 31 + seq) % self.files.max(1) as u64;
+        format!("GET /f{file}.bin HTTP/1.1\r\nHost: sws\r\nConnection: keep-alive\r\n\r\n")
+            .into_bytes()
+    }
+
+    fn response_len(&self, buf: &[u8]) -> Option<usize> {
+        let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+        let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+        let mut content_length = 0usize;
+        for line in head.split("\r\n") {
+            if let Some((k, v)) = line.split_once(':') {
+                if k.eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().ok()?;
+                }
+            }
+        }
+        let total = head_end + content_length;
+        (buf.len() >= total).then_some(total)
+    }
+
+    fn on_response(&mut self, _client: usize, response: &[u8]) {
+        if response.starts_with(b"HTTP/1.1 200") {
+            self.ok += 1;
+        } else {
+            self.errors += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mely_core::prelude::*;
+    use mely_loadgen::{ClosedLoopLoad, LoadConfig};
+    use mely_net::NetConfig;
+
+    fn run_sws(
+        flavor: Flavor,
+        ws: WsPolicy,
+        clients: usize,
+        duration: u64,
+    ) -> (SwsStats, mely_loadgen::LoadStats, RunReport) {
+        let mut rt = RuntimeBuilder::new()
+            .cores(8)
+            .flavor(flavor)
+            .workstealing(ws)
+            .build_sim();
+        let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
+        let cfg = SwsConfig::default();
+        let load = ClosedLoopLoad::new(
+            HttpProtocol::new(cfg.files),
+            LoadConfig {
+                clients,
+                ports: vec![cfg.port],
+                requests_per_conn: 10,
+                duration,
+                ..LoadConfig::default()
+            },
+        );
+        let driver = Arc::new(Mutex::new(load));
+        let sws = Sws::install(&mut rt, Arc::clone(&net), Arc::clone(&driver), cfg);
+        let report = rt.run();
+        let stats = driver.lock().stats();
+        (sws.stats(), stats, report)
+    }
+
+    #[test]
+    fn serves_requests_end_to_end() {
+        let (srv, cli, report) = run_sws(Flavor::Mely, WsPolicy::off(), 8, 30_000_000);
+        assert!(cli.responses > 10, "got {}", cli.responses);
+        assert_eq!(srv.responses, srv.ok, "all 200s");
+        assert!(srv.responses >= cli.responses);
+        assert!(report.events_processed() > cli.responses * 4);
+    }
+
+    #[test]
+    fn clients_verify_status_lines() {
+        let mut rt = RuntimeBuilder::new()
+            .cores(4)
+            .flavor(Flavor::Mely)
+            .workstealing(WsPolicy::off())
+            .build_sim();
+        let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
+        let cfg = SwsConfig::default();
+        let load = ClosedLoopLoad::new(
+            HttpProtocol::new(cfg.files),
+            LoadConfig {
+                clients: 4,
+                ports: vec![cfg.port],
+                requests_per_conn: 5,
+                duration: 20_000_000,
+                ..LoadConfig::default()
+            },
+        );
+        let driver = Arc::new(Mutex::new(load));
+        let _sws = Sws::install(&mut rt, net, Arc::clone(&driver), cfg);
+        rt.run();
+        let d = driver.lock();
+        assert!(d.protocol().ok_responses() > 0);
+        assert_eq!(d.protocol().error_responses(), 0);
+    }
+
+    #[test]
+    fn missing_files_get_404() {
+        #[derive(Debug)]
+        struct BadPath(HttpProtocol);
+        impl ClientProtocol for BadPath {
+            fn request(&mut self, _c: usize, _s: u64) -> Vec<u8> {
+                b"GET /missing HTTP/1.1\r\n\r\n".to_vec()
+            }
+            fn response_len(&self, buf: &[u8]) -> Option<usize> {
+                self.0.response_len(buf)
+            }
+        }
+        let mut rt = RuntimeBuilder::new()
+            .cores(2)
+            .flavor(Flavor::Mely)
+            .workstealing(WsPolicy::off())
+            .build_sim();
+        let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
+        let load = ClosedLoopLoad::new(
+            BadPath(HttpProtocol::new(1)),
+            LoadConfig {
+                clients: 1,
+                ports: vec![80],
+                requests_per_conn: 3,
+                duration: 10_000_000,
+                ..LoadConfig::default()
+            },
+        );
+        let driver = Arc::new(Mutex::new(load));
+        let sws = Sws::install(&mut rt, net, driver, SwsConfig::default());
+        rt.run();
+        assert!(sws.stats().not_found > 0);
+        assert_eq!(sws.stats().ok, 0);
+    }
+
+    #[test]
+    fn malformed_requests_get_400_and_close() {
+        #[derive(Debug)]
+        struct Garbage;
+        impl ClientProtocol for Garbage {
+            fn request(&mut self, _c: usize, _s: u64) -> Vec<u8> {
+                b"NONSENSE\r\n\r\n".to_vec()
+            }
+            fn response_len(&self, buf: &[u8]) -> Option<usize> {
+                HttpProtocol::new(1).response_len(buf)
+            }
+        }
+        let mut rt = RuntimeBuilder::new()
+            .cores(2)
+            .flavor(Flavor::Mely)
+            .workstealing(WsPolicy::off())
+            .build_sim();
+        let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
+        let load = ClosedLoopLoad::new(
+            Garbage,
+            LoadConfig {
+                clients: 1,
+                ports: vec![80],
+                requests_per_conn: 2,
+                duration: 10_000_000,
+                ..LoadConfig::default()
+            },
+        );
+        let driver = Arc::new(Mutex::new(load));
+        let sws = Sws::install(&mut rt, net, driver, SwsConfig::default());
+        rt.run();
+        assert!(sws.stats().bad_request > 0);
+        assert!(sws.stats().closed > 0, "400 closes the connection");
+    }
+
+    #[test]
+    fn http_protocol_framing() {
+        let p = HttpProtocol::new(10);
+        assert_eq!(p.response_len(b"HTTP/1.1 200 OK\r\n"), None);
+        let full = b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabc";
+        assert_eq!(p.response_len(full), Some(full.len()));
+        // Trailing extra bytes belong to the next response.
+        let mut two = full.to_vec();
+        two.extend_from_slice(b"HTTP");
+        assert_eq!(p.response_len(&two), Some(full.len()));
+    }
+
+    #[test]
+    fn workstealing_spreads_work_across_cores() {
+        let (_, cli, report) = run_sws(Flavor::Mely, WsPolicy::improved(), 64, 40_000_000);
+        assert!(cli.responses > 50);
+        let active = report
+            .per_core()
+            .iter()
+            .filter(|c| c.events_processed > 0)
+            .count();
+        assert!(active >= 4, "work must spread, got {active} cores");
+    }
+}

@@ -1,0 +1,300 @@
+//! Discovery of the cache hierarchy from Linux's
+//! `/sys/devices/system/cpu` tree — the same *cache map* construction the
+//! Mely runtime performs at startup (paper Section IV-B: "We use the
+//! reification of the cache hierarchy provided by the Linux kernel and made
+//! accessible in the /sys file system").
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::{CacheLevel, MachineModel, ModelError};
+
+/// Error returned by cache-hierarchy discovery.
+#[derive(Debug)]
+pub enum DiscoverError {
+    /// The sysfs root (or a required file) could not be read.
+    Io(PathBuf, io::Error),
+    /// A sysfs file had unexpected contents.
+    Parse(PathBuf, String),
+    /// No `cpuN` directories with cache information were found.
+    NoCpus,
+    /// The assembled description failed [`MachineModel`] validation.
+    Invalid(ModelError),
+}
+
+impl fmt::Display for DiscoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscoverError::Io(p, e) => write!(f, "cannot read {}: {e}", p.display()),
+            DiscoverError::Parse(p, s) => {
+                write!(f, "cannot parse {}: {s}", p.display())
+            }
+            DiscoverError::NoCpus => write!(f, "no cpus with cache information found"),
+            DiscoverError::Invalid(e) => write!(f, "inconsistent hierarchy: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DiscoverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiscoverError::Io(_, e) => Some(e),
+            DiscoverError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn read_trimmed(path: &Path) -> Result<String, DiscoverError> {
+    fs::read_to_string(path)
+        .map(|s| s.trim().to_string())
+        .map_err(|e| DiscoverError::Io(path.to_path_buf(), e))
+}
+
+/// Parses sizes of the form `32K`, `6144K`, `6M`, `512` (bytes).
+fn parse_size(path: &Path, s: &str) -> Result<u64, DiscoverError> {
+    let (num, mult) = match s.as_bytes().last() {
+        Some(b'K') | Some(b'k') => (&s[..s.len() - 1], 1024u64),
+        Some(b'M') | Some(b'm') => (&s[..s.len() - 1], 1024 * 1024),
+        Some(b'G') | Some(b'g') => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    num.trim()
+        .parse::<u64>()
+        .map(|n| n * mult)
+        .map_err(|_| DiscoverError::Parse(path.to_path_buf(), format!("bad size {s:?}")))
+}
+
+/// Parses `shared_cpu_list` entries such as `0-1`, `0,4`, `2`.
+fn parse_cpu_list(path: &Path, s: &str) -> Result<Vec<usize>, DiscoverError> {
+    let mut out = Vec::new();
+    if s.is_empty() {
+        return Ok(out);
+    }
+    for part in s.split(',') {
+        let part = part.trim();
+        if let Some((a, b)) = part.split_once('-') {
+            let a: usize = a.trim().parse().map_err(|_| {
+                DiscoverError::Parse(path.to_path_buf(), format!("bad range {part:?}"))
+            })?;
+            let b: usize = b.trim().parse().map_err(|_| {
+                DiscoverError::Parse(path.to_path_buf(), format!("bad range {part:?}"))
+            })?;
+            out.extend(a..=b);
+        } else {
+            out.push(part.parse().map_err(|_| {
+                DiscoverError::Parse(path.to_path_buf(), format!("bad cpu {part:?}"))
+            })?);
+        }
+    }
+    Ok(out)
+}
+
+#[derive(Debug, Clone)]
+struct RawCache {
+    level: u8,
+    size_bytes: u64,
+    line_bytes: u32,
+    associativity: u32,
+    shared_with: Vec<usize>,
+}
+
+fn read_cpu_caches(cpu_dir: &Path) -> Result<Vec<RawCache>, DiscoverError> {
+    let cache_dir = cpu_dir.join("cache");
+    let mut caches = Vec::new();
+    let entries = match fs::read_dir(&cache_dir) {
+        Ok(e) => e,
+        Err(e) => return Err(DiscoverError::Io(cache_dir, e)),
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("index") {
+            continue;
+        }
+        let dir = entry.path();
+        // Skip instruction caches; keep Data and Unified like the kernel's
+        // scheduler domains do.
+        let ty = read_trimmed(&dir.join("type")).unwrap_or_else(|_| "Unified".into());
+        if ty == "Instruction" {
+            continue;
+        }
+        let level: u8 = read_trimmed(&dir.join("level"))?
+            .parse()
+            .map_err(|_| DiscoverError::Parse(dir.join("level"), "bad level".into()))?;
+        let size = parse_size(&dir.join("size"), &read_trimmed(&dir.join("size"))?)?;
+        let line: u32 = read_trimmed(&dir.join("coherency_line_size"))
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        let ways: u32 = read_trimmed(&dir.join("ways_of_associativity"))
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(8);
+        let shared = parse_cpu_list(
+            &dir.join("shared_cpu_list"),
+            &read_trimmed(&dir.join("shared_cpu_list"))?,
+        )?;
+        caches.push(RawCache {
+            level,
+            size_bytes: size,
+            line_bytes: line,
+            associativity: ways,
+            shared_with: shared,
+        });
+    }
+    caches.sort_by_key(|c| c.level);
+    Ok(caches)
+}
+
+/// Walks a `/sys/devices/system/cpu`-shaped tree and assembles a
+/// [`MachineModel`].
+pub(crate) fn discover(root: &Path) -> Result<MachineModel, DiscoverError> {
+    let mut cpus: Vec<usize> = Vec::new();
+    let entries =
+        fs::read_dir(root).map_err(|e| DiscoverError::Io(root.to_path_buf(), e))?;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(num) = name.strip_prefix("cpu") {
+            if let Ok(id) = num.parse::<usize>() {
+                if entry.path().join("cache").is_dir() {
+                    cpus.push(id);
+                }
+            }
+        }
+    }
+    cpus.sort_unstable();
+    if cpus.is_empty() {
+        return Err(DiscoverError::NoCpus);
+    }
+    let num_cores = cpus.len();
+
+    // Use cpu0's caches as the template (homogeneous machines assumed, as
+    // in the paper) and derive sharing from shared_cpu_list sizes.
+    let raw = read_cpu_caches(&root.join(format!("cpu{}", cpus[0])))?;
+    if raw.is_empty() {
+        return Err(DiscoverError::NoCpus);
+    }
+    let mut levels: Vec<CacheLevel> = Vec::new();
+    for c in raw {
+        let sharing = c.shared_with.len().max(1);
+        // Merge duplicate levels (e.g. separate L1d entries).
+        if let Some(prev) = levels.iter_mut().find(|l| l.level == c.level) {
+            prev.size_bytes = prev.size_bytes.max(c.size_bytes);
+            continue;
+        }
+        levels.push(CacheLevel {
+            level: c.level,
+            size_bytes: c.size_bytes,
+            line_bytes: c.line_bytes,
+            associativity: c.associativity,
+            // Approximate latencies by level when the kernel does not
+            // expose them; Table II values for L1/L2, deeper levels scaled.
+            latency_cycles: match c.level {
+                1 => 4,
+                2 => 15,
+                _ => 40,
+            },
+            cores_per_instance: sharing,
+        });
+    }
+    levels.sort_by_key(|l| l.level);
+    MachineModel::new(
+        format!("discovered ({num_cores} cores)"),
+        num_cores,
+        levels,
+        110,
+        2_330_000_000,
+    )
+    .map_err(DiscoverError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(path: &Path, content: &str) {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, content).unwrap();
+    }
+
+    /// Builds a fake sysfs tree shaped like the paper's Xeon E5410:
+    /// 4 cpus (for brevity), private L1d, L2 shared by pairs.
+    fn fake_xeon(root: &Path) {
+        for cpu in 0..4 {
+            let base = root.join(format!("cpu{cpu}/cache"));
+            // L1 data
+            write(&base.join("index0/type"), "Data");
+            write(&base.join("index0/level"), "1");
+            write(&base.join("index0/size"), "32K");
+            write(&base.join("index0/coherency_line_size"), "64");
+            write(&base.join("index0/ways_of_associativity"), "8");
+            write(&base.join("index0/shared_cpu_list"), &format!("{cpu}"));
+            // L1 instruction (must be skipped)
+            write(&base.join("index1/type"), "Instruction");
+            write(&base.join("index1/level"), "1");
+            write(&base.join("index1/size"), "32K");
+            write(&base.join("index1/shared_cpu_list"), &format!("{cpu}"));
+            // L2 unified shared by pair
+            let pair = cpu / 2 * 2;
+            write(&base.join("index2/type"), "Unified");
+            write(&base.join("index2/level"), "2");
+            write(&base.join("index2/size"), "6144K");
+            write(&base.join("index2/coherency_line_size"), "64");
+            write(&base.join("index2/ways_of_associativity"), "24");
+            write(
+                &base.join("index2/shared_cpu_list"),
+                &format!("{}-{}", pair, pair + 1),
+            );
+        }
+    }
+
+    #[test]
+    fn discovers_fake_xeon_tree() {
+        let dir = std::env::temp_dir().join(format!(
+            "mely-topology-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fake_xeon(&dir);
+        let m = discover(&dir).unwrap();
+        assert_eq!(m.num_cores(), 4);
+        assert_eq!(m.levels().len(), 2);
+        assert_eq!(m.levels()[0].level, 1);
+        assert_eq!(m.levels()[0].cores_per_instance, 1);
+        assert_eq!(m.levels()[1].size_bytes, 6144 * 1024);
+        assert_eq!(m.levels()[1].cores_per_instance, 2);
+        assert_eq!(m.distance(0, 1), 2);
+        assert_eq!(m.distance(0, 2), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_root_is_io_error() {
+        let err = discover(Path::new("/nonexistent-mely-sysfs")).unwrap_err();
+        assert!(matches!(err, DiscoverError::Io(..)));
+    }
+
+    #[test]
+    fn parse_size_suffixes() {
+        let p = Path::new("x");
+        assert_eq!(parse_size(p, "32K").unwrap(), 32 * 1024);
+        assert_eq!(parse_size(p, "6M").unwrap(), 6 * 1024 * 1024);
+        assert_eq!(parse_size(p, "512").unwrap(), 512);
+        assert!(parse_size(p, "oops").is_err());
+    }
+
+    #[test]
+    fn parse_cpu_lists() {
+        let p = Path::new("x");
+        assert_eq!(parse_cpu_list(p, "0-3").unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(parse_cpu_list(p, "0,4").unwrap(), vec![0, 4]);
+        assert_eq!(parse_cpu_list(p, "7").unwrap(), vec![7]);
+        assert_eq!(parse_cpu_list(p, "0-1,4-5").unwrap(), vec![0, 1, 4, 5]);
+        assert!(parse_cpu_list(p, "a-b").is_err());
+    }
+}

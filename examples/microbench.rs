@@ -1,0 +1,65 @@
+//! The three Section V-B microbenchmarks in one runnable tour:
+//! *unbalanced* (Tables III/IV), *penalty* (Table V) and
+//! *cache efficient* (Table VI).
+//!
+//! Run with `cargo run --release --example microbench`.
+
+use mely_repro::bench::workloads::{
+    cache_efficient, penalty, unbalanced, CacheEfficientCfg, PenaltyCfg, UnbalancedCfg,
+};
+use mely_repro::bench::PaperConfig;
+
+fn main() {
+    println!("== unbalanced (fork/join, 98% short / 2% long events) ==");
+    let cfg = UnbalancedCfg {
+        events_per_round: 5_000,
+        duration: 20_000_000,
+        ..UnbalancedCfg::default()
+    };
+    for c in [
+        PaperConfig::Libasync,
+        PaperConfig::LibasyncWs,
+        PaperConfig::MelyBaseWs,
+        PaperConfig::MelyTimeWs,
+    ] {
+        let r = unbalanced(c, &cfg);
+        println!(
+            "{:<22} {:>8.0} KEvents/s   lock {:>5.1}%",
+            c.label(),
+            r.kevents_per_sec(),
+            r.lock_time_fraction() * 100.0
+        );
+    }
+
+    println!("\n== penalty (B chains walking their parent's array) ==");
+    let cfg = PenaltyCfg::default();
+    for c in [PaperConfig::MelyBaseWs, PaperConfig::MelyPenaltyWs] {
+        let r = penalty(c, &cfg);
+        println!(
+            "{:<26} {:>8.0} KEvents/s   {:>6.1} L2 misses/event",
+            c.label(),
+            r.kevents_per_sec(),
+            r.l2_misses_per_event()
+        );
+    }
+
+    println!("\n== cache efficient (per-pair merge-sort fork/join) ==");
+    let cfg = CacheEfficientCfg {
+        n_a: 50,
+        rounds: 1,
+        ..CacheEfficientCfg::default()
+    };
+    for c in [
+        PaperConfig::Mely,
+        PaperConfig::MelyBaseWs,
+        PaperConfig::MelyLocalityWs,
+    ] {
+        let r = cache_efficient(c, &cfg);
+        println!(
+            "{:<26} {:>8.0} KEvents/s   {:>6.2} L2 misses/event",
+            c.label(),
+            r.kevents_per_sec(),
+            r.l2_misses_per_event()
+        );
+    }
+}

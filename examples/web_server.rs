@@ -1,0 +1,39 @@
+//! The SWS web server under closed-loop HTTP load, comparing the
+//! paper's headline configurations side by side.
+//!
+//! Run with `cargo run --release --example web_server`.
+
+use mely_repro::bench::scenarios::{sws_ncopy_run, sws_run};
+use mely_repro::bench::PaperConfig;
+
+fn main() {
+    let clients = 800;
+    let duration = 40_000_000; // ~17 ms of virtual time
+
+    println!("SWS: {clients} closed-loop clients requesting 1 KB files\n");
+    println!("{:<22} {:>12} {:>10} {:>8}", "configuration", "KReq/s", "steals", "200s");
+    for cfg in [
+        PaperConfig::MelyImprovedWs,
+        PaperConfig::Libasync,
+        PaperConfig::LibasyncWs,
+    ] {
+        let r = sws_run(cfg, clients, duration);
+        println!(
+            "{:<22} {:>12.1} {:>10} {:>8}",
+            r.label,
+            r.kreq_per_sec(),
+            r.report.total().steals,
+            r.server.ok
+        );
+    }
+    let n = sws_ncopy_run(clients, duration);
+    println!(
+        "{:<22} {:>12.1} {:>10} {:>8}",
+        n.label,
+        n.kreq_per_sec(),
+        n.report.total().steals,
+        n.server.ok
+    );
+    println!("\n(The paper's Figure 7: Mely-WS on top, N-copy competitive,");
+    println!(" Libasync hurt by enabling its legacy workstealing.)");
+}

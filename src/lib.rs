@@ -1,0 +1,54 @@
+//! # mely-repro
+//!
+//! Umbrella crate for the reproduction of *"Efficient Workstealing for
+//! Multicore Event-Driven Systems"* (Gaud et al., ICDCS 2010).
+//!
+//! This crate re-exports the public APIs of every sub-crate in the
+//! workspace so that the examples and integration tests in the repository
+//! root can exercise the whole system through one dependency:
+//!
+//! - [`core`](mely_core) — the Mely runtime and the Libasync-smp baseline
+//!   (events, colors, queues, workstealing, simulated and threaded
+//!   executors).
+//! - [`topology`](mely_topology) — machine and cache-hierarchy models.
+//! - [`cachesim`](mely_cachesim) — multi-level set-associative cache
+//!   simulator.
+//! - [`net`](mely_net) — the simulated network substrate and its readiness
+//!   selector (the role `epoll` plays in the paper).
+//! - [`http`](mely_http) — the HTTP/1.1 subset used by the SWS web server.
+//! - [`crypto`](mely_crypto) — the stream cipher and MAC used by SFS.
+//! - [`sws`] / [`sfs`] — the two system services of the paper's evaluation.
+//! - [`loadgen`](mely_loadgen) — the closed-loop load injector.
+//! - [`bench`](mely_bench) — workloads and table/figure harnesses.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mely_core::prelude::*;
+//!
+//! // An 8-core simulated machine running the Mely runtime with the
+//! // improved workstealing algorithm (all heuristics on).
+//! let mut rt = RuntimeBuilder::new()
+//!     .cores(8)
+//!     .flavor(Flavor::Mely)
+//!     .workstealing(WsPolicy::improved())
+//!     .build_sim();
+//!
+//! // Register 100 independent events (distinct colors), all on core 0.
+//! for i in 0..100u16 {
+//!     rt.register_pinned(Event::new(Color::new(i + 1), 10_000).named("work"), 0);
+//! }
+//! let report = rt.run();
+//! assert_eq!(report.events_processed(), 100);
+//! ```
+
+pub use mely_bench as bench;
+pub use mely_cachesim as cachesim;
+pub use mely_core as core;
+pub use mely_crypto as crypto;
+pub use mely_http as http;
+pub use mely_loadgen as loadgen;
+pub use mely_net as net;
+pub use mely_topology as topology;
+pub use sfs;
+pub use sws;

@@ -1,0 +1,215 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! runtime's scheduling invariants.
+
+use proptest::prelude::*;
+
+use mely_repro::core::color::Color;
+use mely_repro::core::event::Event;
+use mely_repro::core::prelude::*;
+use mely_repro::core::queue::{LegacyQueue, MelyQueue};
+use mely_repro::crypto::{Mac, SessionKey, StreamCipher};
+use mely_repro::http::{parse_request, ParseOutcome};
+
+/// Random queue operations for the structural invariants.
+#[derive(Debug, Clone)]
+enum Op {
+    Push { color: u16, cost: u64, penalty: u32 },
+    Pop { threshold: u32 },
+    Detach { pick: usize },
+    SetEstimate { est: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..24, 0u64..50_000, 1u32..2_000).prop_map(|(color, cost, penalty)| Op::Push {
+            color,
+            cost,
+            penalty
+        }),
+        (1u32..12).prop_map(|threshold| Op::Pop { threshold }),
+        (0usize..32).prop_map(|pick| Op::Detach { pick }),
+        (0u64..100_000).prop_map(|est| Op::SetEstimate { est }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// MelyQueue never loses or duplicates events, keeps its cumulative
+    /// accounting exact, and its internal lists/buckets consistent,
+    /// under arbitrary interleavings of push/pop/detach/re-estimate.
+    #[test]
+    fn mely_queue_invariants_hold_under_random_ops(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut q = MelyQueue::new(true);
+        let mut pushed: u64 = 0;
+        let mut removed: u64 = 0;
+        for op in ops {
+            match op {
+                Op::Push { color, cost, penalty } => {
+                    q.push(Event::new(Color::new(color), cost).with_penalty(penalty));
+                    pushed += 1;
+                }
+                Op::Pop { threshold } => {
+                    if q.pop(threshold).is_some() {
+                        removed += 1;
+                    }
+                }
+                Op::Detach { pick } => {
+                    if q.distinct_colors() > 0 {
+                        let colors = q.colors_in_order();
+                        let (color, _) = colors[pick % colors.len()];
+                        if let Some((slot, _)) = q
+                            .choose_scan(None)
+                            .filter(|&(s, _)| q.slot_color(s) == color)
+                        {
+                            removed += q.detach(slot).len() as u64;
+                        } else if let Some(slot) = q.choose_worthy(None) {
+                            removed += q.detach(slot).len() as u64;
+                        }
+                    }
+                }
+                Op::SetEstimate { est } => q.set_steal_cost_estimate(est),
+            }
+            q.assert_invariants();
+        }
+        prop_assert_eq!(pushed - removed, q.len() as u64);
+    }
+
+    /// Per-color FIFO: whatever the pop interleaving, events of one
+    /// color leave a MelyQueue in registration order.
+    #[test]
+    fn mely_queue_preserves_per_color_fifo(
+        colors in prop::collection::vec(0u16..6, 1..120),
+        threshold in 1u32..8,
+    ) {
+        let mut q = MelyQueue::new(false);
+        for (seq, &c) in colors.iter().enumerate() {
+            let mut ev = Event::new(Color::new(c), 10);
+            ev = ev.with_cost(seq as u64 + 1); // encode seq in the cost
+            q.push(ev);
+        }
+        let mut last_seen: std::collections::HashMap<u16, u64> = Default::default();
+        while let Some(ev) = q.pop(threshold) {
+            let prev = last_seen.entry(ev.color().value()).or_insert(0);
+            prop_assert!(ev.cost() > *prev, "per-color FIFO violated");
+            *prev = ev.cost();
+        }
+    }
+
+    /// LegacyQueue extraction preserves both the extracted color's order
+    /// and the relative order of everything left behind.
+    #[test]
+    fn legacy_extract_preserves_orders(
+        colors in prop::collection::vec(0u16..5, 1..80),
+        target in 0u16..5,
+    ) {
+        let mut q = LegacyQueue::new();
+        for (seq, &c) in colors.iter().enumerate() {
+            q.push(Event::new(Color::new(c), seq as u64 + 1));
+        }
+        let (set, _) = q.extract_color(Color::new(target));
+        let mut prev = 0;
+        for ev in &set {
+            prop_assert_eq!(ev.color(), Color::new(target));
+            prop_assert!(ev.cost() > prev);
+            prev = ev.cost();
+        }
+        let mut prev = 0;
+        for ev in q.iter() {
+            prop_assert_ne!(ev.color(), Color::new(target));
+            prop_assert!(ev.cost() > prev);
+            prev = ev.cost();
+        }
+    }
+
+    /// The simulator loses no events and serializes every color, for any
+    /// color/cost mix and any policy.
+    #[test]
+    fn sim_executes_everything_exactly_once(
+        events in prop::collection::vec((0u16..16, 0u64..30_000), 1..150),
+        policy_bits in 0u8..8,
+        flavor_mely in any::<bool>(),
+    ) {
+        let ws = WsPolicy::base()
+            .with_locality(policy_bits & 1 != 0)
+            .with_time_left(policy_bits & 2 != 0)
+            .with_penalty(policy_bits & 4 != 0);
+        let mut rt = RuntimeBuilder::new()
+            .cores(4)
+            .flavor(if flavor_mely { Flavor::Mely } else { Flavor::Libasync })
+            .workstealing(ws)
+            .build_sim();
+        let n = events.len() as u64;
+        for (color, cost) in events {
+            rt.register_pinned(Event::new(Color::new(color), cost), 0);
+        }
+        let report = rt.run();
+        prop_assert_eq!(report.events_processed(), n);
+        // Conservation: processed everywhere equals registered anywhere.
+        let t = report.total();
+        prop_assert_eq!(t.events_processed, t.registered);
+    }
+
+    /// Stream cipher round-trips arbitrary data at arbitrary chunkings.
+    #[test]
+    fn cipher_roundtrip_any_split(
+        data in prop::collection::vec(any::<u8>(), 0..800),
+        seed in any::<u64>(),
+        nonce in any::<u64>(),
+        split in 0usize..800,
+    ) {
+        let key = SessionKey::from_seed(seed);
+        let mut whole = data.clone();
+        StreamCipher::new(&key, nonce).apply(&mut whole);
+        let mut parts = data.clone();
+        let split = split.min(parts.len());
+        let c = StreamCipher::new(&key, nonce);
+        let (a, b) = parts.split_at_mut(split);
+        c.apply_at(a, 0);
+        c.apply_at(b, split as u64);
+        prop_assert_eq!(&whole, &parts);
+        StreamCipher::new(&key, nonce).apply(&mut whole);
+        prop_assert_eq!(whole, data);
+    }
+
+    /// The MAC is deterministic and sensitive to single-bit flips.
+    #[test]
+    fn mac_detects_any_single_bitflip(
+        data in prop::collection::vec(any::<u8>(), 1..300),
+        seed in any::<u64>(),
+        bit in any::<u16>(),
+    ) {
+        let key = SessionKey::from_seed(seed);
+        let tag = Mac::new(&key).compute(&data);
+        prop_assert_eq!(tag, Mac::new(&key).compute(&data));
+        let mut tampered = data.clone();
+        let idx = (bit as usize / 8) % tampered.len();
+        tampered[idx] ^= 1 << (bit % 8);
+        prop_assert_ne!(tag, Mac::new(&key).compute(&tampered));
+    }
+
+    /// The HTTP parser never panics and never over-consumes.
+    #[test]
+    fn http_parser_total_on_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..400)) {
+        match parse_request(&data) {
+            ParseOutcome::Complete(req, n) => {
+                prop_assert!(n <= data.len());
+                prop_assert!(!req.path.is_empty());
+            }
+            ParseOutcome::Partial | ParseOutcome::Bad(_) => {}
+        }
+    }
+
+    /// Cache simulator sanity: a second identical sweep never misses
+    /// more than the first, and latency is monotone in length.
+    #[test]
+    fn cachesim_sweeps_are_monotone(len in 64u64..8_192) {
+        use mely_repro::cachesim::Hierarchy;
+        use mely_repro::topology::MachineModel;
+        let mut h = Hierarchy::new(&MachineModel::xeon_e5410());
+        let (lat1, miss1) = h.sweep(0, 0, len, 2);
+        let (lat2, miss2) = h.sweep(0, 0, len, 2);
+        prop_assert!(miss2 <= miss1);
+        prop_assert!(lat2 <= lat1);
+    }
+}
