@@ -31,7 +31,7 @@ fn heuristic_matrix() {
             while rt.virtual_now() < cfg.duration {
                 for i in 0..cfg.events_per_round {
                     let color = Color::new((1 + (i % 65_000)) as u16);
-                    let cost = if rng.gen_range(0..100) < cfg.long_pct {
+                    let cost = if rng.gen_range(0u32..100) < cfg.long_pct {
                         rng.gen_range(cfg.long_cost.0..=cfg.long_cost.1)
                     } else {
                         cfg.short_cost
@@ -53,7 +53,10 @@ fn heuristic_matrix() {
 }
 
 fn batch_threshold_sweep() {
-    let mut t = TextTable::new(vec!["batch threshold", "KEvents/s (unbalanced, Mely time-WS)"]);
+    let mut t = TextTable::new(vec![
+        "batch threshold",
+        "KEvents/s (unbalanced, Mely time-WS)",
+    ]);
     for thr in [1u32, 2, 10, 50, 1_000] {
         let cfg = UnbalancedCfg::default();
         let mut rt = RuntimeBuilder::new()
@@ -67,7 +70,7 @@ fn batch_threshold_sweep() {
         while rt.virtual_now() < cfg.duration {
             for i in 0..cfg.events_per_round {
                 let color = Color::new((1 + (i % 65_000)) as u16);
-                let cost = if rng.gen_range(0..100) < cfg.long_pct {
+                let cost = if rng.gen_range(0u32..100) < cfg.long_pct {
                     rng.gen_range(cfg.long_cost.0..=cfg.long_cost.1)
                 } else {
                     cfg.short_cost
@@ -76,7 +79,10 @@ fn batch_threshold_sweep() {
             }
             rt.run();
         }
-        t.row(vec![thr.to_string(), format!("{:.0}", rt.report().kevents_per_sec())]);
+        t.row(vec![
+            thr.to_string(),
+            format!("{:.0}", rt.report().kevents_per_sec()),
+        ]);
     }
     t.print("Ablation 2: batch threshold (paper fixes 10)");
 }
@@ -106,7 +112,7 @@ fn scan_cost_sensitivity() {
         while rt.virtual_now() < cfg.duration {
             for i in 0..cfg.events_per_round {
                 let color = Color::new((1 + (i % 65_000)) as u16);
-                let cost = if rng.gen_range(0..100) < cfg.long_pct {
+                let cost = if rng.gen_range(0u32..100) < cfg.long_pct {
                     rng.gen_range(cfg.long_cost.0..=cfg.long_cost.1)
                 } else {
                     cfg.short_cost
@@ -115,7 +121,10 @@ fn scan_cost_sensitivity() {
             }
             rt.run();
         }
-        t.row(vec![scan.to_string(), format!("{:.0}", rt.report().kevents_per_sec())]);
+        t.row(vec![
+            scan.to_string(),
+            format!("{:.0}", rt.report().kevents_per_sec()),
+        ]);
     }
     t.print("Ablation 3: Libasync-WS collapse vs per-event scan cost");
     println!("(the paper's measured 190 cycles/event is the middle of the cliff)");

@@ -10,7 +10,12 @@ use mely_bench::table::TextTable;
 use mely_bench::PaperConfig;
 
 fn main() {
-    let mut t = TextTable::new(vec!["Configuration", "Throughput (MB/s)", "verified", "corrupt"]);
+    let mut t = TextTable::new(vec![
+        "Configuration",
+        "Throughput (MB/s)",
+        "verified",
+        "corrupt",
+    ]);
     let mut results = Vec::new();
     for c in [PaperConfig::Libasync, PaperConfig::LibasyncWs] {
         let r = sfs_run(c, 16, 120_000_000);

@@ -24,7 +24,10 @@ fn main() {
             n.to_string(),
             format!("{:.1}", plain.kreq_per_sec()),
             format!("{:.1}", ws.kreq_per_sec()),
-            format!("{:+.0}%", (ws.kreq_per_sec() / plain.kreq_per_sec() - 1.0) * 100.0),
+            format!(
+                "{:+.0}%",
+                (ws.kreq_per_sec() / plain.kreq_per_sec() - 1.0) * 100.0
+            ),
         ]);
     }
     t.print("Figure 4: SWS with and without workstealing (Libasync-smp)");

@@ -19,8 +19,14 @@ fn main() {
         "Stolen time (cycles)",
     ]);
     for (name, r) in [
-        ("SFS", (sfs.report.avg_steal_cycles(), sfs.report.avg_stolen_cost())),
-        ("Web server", (sws.report.avg_steal_cycles(), sws.report.avg_stolen_cost())),
+        (
+            "SFS",
+            (sfs.report.avg_steal_cycles(), sfs.report.avg_stolen_cost()),
+        ),
+        (
+            "Web server",
+            (sws.report.avg_steal_cycles(), sws.report.avg_stolen_cost()),
+        ),
     ] {
         t.row(vec![
             name.to_string(),

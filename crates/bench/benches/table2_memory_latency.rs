@@ -23,14 +23,8 @@ fn main() {
 
     let mut t = TextTable::new(vec!["Memory hierarchy level", "Access time (cycles)"]);
     t.row(vec!["L1 cache".to_string(), l1.to_string()]);
-    t.row(vec![
-        "L2 cache".to_string(),
-        (l2 - l1).to_string(),
-    ]);
-    t.row(vec![
-        "Main memory".to_string(),
-        (cold - l2).to_string(),
-    ]);
+    t.row(vec!["L2 cache".to_string(), (l2 - l1).to_string()]);
+    t.row(vec!["Main memory".to_string(), (cold - l2).to_string()]);
     t.print("Table II: memory access times (Xeon E5410 model)");
     println!("(paper: L1 4, L2 15, main memory 110; measured latencies are");
     println!(" load-to-use: an L2 hit pays L1 probe + L2, a memory access");

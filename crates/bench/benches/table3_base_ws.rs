@@ -32,7 +32,9 @@ fn main() {
             c.label().to_string(),
             format!("{:.0}", r.kevents_per_sec()),
             format!("{:.2}%", r.lock_time_fraction() * 100.0),
-            r.avg_steal_cycles().map(kcycles).unwrap_or_else(|| "-".into()),
+            r.avg_steal_cycles()
+                .map(kcycles)
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     t.print("Table III: impact of the base workstealing (unbalanced)");

@@ -25,7 +25,9 @@ fn main() {
         t.row(vec![
             c.label().to_string(),
             format!("{:.0}", r.kevents_per_sec()),
-            r.avg_stolen_cost().map(kcycles).unwrap_or_else(|| "-".into()),
+            r.avg_stolen_cost()
+                .map(kcycles)
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     t.print("Table IV: impact of the time-left heuristic (unbalanced)");

@@ -54,9 +54,7 @@ impl PaperConfig {
                 Flavor::Mely,
                 WsPolicy::base().with_time_left(true).with_penalty(true),
             ),
-            PaperConfig::MelyLocalityWs => {
-                (Flavor::Mely, WsPolicy::base().with_locality(true))
-            }
+            PaperConfig::MelyLocalityWs => (Flavor::Mely, WsPolicy::base().with_locality(true)),
             PaperConfig::MelyImprovedWs => (Flavor::Mely, WsPolicy::improved()),
         }
     }

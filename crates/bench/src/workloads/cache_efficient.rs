@@ -74,7 +74,7 @@ fn task_color(core: usize, cores: usize, k: usize) -> Color {
 ///
 /// Panics if `cfg.cores` is odd.
 pub fn cache_efficient(config: PaperConfig, cfg: &CacheEfficientCfg) -> RunReport {
-    assert!(cfg.cores % 2 == 0, "pairs of cores required");
+    assert!(cfg.cores.is_multiple_of(2), "pairs of cores required");
     let (flavor, ws) = config.setup();
     let mut rt = RuntimeBuilder::new()
         .cores(cfg.cores)
@@ -108,39 +108,37 @@ pub fn cache_efficient(config: PaperConfig, cfg: &CacheEfficientCfg) -> RunRepor
                     // The task's synchronization color (C and the final
                     // merge serialize on it).
                     let sync_color = task_color(here, cfg2.cores, 40_000 + 2 * i);
-                    for (k, (off, len)) in
-                        [(0u64, half), (half, array.len() - half)].into_iter().enumerate()
+                    for (k, (off, len)) in [(0u64, half), (half, array.len() - half)]
+                        .into_iter()
+                        .enumerate()
                     {
                         let b_color = task_color(here, cfg2.cores, 2 * i + k);
                         let arr = array.clone();
                         let pend = Arc::clone(&pending);
                         let arr_merge = array.clone();
-                        ctx.register(
-                            Event::for_handler(b_color, h_b).with_action(move |ctx| {
-                                // "Sort" the half: two passes over it.
-                                ctx.touch_range(&arr, off, len);
-                                ctx.touch_range(&arr, off, len);
-                                let pend2 = Arc::clone(&pend);
-                                // Synchronization event C.
-                                ctx.register(
-                                    Event::for_handler(sync_color, h_c).with_action(
-                                        move |ctx| {
-                                            let mut n = pend2.lock();
-                                            *n += 1;
-                                            if *n == 2 {
-                                                // Final merge pass.
-                                                ctx.register(
-                                                    Event::for_handler(sync_color, h_m)
-                                                        .with_action(move |ctx| {
-                                                            ctx.touch(&arr_merge);
-                                                        }),
-                                                );
-                                            }
-                                        },
-                                    ),
-                                );
-                            }),
-                        );
+                        ctx.register(Event::for_handler(b_color, h_b).with_action(move |ctx| {
+                            // "Sort" the half: two passes over it.
+                            ctx.touch_range(&arr, off, len);
+                            ctx.touch_range(&arr, off, len);
+                            let pend2 = Arc::clone(&pend);
+                            // Synchronization event C.
+                            ctx.register(Event::for_handler(sync_color, h_c).with_action(
+                                move |ctx| {
+                                    let mut n = pend2.lock();
+                                    *n += 1;
+                                    if *n == 2 {
+                                        // Final merge pass.
+                                        ctx.register(
+                                            Event::for_handler(sync_color, h_m).with_action(
+                                                move |ctx| {
+                                                    ctx.touch(&arr_merge);
+                                                },
+                                            ),
+                                        );
+                                    }
+                                },
+                            ));
+                        }));
                     }
                 });
                 rt.register_pinned(ev, seed_core);
@@ -215,13 +213,23 @@ mod probe {
             PaperConfig::MelyLocalityWs,
             PaperConfig::LibasyncWs,
         ] {
-            let cfg = CacheEfficientCfg { n_a: 24, rounds: 1, ..CacheEfficientCfg::default() };
+            let cfg = CacheEfficientCfg {
+                n_a: 24,
+                rounds: 1,
+                ..CacheEfficientCfg::default()
+            };
             let r = cache_efficient(cfgp, &cfg);
             let t = r.total();
             eprintln!(
                 "{:<26} ev={} wall={} kev/s={:.0} steals={} attempts={} fail_cy={} l2/ev={:.2}",
-                cfgp.label(), t.events_processed, r.wall_cycles(), r.kevents_per_sec(),
-                t.steals, t.steal_attempts, t.failed_steal_cycles, r.l2_misses_per_event()
+                cfgp.label(),
+                t.events_processed,
+                r.wall_cycles(),
+                r.kevents_per_sec(),
+                t.steals,
+                t.steal_attempts,
+                t.failed_steal_cycles,
+                r.l2_misses_per_event()
             );
         }
     }

@@ -95,9 +95,7 @@ pub fn penalty(config: PaperConfig, cfg: &PenaltyCfg) -> RunReport {
         .machine(mely_topology::MachineModel::xeon_e5410())
         .build_sim();
     let cfg = Arc::new(cfg.clone());
-    let h_a = rt.register_handler(
-        mely_core::handler::HandlerSpec::new("A").cost(cfg.a_cost),
-    );
+    let h_a = rt.register_handler(mely_core::handler::HandlerSpec::new("A").cost(cfg.a_cost));
     let h_b = rt.register_handler(
         mely_core::handler::HandlerSpec::new("B")
             .cost(cfg.b_cost)
@@ -184,7 +182,13 @@ mod probe {
             PaperConfig::MelyPenaltyWs,
             PaperConfig::MelyTimeWs,
         ] {
-            let r = penalty(cfgp, &PenaltyCfg { n_a: 48, ..PenaltyCfg::default() });
+            let r = penalty(
+                cfgp,
+                &PenaltyCfg {
+                    n_a: 48,
+                    ..PenaltyCfg::default()
+                },
+            );
             let t = r.total();
             eprintln!(
                 "{:<28} ev={} wall={} kev/s={:.0} steals={} stolen_ev={} steal_cy={} fail_cy={} idle={} l2/ev={:.1} lock%={:.1}",

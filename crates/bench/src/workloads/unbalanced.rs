@@ -66,7 +66,7 @@ pub fn unbalanced(config: PaperConfig, cfg: &UnbalancedCfg) -> RunReport {
         // One fork/join round: independent colors, all pinned on core 0.
         for i in 0..cfg.events_per_round {
             let color = Color::new((1 + (i % 65_000)) as u16);
-            let cost = if rng.gen_range(0..100) < cfg.long_pct {
+            let cost = if rng.gen_range(0u32..100) < cfg.long_pct {
                 rng.gen_range(cfg.long_cost.0..=cfg.long_cost.1)
             } else {
                 cfg.short_cost
@@ -170,7 +170,11 @@ mod probe {
             PaperConfig::MelyBaseWs,
             PaperConfig::MelyTimeWs,
         ] {
-            let cfg = UnbalancedCfg { events_per_round: 2_000, duration: 8_000_000, ..UnbalancedCfg::default() };
+            let cfg = UnbalancedCfg {
+                events_per_round: 2_000,
+                duration: 8_000_000,
+                ..UnbalancedCfg::default()
+            };
             let r = unbalanced(cfgp, &cfg);
             let t = r.total();
             eprintln!(

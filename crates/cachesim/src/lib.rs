@@ -160,11 +160,7 @@ impl Hierarchy {
             mem_latency: machine.mem_latency_cycles(),
             stats: vec![vec![LevelStats::default(); machine.levels().len()]; n],
             mem_accesses: vec![0; n],
-            line_bytes: machine
-                .levels()
-                .first()
-                .map(|l| l.line_bytes)
-                .unwrap_or(64),
+            line_bytes: machine.levels().first().map(|l| l.line_bytes).unwrap_or(64),
         }
     }
 
@@ -333,6 +329,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)] // `0 * 64` mirrors the `2 * 64` / `4 * 64` line math
     fn lru_eviction_in_l1() {
         let mut h = Hierarchy::new(&tiny_machine());
         // L1: 256B/64B = 4 lines, assoc 2 => 2 sets. Lines mapping to set 0:

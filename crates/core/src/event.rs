@@ -186,9 +186,7 @@ mod tests {
 
     #[test]
     fn builder_sets_fields() {
-        let e = Event::new(Color::new(3), 500)
-            .named("x")
-            .with_penalty(10);
+        let e = Event::new(Color::new(3), 500).named("x").with_penalty(10);
         assert_eq!(e.color(), Color::new(3));
         assert_eq!(e.cost(), 500);
         assert_eq!(e.penalty(), 10);
@@ -201,12 +199,16 @@ mod tests {
     fn weighted_cost_divides_by_penalty() {
         assert_eq!(Event::new(Color::DEFAULT, 1_000).weighted_cost(), 1_000);
         assert_eq!(
-            Event::new(Color::DEFAULT, 1_000).with_penalty(10).weighted_cost(),
+            Event::new(Color::DEFAULT, 1_000)
+                .with_penalty(10)
+                .weighted_cost(),
             100
         );
         // Clamped to at least 1 for nonzero costs.
         assert_eq!(
-            Event::new(Color::DEFAULT, 5).with_penalty(1_000).weighted_cost(),
+            Event::new(Color::DEFAULT, 5)
+                .with_penalty(1_000)
+                .weighted_cost(),
             1
         );
         assert_eq!(Event::new(Color::DEFAULT, 0).weighted_cost(), 0);

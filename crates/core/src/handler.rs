@@ -14,8 +14,6 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-
-
 /// Identifier of a registered handler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct HandlerId(u32);

@@ -187,7 +187,12 @@ mod tests {
 
     #[test]
     fn totals_merge_cores() {
-        let r = RunReport::new(vec![m(10, 100), m(20, 300)], 1_000, 1_000_000_000, WsPolicy::off());
+        let r = RunReport::new(
+            vec![m(10, 100), m(20, 300)],
+            1_000,
+            1_000_000_000,
+            WsPolicy::off(),
+        );
         assert_eq!(r.events_processed(), 30);
         assert_eq!(r.total().lock_wait_cycles, 400);
         assert_eq!(r.cores(), 2);
@@ -196,7 +201,12 @@ mod tests {
     #[test]
     fn throughput_units() {
         // 1000 events in 1e9 cycles at 1 GHz = 1 second => 1 KEvents/s.
-        let r = RunReport::new(vec![m(1_000, 0)], 1_000_000_000, 1_000_000_000, WsPolicy::off());
+        let r = RunReport::new(
+            vec![m(1_000, 0)],
+            1_000_000_000,
+            1_000_000_000,
+            WsPolicy::off(),
+        );
         assert!((r.kevents_per_sec() - 1.0).abs() < 1e-9);
         assert!((r.wall_secs() - 1.0).abs() < 1e-12);
     }
@@ -204,7 +214,12 @@ mod tests {
     #[test]
     fn lock_fraction_is_over_total_core_time() {
         // 2 cores, wall 1000 cycles => 2000 core-cycles; 400 locked = 20%.
-        let r = RunReport::new(vec![m(1, 100), m(1, 300)], 1_000, 1_000_000_000, WsPolicy::off());
+        let r = RunReport::new(
+            vec![m(1, 100), m(1, 300)],
+            1_000,
+            1_000_000_000,
+            WsPolicy::off(),
+        );
         assert!((r.lock_time_fraction() - 0.2).abs() < 1e-12);
     }
 
@@ -218,12 +233,14 @@ mod tests {
 
     #[test]
     fn steal_averages() {
-        let mut c = CoreMetrics::default();
-        c.events_processed = 4;
-        c.steals = 2;
-        c.steal_cycles = 300;
-        c.stolen_cost_cycles = 5_000;
-        c.l2_misses = 8;
+        let c = CoreMetrics {
+            events_processed: 4,
+            steals: 2,
+            steal_cycles: 300,
+            stolen_cost_cycles: 5_000,
+            l2_misses: 8,
+            ..Default::default()
+        };
         let r = RunReport::new(vec![c], 100, 1_000, WsPolicy::improved());
         assert_eq!(r.avg_steal_cycles().unwrap(), 150.0);
         assert_eq!(r.avg_stolen_cost().unwrap(), 2_500.0);

@@ -222,10 +222,7 @@ mod tests {
         // Early stop: last color-1 event is at position 3 of 5.
         assert_eq!(scanned, 3);
         // Remaining events keep their order.
-        assert_eq!(
-            q.iter().map(|e| e.cost()).collect::<Vec<_>>(),
-            [20, 40, 50]
-        );
+        assert_eq!(q.iter().map(|e| e.cost()).collect::<Vec<_>>(), [20, 40, 50]);
         assert_eq!(q.count_of(Color::new(1)), 0);
         assert_eq!(q.total_cost(), 110);
     }

@@ -344,7 +344,10 @@ impl MelyQueue {
         let slot = self.normalize_cur(batch_threshold)?;
         let (ev, now_empty, next) = {
             let cq = self.slots[slot].as_mut().expect("cur slot is live");
-            let ev = cq.events.pop_front().expect("live color-queue is non-empty");
+            let ev = cq
+                .events
+                .pop_front()
+                .expect("live color-queue is non-empty");
             (ev, cq.events.is_empty(), cq.next)
         };
         let w = self.weight_of(&ev);
@@ -458,7 +461,11 @@ impl MelyQueue {
     ///
     /// Panics if `slot` is not a live color-queue.
     pub fn slot_len(&self, slot: usize) -> usize {
-        self.slots[slot].as_ref().expect("slot is live").events.len()
+        self.slots[slot]
+            .as_ref()
+            .expect("slot is live")
+            .events
+            .len()
     }
 
     /// Cumulative declared cost of `slot`'s color-queue.

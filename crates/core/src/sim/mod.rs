@@ -295,12 +295,11 @@ impl SimRuntime {
         let mut last_progress = (0u64, 0u64); // (iters, events at checkpoint)
         loop {
             iters += 1;
-            if iters % 10_000_000 == 0 {
+            if iters.is_multiple_of(10_000_000) {
                 // Livelock watchdog: virtual time always advances, but if
                 // tens of millions of scheduling decisions pass without a
                 // single event executing, something is structurally wrong.
-                let processed: u64 =
-                    self.cores.iter().map(|c| c.metrics.events_processed).sum();
+                let processed: u64 = self.cores.iter().map(|c| c.metrics.events_processed).sum();
                 if processed == last_progress.1 {
                     panic!(
                         "simulation livelock: no event executed between \
@@ -353,10 +352,8 @@ impl SimRuntime {
                     && total > qlen
                     && total > 0
                     && busy_horizon.is_some_and(|h| clock <= h + slack);
-                if qlen > 0 || can_steal {
-                    if best.map_or(true, |(bt, _)| clock < bt) {
-                        best = Some((clock, i));
-                    }
+                if (qlen > 0 || can_steal) && best.is_none_or(|(bt, _)| clock < bt) {
+                    best = Some((clock, i));
                 }
             }
             match best {
@@ -387,8 +384,7 @@ impl SimRuntime {
 
     /// Snapshot of the cumulative metrics.
     pub fn report(&self) -> RunReport {
-        let mut per_core: Vec<CoreMetrics> =
-            self.cores.iter().map(|c| c.metrics).collect();
+        let mut per_core: Vec<CoreMetrics> = self.cores.iter().map(|c| c.metrics).collect();
         if let Some(cache) = &self.cache {
             for (i, m) in per_core.iter_mut().enumerate() {
                 m.l2_misses = cache.level_stats(i, 2).map_or(0, |s| s.misses);
@@ -539,8 +535,7 @@ impl SimRuntime {
                 Flavor::Mely => self.steal_from_mely(c, v),
             };
             if stolen {
-                let dur =
-                    (self.cores[c].clock - t_start).saturating_sub(self.attempt_wait);
+                let dur = (self.cores[c].clock - t_start).saturating_sub(self.attempt_wait);
                 let m = &mut self.cores[c].metrics;
                 m.steals += 1;
                 m.steal_cycles += dur;
@@ -572,11 +567,7 @@ impl SimRuntime {
         let Some((color, scanned_choose)) = q.choose_color_to_steal(vin) else {
             // Scanned the whole queue to find nothing.
             let scanned = (q.len() as u64).min(costs.scan_cap_events);
-            self.lock(
-                v,
-                c,
-                costs.lock_acquire + costs.scan_per_event * scanned,
-            );
+            self.lock(v, c, costs.lock_acquire + costs.scan_per_event * scanned);
             return false;
         };
         // `construct_event_set` walks the victim's linked list; the
@@ -595,11 +586,7 @@ impl SimRuntime {
         // migrate: append to our own queue under our own lock.
         let n = events.len() as u64;
         let cost_sum: u64 = events.iter().map(|e| e.cost()).sum();
-        self.lock(
-            c,
-            c,
-            costs.lock_acquire + costs.migrate_per_event * n,
-        );
+        self.lock(c, c, costs.lock_acquire + costs.migrate_per_event * n);
         let now = self.cores[c].clock;
         self.color_owner[color.value() as usize] = c as u32;
         let QueueImpl::Legacy(own) = &mut self.cores[c].queue else {
@@ -631,9 +618,7 @@ impl SimRuntime {
                 return false;
             }
             match q.choose_scan(vin) {
-                Some((slot, scanned)) => {
-                    (Some(slot), costs.queue_op * scanned as u64)
-                }
+                Some((slot, scanned)) => (Some(slot), costs.queue_op * scanned as u64),
                 None => {
                     let scanned = q.distinct_colors() as u64;
                     self.lock(v, c, costs.lock_acquire + costs.queue_op * scanned);
@@ -907,6 +892,10 @@ mod hang_probe {
             );
         }
         let r = rt.run();
-        eprintln!("done: {} events, wall {}", r.events_processed(), r.wall_cycles());
+        eprintln!(
+            "done: {} events, wall {}",
+            r.events_processed(),
+            r.wall_cycles()
+        );
     }
 }

@@ -233,8 +233,8 @@ impl ThreadedRuntime {
     /// Panics if called while the runtime is running (the registry is
     /// frozen once workers exist).
     pub fn register_handler(&mut self, spec: HandlerSpec) -> HandlerId {
-        let shared = Arc::get_mut(&mut self.shared)
-            .expect("register handlers before starting the runtime");
+        let shared =
+            Arc::get_mut(&mut self.shared).expect("register handlers before starting the runtime");
         shared.registry.register(spec)
     }
 
@@ -256,8 +256,7 @@ impl ThreadedRuntime {
     /// Panics if `core` is out of range.
     pub fn register_pinned(&self, ev: Event, core: usize) {
         assert!(core < self.shared.cores.len(), "core out of range");
-        self.shared.color_owner[ev.color().value() as usize]
-            .store(core as u32, Ordering::Release);
+        self.shared.color_owner[ev.color().value() as usize].store(core as u32, Ordering::Release);
         self.shared.register(ev);
     }
 
@@ -325,7 +324,9 @@ fn worker_loop(shared: &Shared, me: usize) -> CoreMetrics {
 
         if let Some(ev) = popped {
             execute_event(shared, me, ev, &mut m);
-            shared.cores[me].in_flight.store(NO_COLOR, Ordering::Release);
+            shared.cores[me]
+                .in_flight
+                .store(NO_COLOR, Ordering::Release);
             shared.outstanding.fetch_sub(1, Ordering::AcqRel);
             idle_spins = 0;
             continue;
@@ -482,8 +483,7 @@ fn steal_from(shared: &Shared, me: usize, v: usize, m: &mut CoreMetrics) -> bool
             let d = vq.detach(slot);
             let n = d.len() as u64;
             let cost = d.cum_cost();
-            shared.color_owner[d.color().value() as usize]
-                .store(me as u32, Ordering::Release);
+            shared.color_owner[d.color().value() as usize].store(me as u32, Ordering::Release);
             mq.set_steal_cost_estimate(est);
             mq.absorb(d);
             m.stolen_events += n;
@@ -581,7 +581,11 @@ mod tests {
             );
         }
         let r = rt.run();
-        assert_eq!(violations.load(Ordering::SeqCst), 0, "color exclusion violated");
+        assert_eq!(
+            violations.load(Ordering::SeqCst),
+            0,
+            "color exclusion violated"
+        );
         assert_eq!(r.events_processed(), 400);
     }
 
@@ -593,7 +597,10 @@ mod tests {
         }
         let r = rt.run();
         assert_eq!(r.events_processed(), 64);
-        assert!(r.total().steals > 0, "expected steals on an unbalanced load");
+        assert!(
+            r.total().steals > 0,
+            "expected steals on an unbalanced load"
+        );
     }
 
     #[test]
@@ -623,11 +630,12 @@ mod tests {
         let f = Arc::clone(&fired);
         rt.register(Event::new(Color::new(1), 0).with_action(move |ctx| {
             let f2 = Arc::clone(&f);
-            ctx.register_after(100_000, Event::new(Color::new(2), 0).with_action(
-                move |_| {
+            ctx.register_after(
+                100_000,
+                Event::new(Color::new(2), 0).with_action(move |_| {
                     f2.fetch_add(1, Ordering::Relaxed);
-                },
-            ));
+                }),
+            );
         }));
         let r = rt.run();
         assert_eq!(fired.load(Ordering::Relaxed), 1);

@@ -111,8 +111,7 @@ fn parse_block(head: &[u8], consumed: usize) -> ParseOutcome {
         return ParseOutcome::Bad(BadRequest::Malformed);
     };
     let mut parts = reqline.split_ascii_whitespace();
-    let (Some(m), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
+    let (Some(m), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next()) else {
         return ParseOutcome::Bad(BadRequest::Malformed);
     };
     if parts.next().is_some() {
@@ -153,9 +152,7 @@ fn parse_block(head: &[u8], consumed: usize) -> ParseOutcome {
 }
 
 fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 /// A prebuilt response: full wire bytes, shareable across handlers.
@@ -287,7 +284,10 @@ mod tests {
     #[test]
     fn partial_until_blank_line() {
         assert_eq!(parse_request(b"GET / HT"), ParseOutcome::Partial);
-        assert_eq!(parse_request(b"GET / HTTP/1.1\r\nHost: x\r\n"), ParseOutcome::Partial);
+        assert_eq!(
+            parse_request(b"GET / HTTP/1.1\r\nHost: x\r\n"),
+            ParseOutcome::Partial
+        );
     }
 
     #[test]

@@ -324,9 +324,11 @@ impl<P: ClientProtocol> ClosedLoopLoad<P> {
                 let st = &mut self.clients[client];
                 st.fd = None;
                 st.buf.clear();
-                self.wakeups.push(Reverse((now + self.cfg.think_time, client)));
+                self.wakeups
+                    .push(Reverse((now + self.cfg.think_time, client)));
             } else {
-                self.wakeups.push(Reverse((now + self.cfg.think_time, client)));
+                self.wakeups
+                    .push(Reverse((now + self.cfg.think_time, client)));
             }
             return;
         }
@@ -430,7 +432,10 @@ mod tests {
         let mut net = SimNet::new(NetConfig { one_way_delay: 100 });
         net.listen(80);
         let mut load = ClosedLoopLoad::new(
-            Fixed { resp_len: 8, seen: 0 },
+            Fixed {
+                resp_len: 8,
+                seen: 0,
+            },
             LoadConfig {
                 clients: 4,
                 ports: vec![80],
@@ -467,7 +472,10 @@ mod tests {
         let mut net = SimNet::new(NetConfig { one_way_delay: 10 });
         net.listen(80);
         let mut load = ClosedLoopLoad::new(
-            Fixed { resp_len: 4, seen: 0 },
+            Fixed {
+                resp_len: 4,
+                seen: 0,
+            },
             LoadConfig {
                 clients: 2,
                 ports: vec![80],
@@ -512,7 +520,10 @@ mod tests {
         net.listen(80);
         net.listen(81);
         let mut load = ClosedLoopLoad::new(
-            Fixed { resp_len: 4, seen: 0 },
+            Fixed {
+                resp_len: 4,
+                seen: 0,
+            },
             LoadConfig {
                 clients: 4,
                 ports: vec![80, 81],
@@ -532,7 +543,10 @@ mod tests {
     #[should_panic(expected = "at least one client")]
     fn zero_clients_rejected() {
         let _ = ClosedLoopLoad::new(
-            Fixed { resp_len: 1, seen: 0 },
+            Fixed {
+                resp_len: 1,
+                seen: 0,
+            },
             LoadConfig {
                 clients: 0,
                 ..LoadConfig::default()

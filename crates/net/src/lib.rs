@@ -218,7 +218,10 @@ impl SimNet {
         match backlog.front() {
             Some(&(t, fd)) if t <= now => {
                 backlog.pop_front();
-                self.conns.get_mut(&fd).expect("pending conn exists").accepted = true;
+                self.conns
+                    .get_mut(&fd)
+                    .expect("pending conn exists")
+                    .accepted = true;
                 self.accepted_total += 1;
                 Some(fd)
             }
@@ -292,7 +295,7 @@ impl SimNet {
     /// data has been read). A reaped (fully torn down) connection also
     /// reads as closed.
     pub fn client_sees_close(&self, fd: Fd, now: u64) -> bool {
-        self.conns.get(&fd).map_or(true, |c| {
+        self.conns.get(&fd).is_none_or(|c| {
             c.s2c.closed_at.is_some_and(|t| t <= now) && c.s2c.readable_len(now) == 0
         })
     }
@@ -320,7 +323,7 @@ impl SimNet {
     /// and every byte has been drained. Unknown (reaped) descriptors
     /// read as closed.
     pub fn peer_closed(&self, fd: Fd, now: u64) -> bool {
-        self.conns.get(&fd).map_or(true, |c| {
+        self.conns.get(&fd).is_none_or(|c| {
             c.c2s.closed_at.is_some_and(|t| t <= now) && c.c2s.readable_len(now) == 0
         })
     }

@@ -264,10 +264,14 @@ impl Sfs {
         const LOOP_PENALTY: u32 = 100;
         let h = Handlers {
             epoll: rt.register_handler(
-                HandlerSpec::new("Epoll").cost(c.epoll).penalty(LOOP_PENALTY),
+                HandlerSpec::new("Epoll")
+                    .cost(c.epoll)
+                    .penalty(LOOP_PENALTY),
             ),
             accept: rt.register_handler(
-                HandlerSpec::new("Accept").cost(c.accept).penalty(LOOP_PENALTY),
+                HandlerSpec::new("Accept")
+                    .cost(c.accept)
+                    .penalty(LOOP_PENALTY),
             ),
             read_request: rt.register_handler(
                 HandlerSpec::new("ReadRequest")
@@ -279,16 +283,17 @@ impl Sfs {
                     .cost(c.process_read)
                     .penalty(LOOP_PENALTY),
             ),
-            encrypt: rt.register_handler(
-                HandlerSpec::new("Encrypt").cost(crypto_cost_cycles(cfg.chunk)),
-            ),
+            encrypt: rt
+                .register_handler(HandlerSpec::new("Encrypt").cost(crypto_cost_cycles(cfg.chunk))),
             send_reply: rt.register_handler(
                 HandlerSpec::new("SendReply")
                     .cost(c.send_reply)
                     .penalty(LOOP_PENALTY),
             ),
             close: rt.register_handler(
-                HandlerSpec::new("Close").cost(c.close).penalty(LOOP_PENALTY),
+                HandlerSpec::new("Close")
+                    .cost(c.close)
+                    .penalty(LOOP_PENALTY),
             ),
         };
         let mut store = FileStore::new();
@@ -360,9 +365,7 @@ impl<D: Driver + 'static> App<D> {
                     t.saturating_sub(now).max(inner.cfg.min_poll),
                     app.epoll_event(),
                 ),
-                None if !done => {
-                    ctx.register_after(inner.cfg.poll_interval, app.epoll_event())
-                }
+                None if !done => ctx.register_after(inner.cfg.poll_interval, app.epoll_event()),
                 None => {}
             }
         })

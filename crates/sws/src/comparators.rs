@@ -193,7 +193,9 @@ impl ThreadedServer {
             let overcommitted = runnable > c.cores;
             let per_thread_cap = if overcommitted {
                 let slowdown = 100 + c.overcommit_penalty_pct;
-                (c.quantum * 100 / slowdown).saturating_sub(c.ctx_switch).max(1)
+                (c.quantum * 100 / slowdown)
+                    .saturating_sub(c.ctx_switch)
+                    .max(1)
             } else {
                 c.quantum
             };

@@ -285,10 +285,14 @@ impl Sws {
         const LOOP_PENALTY: u32 = 100;
         let h = Handlers {
             epoll: rt.register_handler(
-                HandlerSpec::new("Epoll").cost(c.epoll).penalty(LOOP_PENALTY),
+                HandlerSpec::new("Epoll")
+                    .cost(c.epoll)
+                    .penalty(LOOP_PENALTY),
             ),
             accept: rt.register_handler(
-                HandlerSpec::new("Accept").cost(c.accept).penalty(LOOP_PENALTY),
+                HandlerSpec::new("Accept")
+                    .cost(c.accept)
+                    .penalty(LOOP_PENALTY),
             ),
             register_fd: rt.register_handler(
                 HandlerSpec::new("RegisterFdInEpoll")
@@ -296,15 +300,21 @@ impl Sws {
                     .penalty(LOOP_PENALTY),
             ),
             read_request: rt.register_handler(
-                HandlerSpec::new("ReadRequest").cost(c.read_request).penalty(pen),
+                HandlerSpec::new("ReadRequest")
+                    .cost(c.read_request)
+                    .penalty(pen),
             ),
             parse_request: rt.register_handler(
-                HandlerSpec::new("ParseRequest").cost(c.parse_request).penalty(pen),
+                HandlerSpec::new("ParseRequest")
+                    .cost(c.parse_request)
+                    .penalty(pen),
             ),
             get_from_cache: rt
                 .register_handler(HandlerSpec::new("GetFromCache").cost(c.get_from_cache)),
             write_response: rt.register_handler(
-                HandlerSpec::new("WriteResponse").cost(c.write_response).penalty(pen),
+                HandlerSpec::new("WriteResponse")
+                    .cost(c.write_response)
+                    .penalty(pen),
             ),
             close: rt.register_handler(HandlerSpec::new("Close").cost(c.close)),
             dec_accepted: rt.register_handler(
@@ -386,9 +396,7 @@ impl<D: Driver + 'static> App<D> {
                     t.saturating_sub(now).max(inner.cfg.min_poll),
                     app.epoll_event(),
                 ),
-                None if !done => {
-                    ctx.register_after(inner.cfg.poll_interval, app.epoll_event())
-                }
+                None if !done => ctx.register_after(inner.cfg.poll_interval, app.epoll_event()),
                 None => {
                     // Load finished and the network is silent: stop
                     // re-arming so the simulation can drain and return.
@@ -446,116 +454,124 @@ impl<D: Driver + 'static> App<D> {
 
     fn read_request_event(&self, fd: Fd) -> Event {
         let app = self.clone();
-        Event::for_handler(self.0.colors.fd_color(fd), self.0.h.read_request).with_action(move |ctx| {
-            let inner = &app.0;
-            let now = ctx.now();
-            let mut net = inner.net.lock();
-            let data = net.read(fd, now);
-            // EOF only counts once all data has been consumed.
-            let hup = data.is_empty() && net.peer_closed(fd, now);
-            drop(net);
-            let mut st = inner.state.lock();
-            let Some(conn) = st.conns.get_mut(&fd) else {
-                return;
-            };
-            conn.read_pending = false;
-            if hup {
-                ctx.register(app.close_event(fd));
-                return;
-            }
-            if !data.is_empty() {
-                conn.buf.extend_from_slice(&data);
-                ctx.register(app.parse_request_event(fd));
-            }
-        })
+        Event::for_handler(self.0.colors.fd_color(fd), self.0.h.read_request).with_action(
+            move |ctx| {
+                let inner = &app.0;
+                let now = ctx.now();
+                let mut net = inner.net.lock();
+                let data = net.read(fd, now);
+                // EOF only counts once all data has been consumed.
+                let hup = data.is_empty() && net.peer_closed(fd, now);
+                drop(net);
+                let mut st = inner.state.lock();
+                let Some(conn) = st.conns.get_mut(&fd) else {
+                    return;
+                };
+                conn.read_pending = false;
+                if hup {
+                    ctx.register(app.close_event(fd));
+                    return;
+                }
+                if !data.is_empty() {
+                    conn.buf.extend_from_slice(&data);
+                    ctx.register(app.parse_request_event(fd));
+                }
+            },
+        )
     }
 
     fn parse_request_event(&self, fd: Fd) -> Event {
         let app = self.clone();
-        Event::for_handler(self.0.colors.fd_color(fd), self.0.h.parse_request).with_action(move |ctx| {
-            let inner = &app.0;
-            let mut st = inner.state.lock();
-            let Some(conn) = st.conns.get_mut(&fd) else {
-                return;
-            };
-            match parse_request(&conn.buf) {
-                ParseOutcome::Complete(req, n) => {
-                    conn.buf.drain(..n);
-                    conn.close_after = !req.keep_alive;
-                    conn.cur = Some(req);
-                    ctx.register(app.get_from_cache_event(fd));
+        Event::for_handler(self.0.colors.fd_color(fd), self.0.h.parse_request).with_action(
+            move |ctx| {
+                let inner = &app.0;
+                let mut st = inner.state.lock();
+                let Some(conn) = st.conns.get_mut(&fd) else {
+                    return;
+                };
+                match parse_request(&conn.buf) {
+                    ParseOutcome::Complete(req, n) => {
+                        conn.buf.drain(..n);
+                        conn.close_after = !req.keep_alive;
+                        conn.cur = Some(req);
+                        ctx.register(app.get_from_cache_event(fd));
+                    }
+                    ParseOutcome::Partial => {
+                        // Wait for more bytes; Epoll will re-trigger a read.
+                    }
+                    ParseOutcome::Bad(_) => {
+                        conn.resp = Some(Response::bad_request());
+                        conn.close_after = true;
+                        st.stats.bad_request += 1;
+                        ctx.register(app.write_response_event(fd));
+                    }
                 }
-                ParseOutcome::Partial => {
-                    // Wait for more bytes; Epoll will re-trigger a read.
-                }
-                ParseOutcome::Bad(_) => {
-                    conn.resp = Some(Response::bad_request());
-                    conn.close_after = true;
-                    st.stats.bad_request += 1;
-                    ctx.register(app.write_response_event(fd));
-                }
-            }
-        })
+            },
+        )
     }
 
     fn get_from_cache_event(&self, fd: Fd) -> Event {
         let app = self.clone();
-        Event::for_handler(self.0.colors.fd_color(fd), self.0.h.get_from_cache).with_action(move |ctx| {
-            let inner = &app.0;
-            let mut st = inner.state.lock();
-            let Some(conn) = st.conns.get_mut(&fd) else {
-                return;
-            };
-            let Some(req) = conn.cur.take() else {
-                return;
-            };
-            let resp = match st.cache.lookup(&req.path) {
-                Some(r) => r.clone(),
-                None => Response::not_found(),
-            };
-            let conn = st.conns.get_mut(&fd).expect("checked above");
-            conn.resp = Some(resp);
-            ctx.register(app.write_response_event(fd));
-        })
+        Event::for_handler(self.0.colors.fd_color(fd), self.0.h.get_from_cache).with_action(
+            move |ctx| {
+                let inner = &app.0;
+                let mut st = inner.state.lock();
+                let Some(conn) = st.conns.get_mut(&fd) else {
+                    return;
+                };
+                let Some(req) = conn.cur.take() else {
+                    return;
+                };
+                let resp = match st.cache.lookup(&req.path) {
+                    Some(r) => r.clone(),
+                    None => Response::not_found(),
+                };
+                let conn = st.conns.get_mut(&fd).expect("checked above");
+                conn.resp = Some(resp);
+                ctx.register(app.write_response_event(fd));
+            },
+        )
     }
 
     fn write_response_event(&self, fd: Fd) -> Event {
         let app = self.clone();
-        Event::for_handler(self.0.colors.fd_color(fd), self.0.h.write_response).with_action(move |ctx| {
-            let inner = &app.0;
-            let now = ctx.now();
-            let mut st = inner.state.lock();
-            let Some(conn) = st.conns.get_mut(&fd) else {
-                return;
-            };
-            let Some(resp) = conn.resp.take() else {
-                return;
-            };
-            ctx.charge(resp.wire_len() as u64 * inner.cfg.costs.write_per_byte_milli / 1_000);
-            st.stats.responses += 1;
-            match resp.status() {
-                200 => st.stats.ok += 1,
-                404 => st.stats.not_found += 1,
-                400 => st.stats.bad_request += 0, // counted at parse time
-                _ => {}
-            }
-            let close_after = {
-                let conn = st.conns.get_mut(&fd).expect("checked above");
-                conn.close_after
-            };
-            let more = {
-                let conn = st.conns.get_mut(&fd).expect("checked above");
-                !conn.buf.is_empty()
-            };
-            drop(st);
-            inner.net.lock().write(fd, now, resp.to_vec());
-            if close_after {
-                ctx.register(app.close_event(fd));
-            } else if more {
-                // Pipelined request already buffered.
-                ctx.register(app.parse_request_event(fd));
-            }
-        })
+        Event::for_handler(self.0.colors.fd_color(fd), self.0.h.write_response).with_action(
+            move |ctx| {
+                let inner = &app.0;
+                let now = ctx.now();
+                let mut st = inner.state.lock();
+                let Some(conn) = st.conns.get_mut(&fd) else {
+                    return;
+                };
+                let Some(resp) = conn.resp.take() else {
+                    return;
+                };
+                ctx.charge(resp.wire_len() as u64 * inner.cfg.costs.write_per_byte_milli / 1_000);
+                st.stats.responses += 1;
+                match resp.status() {
+                    200 => st.stats.ok += 1,
+                    404 => st.stats.not_found += 1,
+                    400 => st.stats.bad_request += 0, // counted at parse time
+                    _ => {}
+                }
+                let close_after = {
+                    let conn = st.conns.get_mut(&fd).expect("checked above");
+                    conn.close_after
+                };
+                let more = {
+                    let conn = st.conns.get_mut(&fd).expect("checked above");
+                    !conn.buf.is_empty()
+                };
+                drop(st);
+                inner.net.lock().write(fd, now, resp.to_vec());
+                if close_after {
+                    ctx.register(app.close_event(fd));
+                } else if more {
+                    // Pipelined request already buffered.
+                    ctx.register(app.parse_request_event(fd));
+                }
+            },
+        )
     }
 
     fn close_event(&self, fd: Fd) -> Event {

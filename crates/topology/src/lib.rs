@@ -322,7 +322,10 @@ impl MachineModel {
     ///
     /// Panics if `a` or `b` is not a valid core id for this machine.
     pub fn distance(&self, a: usize, b: usize) -> u32 {
-        assert!(a < self.num_cores && b < self.num_cores, "core out of range");
+        assert!(
+            a < self.num_cores && b < self.num_cores,
+            "core out of range"
+        );
         if a == b {
             return 0;
         }
@@ -424,11 +427,17 @@ mod tests {
     #[test]
     fn innermost_shared_level_is_l2_on_xeon_l3_on_amd() {
         assert_eq!(
-            MachineModel::xeon_e5410().innermost_shared_level().unwrap().level,
+            MachineModel::xeon_e5410()
+                .innermost_shared_level()
+                .unwrap()
+                .level,
             2
         );
         assert_eq!(
-            MachineModel::amd_16core().innermost_shared_level().unwrap().level,
+            MachineModel::amd_16core()
+                .innermost_shared_level()
+                .unwrap()
+                .level,
             3
         );
     }

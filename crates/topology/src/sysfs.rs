@@ -153,8 +153,7 @@ fn read_cpu_caches(cpu_dir: &Path) -> Result<Vec<RawCache>, DiscoverError> {
 /// [`MachineModel`].
 pub(crate) fn discover(root: &Path) -> Result<MachineModel, DiscoverError> {
     let mut cpus: Vec<usize> = Vec::new();
-    let entries =
-        fs::read_dir(root).map_err(|e| DiscoverError::Io(root.to_path_buf(), e))?;
+    let entries = fs::read_dir(root).map_err(|e| DiscoverError::Io(root.to_path_buf(), e))?;
     for entry in entries.flatten() {
         let name = entry.file_name();
         let name = name.to_string_lossy();

@@ -25,16 +25,17 @@ fn main() {
     }
 
     // Chain follow-up events from a handler: same color => serialized.
-    rt.register(
-        Event::new(Color::new(5_000), 10_000).with_action(|ctx| {
-            ctx.register(Event::new(Color::new(5_000), 10_000).named("follow-up"));
-        }),
-    );
+    rt.register(Event::new(Color::new(5_000), 10_000).with_action(|ctx| {
+        ctx.register(Event::new(Color::new(5_000), 10_000).named("follow-up"));
+    }));
 
     let report = rt.run();
     println!("events processed : {}", report.events_processed());
     println!("virtual time     : {:.3} ms", report.wall_secs() * 1e3);
-    println!("throughput       : {:.0} KEvents/s", report.kevents_per_sec());
+    println!(
+        "throughput       : {:.0} KEvents/s",
+        report.kevents_per_sec()
+    );
     println!("steals           : {}", report.total().steals);
     println!(
         "avg steal cost   : {:.0} cycles",

@@ -31,7 +31,10 @@ fn main() {
     assert_eq!(sum.load(Ordering::Relaxed), (1..=200u64).sum());
     println!("events processed : {}", report.events_processed());
     println!("steals           : {}", report.total().steals);
-    println!("wall             : {:.2} ms (cycle-counter time)", report.wall_secs() * 1e3);
+    println!(
+        "wall             : {:.2} ms (cycle-counter time)",
+        report.wall_secs() * 1e3
+    );
     for (i, c) in report.per_core().iter().enumerate() {
         println!("core {i}: {:>4} events", c.events_processed);
     }

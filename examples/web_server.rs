@@ -11,7 +11,10 @@ fn main() {
     let duration = 40_000_000; // ~17 ms of virtual time
 
     println!("SWS: {clients} closed-loop clients requesting 1 KB files\n");
-    println!("{:<22} {:>12} {:>10} {:>8}", "configuration", "KReq/s", "steals", "200s");
+    println!(
+        "{:<22} {:>12} {:>10} {:>8}",
+        "configuration", "KReq/s", "steals", "200s"
+    );
     for cfg in [
         PaperConfig::MelyImprovedWs,
         PaperConfig::Libasync,

@@ -82,7 +82,10 @@ fn table_one_inversion_sfs_vs_web_server() {
         sws.report.avg_steal_cycles().expect("sws steals happen"),
         sws.report.avg_stolen_cost().expect("sws steals happen"),
     );
-    assert!(c > w, "web-server steals must cost more than they gain: {c:.0} vs {w:.0}");
+    assert!(
+        c > w,
+        "web-server steals must cost more than they gain: {c:.0} vs {w:.0}"
+    );
 }
 
 #[test]
@@ -194,8 +197,14 @@ fn topology_cachesim_and_runtime_agree_on_the_machine() {
     let mut h = Hierarchy::new(&m);
     // A miss on one core's L2 group is a hit for its partner only.
     h.access(0, 0x4000);
-    assert_eq!(h.access(1, 0x4000).hit, mely_repro::cachesim::HitLevel::Cache(2));
-    assert_eq!(h.access(2, 0x4000).hit, mely_repro::cachesim::HitLevel::Memory);
+    assert_eq!(
+        h.access(1, 0x4000).hit,
+        mely_repro::cachesim::HitLevel::Cache(2)
+    );
+    assert_eq!(
+        h.access(2, 0x4000).hit,
+        mely_repro::cachesim::HitLevel::Memory
+    );
     // And the runtime accepts the same model.
     let rt = RuntimeBuilder::new().machine(m).build_sim();
     assert_eq!(rt.config().cores, 8);

@@ -1,0 +1,50 @@
+//! Smoke test mirroring `examples/quickstart.rs` in-process, so the
+//! README-level entry point stays covered by `cargo test` even when the
+//! examples are not executed.
+
+use mely_repro::core::prelude::*;
+
+#[test]
+fn quickstart_example_logic_runs_and_steals() {
+    // Same setup as examples/quickstart.rs: an 8-core simulated machine
+    // running Mely with the full improved workstealing policy.
+    let mut rt = RuntimeBuilder::new()
+        .cores(8)
+        .flavor(Flavor::Mely)
+        .workstealing(WsPolicy::improved())
+        .build_sim();
+
+    // 400 independent colors all pinned on core 0: a badly unbalanced
+    // load that only workstealing can spread.
+    for i in 0..400u16 {
+        rt.register_pinned(
+            Event::new(Color::new(i + 1), 25_000).named("quickstart-work"),
+            0,
+        );
+    }
+
+    // A handler chaining a follow-up event of its own color (serialized).
+    rt.register(Event::new(Color::new(5_000), 10_000).with_action(|ctx| {
+        ctx.register(Event::new(Color::new(5_000), 10_000).named("follow-up"));
+    }));
+
+    let report = rt.run();
+
+    // 400 pinned + 1 registered + 1 chained from the handler.
+    assert_eq!(report.events_processed(), 402);
+    let total = report.total();
+    assert_eq!(total.events_processed, total.registered);
+    assert!(total.steals > 0, "thieves should have helped");
+    assert!(
+        report.avg_steal_cycles().is_some(),
+        "successful steals must be accounted"
+    );
+    // The unbalanced load must actually have been spread: core 0 cannot
+    // have run everything.
+    let on_core0 = report.per_core()[0].events_processed;
+    assert!(
+        on_core0 < 402,
+        "core 0 ran all {on_core0} events; stealing did nothing"
+    );
+    assert!(report.kevents_per_sec() > 0.0);
+}

@@ -1,0 +1,199 @@
+//! Minimal, offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benchmarks use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter` / `iter_batched`, `Throughput`,
+//! `BatchSize`, `black_box` — with a simple wall-clock measurement loop
+//! instead of criterion's statistical machinery. Good enough to keep
+//! `cargo bench --no-run` honest in CI and to print indicative ns/iter
+//! numbers when actually run.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How expensive one batch's input is to set up; only drives loop sizing.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Declared throughput of one iteration, used to report a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let ns_per_iter = if bencher.iters == 0 {
+        0.0
+    } else {
+        bencher.total.as_nanos() as f64 / bencher.iters as f64
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if ns_per_iter > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                b as f64 / (1 << 20) as f64 / (ns_per_iter * 1e-9)
+            )
+        }
+        Some(Throughput::Elements(n)) if ns_per_iter > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / (ns_per_iter * 1e-9))
+        }
+        _ => String::new(),
+    };
+    println!("{id:<40} {ns_per_iter:>12.1} ns/iter{rate}");
+}
+
+/// Target wall-clock time spent measuring one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+const WARMUP_ITERS: u64 = 3;
+const MIN_ITERS: u64 = 10;
+const MAX_ITERS: u64 = 1_000_000;
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate cost to size the measured loop.
+        let start = Instant::now();
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let est = start.elapsed().max(Duration::from_nanos(1)) / WARMUP_ITERS as u32;
+        let iters = (MEASURE_BUDGET.as_nanos() / est.as_nanos().max(1)) as u64;
+        let iters = iters.clamp(MIN_ITERS, MAX_ITERS);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += iters;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Setup runs outside the timed section, one input per iteration.
+        let mut est = Duration::ZERO;
+        for _ in 0..WARMUP_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            est += start.elapsed();
+        }
+        let est = (est / WARMUP_ITERS as u32).max(Duration::from_nanos(1));
+        let iters = (MEASURE_BUDGET.as_nanos() / est.as_nanos().max(1)) as u64;
+        let iters = iters.clamp(MIN_ITERS, MAX_ITERS);
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+        }
+        self.iters += iters;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("iter", |b| b.iter(|| black_box(2u64 + 2)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

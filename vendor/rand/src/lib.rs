@@ -1,0 +1,137 @@
+//! Minimal, offline stand-in for the `rand` crate (0.8-style API).
+//!
+//! Implements the subset this workspace uses: `rngs::StdRng` seeded via
+//! `SeedableRng::seed_from_u64`, and `Rng::gen_range` over half-open and
+//! inclusive integer ranges. The generator is SplitMix64 — deterministic,
+//! fast, and plenty for workload synthesis (this is not a cryptographic
+//! RNG, and neither caller needs one).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding entry point, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range that knows how to draw a uniform sample from an RNG.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(bounded(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain: every value is in range.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(bounded(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Uniform draw in `[0, span)` by rejection sampling (span > 0).
+fn bounded<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            Self { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1_000 {
+            let x: u64 = a.gen_range(10..20);
+            assert_eq!(x, b.gen_range(10..20));
+            assert!((10..20).contains(&x));
+            let y: u32 = a.gen_range(5..=5);
+            assert_eq!(y, 5);
+            b.gen_range(5..=5u32);
+        }
+    }
+
+    #[test]
+    fn covers_whole_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 8];
+        for _ in 0..256 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
