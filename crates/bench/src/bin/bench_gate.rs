@@ -1,0 +1,391 @@
+//! Benchmark-regression gate for CI.
+//!
+//! The vendored criterion shim appends one JSON line per benchmark
+//! (`{"id":"...","ns_per_op":N}`) to `$MELY_BENCH_JSON`. This tool
+//! merges those lines into a machine-readable summary, and compares the
+//! summary against the committed baseline:
+//!
+//! ```text
+//! bench_gate --raw target/bench.jsonl --out BENCH_123.json \
+//!            --baseline benches/baseline.json --max-regress-pct 25 \
+//!            --min-speedup inject/spin_direct/8p,inject/inbox/8p,2.0
+//! ```
+//!
+//! Exit status is nonzero when any baseline benchmark regressed by more
+//! than the threshold, disappeared from the current run, or a
+//! `--min-speedup` ratio check failed. `--update-baseline <path>`
+//! rewrites the baseline from the current run instead of gating (the
+//! documented local workflow for refreshing `benches/baseline.json`).
+//!
+//! The summary format (one entry per line, so it diffs well):
+//!
+//! ```text
+//! {
+//!   "schema": "mely-bench-summary/v1",
+//!   "benchmarks": {
+//!     "inject/inbox/8p": 85.3,
+//!     "queue/mely_push_pop": 1290.0
+//!   }
+//! }
+//! ```
+//!
+//! No serde in the tree, so parsing is hand-rolled for exactly these two
+//! formats (both produced by this workspace).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Mean ns/op per benchmark id.
+type Summary = BTreeMap<String, f64>;
+
+/// Parses the shim's JSON-lines output; repeated ids are averaged.
+fn parse_jsonl(text: &str) -> Result<Summary, String> {
+    let mut sums: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let id = field_str(line, "id")
+            .ok_or_else(|| format!("line {}: missing \"id\": {line}", lineno + 1))?;
+        let ns = field_num(line, "ns_per_op")
+            .ok_or_else(|| format!("line {}: missing \"ns_per_op\": {line}", lineno + 1))?;
+        let e = sums.entry(id).or_insert((0.0, 0));
+        e.0 += ns;
+        e.1 += 1;
+    }
+    Ok(sums
+        .into_iter()
+        .map(|(id, (sum, n))| (id, sum / n as f64))
+        .collect())
+}
+
+/// Parses a summary file written by [`render_summary`] (or an equal
+/// hand-maintained baseline): every `"id": number` pair inside the
+/// `"benchmarks"` object.
+fn parse_summary(text: &str) -> Result<Summary, String> {
+    let start = text
+        .find("\"benchmarks\"")
+        .ok_or("no \"benchmarks\" key in summary")?;
+    let mut out = Summary::new();
+    for line in text[start..].lines().skip(1) {
+        let line = line.trim().trim_end_matches(',');
+        if line.starts_with('}') {
+            break;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (id, val) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed summary line: {line}"))?;
+        let id = id.trim().trim_matches('"').to_string();
+        let val: f64 = val
+            .trim()
+            .parse()
+            .map_err(|_| format!("malformed number in: {line}"))?;
+        out.insert(id, val);
+    }
+    Ok(out)
+}
+
+fn render_summary(s: &Summary) -> String {
+    let mut out =
+        String::from("{\n  \"schema\": \"mely-bench-summary/v1\",\n  \"benchmarks\": {\n");
+    let n = s.len();
+    for (i, (id, ns)) in s.iter().enumerate() {
+        let comma = if i + 1 == n { "" } else { "," };
+        out.push_str(&format!("    \"{id}\": {ns:.3}{comma}\n"));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One `--min-speedup slow,fast,factor` assertion.
+struct SpeedupCheck {
+    slow: String,
+    fast: String,
+    factor: f64,
+}
+
+/// Compares `current` to `baseline`; returns human-readable failures.
+fn gate(
+    current: &Summary,
+    baseline: &Summary,
+    max_regress_pct: f64,
+    speedups: &[SpeedupCheck],
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (id, &base_ns) in baseline {
+        match current.get(id) {
+            None => failures.push(format!("{id}: present in baseline but not measured")),
+            Some(&cur_ns) if base_ns > 0.0 => {
+                let pct = (cur_ns - base_ns) / base_ns * 100.0;
+                if pct > max_regress_pct {
+                    failures.push(format!(
+                        "{id}: {cur_ns:.1} ns/op vs baseline {base_ns:.1} ns/op (+{pct:.1}% > +{max_regress_pct:.0}%)"
+                    ));
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    for c in speedups {
+        let (Some(&slow), Some(&fast)) = (current.get(&c.slow), current.get(&c.fast)) else {
+            failures.push(format!(
+                "speedup {} / {}: one of the ids was not measured",
+                c.slow, c.fast
+            ));
+            continue;
+        };
+        let ratio = slow / fast.max(1e-12);
+        if ratio < c.factor {
+            failures.push(format!(
+                "speedup {} / {}: {ratio:.2}x < required {:.2}x",
+                c.slow, c.fast, c.factor
+            ));
+        }
+    }
+    failures
+}
+
+fn usage() -> String {
+    "usage: bench_gate --raw <jsonl>... [--out <summary.json>] \
+     [--baseline <summary.json>] [--max-regress-pct <pct>] \
+     [--min-speedup slow_id,fast_id,factor]... [--update-baseline <path>]"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<Vec<String>, String> {
+    let mut raws = Vec::new();
+    let mut out = None;
+    let mut baseline = None;
+    let mut update_baseline = None;
+    let mut max_regress_pct = 25.0;
+    let mut speedups = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match a.as_str() {
+            "--raw" => raws.push(val("--raw")?),
+            "--out" => out = Some(val("--out")?),
+            "--baseline" => baseline = Some(val("--baseline")?),
+            "--update-baseline" => update_baseline = Some(val("--update-baseline")?),
+            "--max-regress-pct" => {
+                max_regress_pct = val("--max-regress-pct")?
+                    .parse()
+                    .map_err(|_| "--max-regress-pct must be a number".to_string())?
+            }
+            "--min-speedup" => {
+                let v = val("--min-speedup")?;
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 3 {
+                    return Err(format!("--min-speedup wants slow,fast,factor; got {v}"));
+                }
+                speedups.push(SpeedupCheck {
+                    slow: parts[0].to_string(),
+                    fast: parts[1].to_string(),
+                    factor: parts[2]
+                        .parse()
+                        .map_err(|_| format!("bad factor in --min-speedup {v}"))?,
+                });
+            }
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    if raws.is_empty() {
+        return Err(usage());
+    }
+
+    let mut merged = String::new();
+    for path in &raws {
+        merged.push_str(
+            &std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?,
+        );
+        merged.push('\n');
+    }
+    let current = parse_jsonl(&merged)?;
+    if current.is_empty() {
+        return Err("no benchmark results in the raw input".to_string());
+    }
+    println!("measured {} benchmarks:", current.len());
+    for (id, ns) in &current {
+        println!("  {id:<40} {ns:>12.1} ns/op");
+    }
+
+    if let Some(path) = &out {
+        std::fs::write(path, render_summary(&current))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote summary to {path}");
+    }
+    if let Some(path) = &update_baseline {
+        std::fs::write(path, render_summary(&current))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("updated baseline {path}");
+        return Ok(Vec::new());
+    }
+
+    let mut failures = Vec::new();
+    if let Some(path) = &baseline {
+        let base = parse_summary(
+            &std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?,
+        )?;
+        for id in current.keys().filter(|id| !base.contains_key(*id)) {
+            println!("note: {id} is new (not in baseline)");
+        }
+        failures = gate(&current, &base, max_regress_pct, &speedups);
+    } else if !speedups.is_empty() {
+        failures = gate(&current, &Summary::new(), max_regress_pct, &speedups);
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(failures) if failures.is_empty() => {
+            println!("bench gate: OK");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            eprintln!("bench gate: {} failure(s)", failures.len());
+            for f in &failures {
+                eprintln!("  FAIL {f}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench gate: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(pairs: &[(&str, f64)]) -> Summary {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn jsonl_roundtrip_and_averaging() {
+        let s = parse_jsonl(
+            "{\"id\":\"a/b\",\"ns_per_op\":100.0}\n\n{\"id\":\"a/b\",\"ns_per_op\":300.0}\n{\"id\":\"c\",\"ns_per_op\":5}\n",
+        )
+        .unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s["a/b"], 200.0);
+        assert_eq!(s["c"], 5.0);
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        assert!(parse_jsonl("{\"nope\":1}").is_err());
+        assert!(parse_jsonl("{\"id\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn summary_roundtrip() {
+        let s = summary(&[("inject/inbox/8p", 85.25), ("queue/mely", 1290.0)]);
+        let rendered = render_summary(&s);
+        assert!(rendered.contains("mely-bench-summary/v1"));
+        let parsed = parse_summary(&rendered).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!((parsed["inject/inbox/8p"] - 85.25).abs() < 1e-9);
+        assert!((parsed["queue/mely"] - 1290.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_on_improvement() {
+        let base = summary(&[("a", 100.0), ("b", 100.0)]);
+        let cur = summary(&[("a", 124.0), ("b", 10.0), ("new", 1.0)]);
+        assert!(gate(&cur, &base, 25.0, &[]).is_empty());
+    }
+
+    #[test]
+    fn gate_fails_on_regression_and_missing() {
+        let base = summary(&[("a", 100.0), ("gone", 50.0)]);
+        let cur = summary(&[("a", 130.0)]);
+        let failures = gate(&cur, &base, 25.0, &[]);
+        assert_eq!(failures.len(), 2);
+        assert!(failures.iter().any(|f| f.contains("a:")));
+        assert!(failures.iter().any(|f| f.contains("gone")));
+    }
+
+    #[test]
+    fn gate_checks_speedup_ratios() {
+        let cur = summary(&[("slow", 300.0), ("fast", 100.0)]);
+        let ok = SpeedupCheck {
+            slow: "slow".into(),
+            fast: "fast".into(),
+            factor: 2.0,
+        };
+        assert!(gate(&cur, &Summary::new(), 25.0, &[ok]).is_empty());
+        let too_much = SpeedupCheck {
+            slow: "slow".into(),
+            fast: "fast".into(),
+            factor: 4.0,
+        };
+        let failures = gate(&cur, &Summary::new(), 25.0, &[too_much]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("3.00x < required 4.00x"));
+    }
+
+    #[test]
+    fn cli_merges_writes_and_gates_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("bench-gate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.jsonl");
+        let out = dir.join("BENCH_test.json");
+        let baseline = dir.join("baseline.json");
+        std::fs::write(&raw, "{\"id\":\"a\",\"ns_per_op\":100.0}\n").unwrap();
+        std::fs::write(&baseline, render_summary(&summary(&[("a", 90.0)]))).unwrap();
+        let args: Vec<String> = [
+            "--raw",
+            raw.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--max-regress-pct",
+            "25",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        // +11% over baseline: inside the default gate.
+        assert!(run(&args).unwrap().is_empty());
+        let written = parse_summary(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(written["a"], 100.0);
+        // Tighten the threshold: now it must fail.
+        let mut tight = args.clone();
+        tight[7] = "10".into();
+        assert_eq!(run(&tight).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,10 +1,10 @@
 //! The three microbenchmarks of Section V-B.
 //!
-//! - [`unbalanced`] — a fork/join round of many short and a few long
+//! - [`mod@unbalanced`] — a fork/join round of many short and a few long
 //!   independent events, all registered on core 0 (Tables III and IV);
-//! - [`penalty`] — parent events spawning chains of children that walk
+//! - [`mod@penalty`] — parent events spawning chains of children that walk
 //!   the parent's cache-resident array (Table V);
-//! - [`cache_efficient`] — a per-core-pair merge-sort fork/join whose
+//! - [`mod@cache_efficient`] — a per-core-pair merge-sort fork/join whose
 //!   halves should be stolen by the L2 neighbour (Table VI).
 //!
 //! Every workload takes a [`crate::PaperConfig`] plus its own parameter

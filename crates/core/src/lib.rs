@@ -74,7 +74,7 @@ pub mod prelude {
     pub use crate::runtime::{Flavor, RuntimeBuilder};
     pub use crate::sim::SimRuntime;
     pub use crate::steal::WsPolicy;
-    pub use crate::threaded::ThreadedRuntime;
+    pub use crate::threaded::{KeepAlive, RuntimeHandle, ThreadedRuntime};
     pub use mely_topology::MachineModel;
 }
 

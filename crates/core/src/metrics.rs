@@ -42,6 +42,17 @@ pub struct CoreMetrics {
     pub l2_misses: u64,
     /// Cycles added by simulated memory accesses.
     pub mem_stall_cycles: u64,
+    /// Events pushed into this core's lock-free injection inbox by
+    /// cross-thread producers (threaded executor only).
+    pub inbox_pushes: u64,
+    /// Events this core drained out of its inbox.
+    pub inbox_drained: u64,
+    /// Non-empty inbox drains (each merges its batch under one lock
+    /// acquisition).
+    pub inbox_drain_batches: u64,
+    /// Drained events whose color had been stolen between push and
+    /// drain, re-routed through the color map.
+    pub inbox_rerouted: u64,
 }
 
 impl CoreMetrics {
@@ -61,6 +72,10 @@ impl CoreMetrics {
         self.registered += o.registered;
         self.l2_misses += o.l2_misses;
         self.mem_stall_cycles += o.mem_stall_cycles;
+        self.inbox_pushes += o.inbox_pushes;
+        self.inbox_drained += o.inbox_drained;
+        self.inbox_drain_batches += o.inbox_drain_batches;
+        self.inbox_rerouted += o.inbox_rerouted;
     }
 }
 
@@ -162,6 +177,25 @@ impl RunReport {
         (t.steals > 0).then(|| t.stolen_cost_cycles as f64 / t.steals as f64)
     }
 
+    /// Events injected through the lock-free inboxes (threaded executor;
+    /// always 0 under simulation).
+    pub fn inbox_pushes(&self) -> u64 {
+        self.total().inbox_pushes
+    }
+
+    /// Events drained out of the inboxes into the per-core queues.
+    pub fn inbox_drained(&self) -> u64 {
+        self.total().inbox_drained
+    }
+
+    /// Mean events merged per non-empty inbox drain — each drain is one
+    /// lock acquisition, so this is the producer-side lock amortization
+    /// factor. `None` when nothing was drained.
+    pub fn avg_inbox_drain_batch(&self) -> Option<f64> {
+        let t = self.total();
+        (t.inbox_drain_batches > 0).then(|| t.inbox_drained as f64 / t.inbox_drain_batches as f64)
+    }
+
     /// L2 misses per processed event (Tables V and VI). Returns 0.0 when
     /// nothing was processed.
     pub fn l2_misses_per_event(&self) -> f64 {
@@ -245,6 +279,30 @@ mod tests {
         assert_eq!(r.avg_steal_cycles().unwrap(), 150.0);
         assert_eq!(r.avg_stolen_cost().unwrap(), 2_500.0);
         assert_eq!(r.l2_misses_per_event(), 2.0);
+    }
+
+    #[test]
+    fn inbox_counters_merge_and_average() {
+        let a = CoreMetrics {
+            inbox_pushes: 10,
+            inbox_drained: 9,
+            inbox_drain_batches: 3,
+            inbox_rerouted: 1,
+            ..Default::default()
+        };
+        let b = CoreMetrics {
+            inbox_pushes: 2,
+            inbox_drained: 3,
+            inbox_drain_batches: 1,
+            ..Default::default()
+        };
+        let r = RunReport::new(vec![a, b], 100, 1_000, WsPolicy::off());
+        assert_eq!(r.inbox_pushes(), 12);
+        assert_eq!(r.inbox_drained(), 12);
+        assert_eq!(r.total().inbox_rerouted, 1);
+        assert_eq!(r.avg_inbox_drain_batch().unwrap(), 3.0);
+        let quiet = RunReport::new(vec![m(1, 0)], 100, 1_000, WsPolicy::off());
+        assert!(quiet.avg_inbox_drain_batch().is_none());
     }
 
     #[test]

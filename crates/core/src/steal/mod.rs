@@ -120,6 +120,11 @@ impl Default for WsPolicy {
 /// start at the core with the most queued events, followed by the
 /// successive cores in id order, wrapping around; the thief itself is
 /// excluded. With an empty machine the set is empty.
+///
+/// `loads` are whatever pending-work estimate the executor maintains;
+/// the threaded executor reports each core's queue length *plus* its
+/// injection-inbox backlog, so externally injected work attracts thieves
+/// even before the owning core has drained it into its queue.
 pub fn construct_core_set_base(thief: usize, loads: &[usize]) -> Vec<usize> {
     let n = loads.len();
     if n <= 1 {

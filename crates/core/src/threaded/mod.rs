@@ -22,6 +22,23 @@
 //!   detach + color-map update + absorb while holding both locks,
 //!   acquired in core-id order (deadlock-free). The simulator charges
 //!   costs per the paper's original sequence.
+//!
+//! One deliberate *extension* beyond the paper's implementation:
+//!
+//! - **Lock-free injection inboxes.** External producers (a cloned
+//!   [`RuntimeHandle`], the timer heap, the load-generation layers) do
+//!   not take the destination core's spinlock per event; they push onto
+//!   the core's [`InjectionInbox`] — a lock-free MPSC stack — and the
+//!   core merges the whole backlog into its queue under a single lock
+//!   acquisition at dispatch-loop boundaries. The color invariant is
+//!   preserved because the drain re-checks the color map under the
+//!   core's own lock (exactly the guarantee the two-lock migration
+//!   relies on) and re-routes any event whose color has been stolen in
+//!   the meantime. See [`inbox`] for the data structure and
+//!   [`RuntimeHandle::register_direct`] for the legacy per-event-lock
+//!   path (kept for benchmarking the difference).
+
+pub mod inbox;
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -39,17 +56,41 @@ use crate::queue::{LegacyQueue, MelyQueue, QueueImpl};
 use crate::runtime::Flavor;
 use crate::steal::{construct_core_set, WsPolicy};
 use crate::sync::SpinLock;
+use inbox::InjectionInbox;
 use mely_topology::MachineModel;
 
 const NO_COLOR: u32 = u32::MAX;
 const NO_OWNER: u32 = u32::MAX;
 
+/// One [`KeepAlive`] guard's contribution to `Shared::outstanding`.
+/// Tokens live in the high bits and events in the low 48 so that one
+/// atomic load yields a consistent (tokens, events) snapshot — two
+/// separate counters would let `stop_when_idle` interleave with a
+/// concurrent guard drop and stop while real events are still pending.
+const KEEPALIVE_UNIT: u64 = 1 << 48;
+/// Mask selecting the pending-event count from `Shared::outstanding`.
+const EVENT_MASK: u64 = KEEPALIVE_UNIT - 1;
+
 struct CoreShared {
     queue: SpinLock<QueueImpl>,
+    /// Lock-free MPSC inbox for cross-thread producers; drained by this
+    /// core's worker at dispatch-loop boundaries.
+    inbox: InjectionInbox,
     /// Color currently executing on this core (`NO_COLOR` when none).
     in_flight: AtomicU32,
     /// Approximate queue length for `construct_core_set`.
     len_hint: AtomicUsize,
+}
+
+impl CoreShared {
+    /// Pending work visible to victim selection: queued events plus the
+    /// inbox backlog that has not reached the queue yet. Saturating —
+    /// both inputs are racy estimates.
+    fn load_estimate(&self) -> usize {
+        self.len_hint
+            .load(Ordering::Relaxed)
+            .saturating_add(self.inbox.len())
+    }
 }
 
 struct TimerEntry {
@@ -83,7 +124,9 @@ struct Shared {
     machine: MachineModel,
     ws: WsPolicy,
     batch_threshold: u32,
-    /// Events registered but not yet fully executed (timers included).
+    /// Low 48 bits: events registered but not yet fully executed
+    /// (timers included). High bits: live [`KeepAlive`] guards, in
+    /// [`KEEPALIVE_UNIT`]s. Workers run while any bit is set.
     outstanding: AtomicU64,
     stop: AtomicBool,
     steal_est: AtomicU64,
@@ -92,9 +135,10 @@ struct Shared {
 }
 
 impl Shared {
-    /// Routes an event to the core currently owning its color. Retries if
-    /// a concurrent steal moves the color between lookup and lock.
-    fn route(&self, mut ev: Event) {
+    /// Fills in the scheduling metadata a freshly registered event needs:
+    /// handler-derived cost/penalty defaults and the global sequence
+    /// number.
+    fn prepare(&self, ev: &mut Event) {
         if let Some(h) = ev.handler {
             if ev.cost == 0 {
                 ev.cost = self.registry.estimate(h);
@@ -104,21 +148,43 @@ impl Shared {
             }
         }
         ev.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The color's current owner, claiming the color's home core for it
+    /// if nobody owns it yet.
+    fn owner_of(&self, ev: &Event) -> u32 {
+        let slot = ev.color().value() as usize;
+        let owner = self.color_owner[slot].load(Ordering::Acquire);
+        if owner != NO_OWNER {
+            return owner;
+        }
+        let home = ev.color().home_core(self.cores.len()) as u32;
+        match self.color_owner[slot].compare_exchange(
+            NO_OWNER,
+            home,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => home,
+            Err(cur) => cur,
+        }
+    }
+
+    /// Routes an event to the core currently owning its color, taking
+    /// that core's spinlock. Retries if a concurrent steal moves the
+    /// color between lookup and lock. This is the *direct* path, used by
+    /// worker threads themselves (handler registrations, inbox-drain
+    /// re-routes) and by [`RuntimeHandle::register_direct`].
+    fn route(&self, mut ev: Event) {
+        self.prepare(&mut ev);
+        self.route_prepared(ev);
+    }
+
+    /// [`Shared::route`] for an event whose metadata is already prepared.
+    fn route_prepared(&self, ev: Event) {
         let slot = ev.color().value() as usize;
         loop {
-            let mut owner = self.color_owner[slot].load(Ordering::Acquire);
-            if owner == NO_OWNER {
-                let home = ev.color().home_core(self.cores.len()) as u32;
-                owner = match self.color_owner[slot].compare_exchange(
-                    NO_OWNER,
-                    home,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                ) {
-                    Ok(_) => home,
-                    Err(cur) => cur,
-                };
-            }
+            let owner = self.owner_of(&ev);
             let core = &self.cores[owner as usize];
             let mut q = core.queue.lock();
             // Re-check under the lock: a steal may have moved the color.
@@ -130,9 +196,24 @@ impl Shared {
         }
     }
 
+    /// Hands an event to the owning core's lock-free inbox instead of
+    /// taking its spinlock. If a steal moves the color before the core
+    /// drains, the drain re-routes through the color map, so the color
+    /// invariant holds either way.
+    fn inject(&self, mut ev: Event) {
+        self.prepare(&mut ev);
+        let owner = self.owner_of(&ev);
+        self.cores[owner as usize].inbox.push(ev);
+    }
+
     fn register(&self, ev: Event) {
         self.outstanding.fetch_add(1, Ordering::AcqRel);
         self.route(ev);
+    }
+
+    fn register_injected(&self, ev: Event) {
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+        self.inject(ev);
     }
 
     fn register_after(&self, delay: u64, event: Event) {
@@ -152,9 +233,25 @@ pub struct RuntimeHandle {
 
 impl RuntimeHandle {
     /// Registers an event (hash-dispatched, or to the color's current
-    /// owner).
+    /// owner) through the owning core's lock-free injection inbox — the
+    /// producer never contends on the core's spinlock.
     pub fn register(&self, ev: Event) {
+        self.shared.register_injected(ev);
+    }
+
+    /// Registers an event by taking the owning core's spinlock directly,
+    /// bypassing the inbox. This is the pre-inbox injection path, kept so
+    /// `micro_inject` can measure what the inbox buys; prefer
+    /// [`RuntimeHandle::register`].
+    pub fn register_direct(&self, ev: Event) {
         self.shared.register(ev);
+    }
+
+    /// Registers an event to fire after `delay` cycles (measured on the
+    /// shared cycle clock). The firing itself is injected through the
+    /// owning core's inbox.
+    pub fn register_after(&self, delay: u64, ev: Event) {
+        self.shared.register_after(delay, ev);
     }
 
     /// Asks every worker to stop at the next opportunity.
@@ -164,7 +261,49 @@ impl RuntimeHandle {
 
     /// Events registered but not yet executed.
     pub fn outstanding(&self) -> u64 {
-        self.shared.outstanding.load(Ordering::Acquire)
+        self.shared.outstanding.load(Ordering::Acquire) & EVENT_MASK
+    }
+
+    /// Keeps the runtime's workers alive while the returned guard lives,
+    /// even with no events pending — the idiom for external producers
+    /// that will inject *later* (without it, workers exit the moment
+    /// everything registered so far has executed). Pair with
+    /// [`RuntimeHandle::stop_when_idle`].
+    pub fn keepalive(&self) -> KeepAlive {
+        self.shared
+            .outstanding
+            .fetch_add(KEEPALIVE_UNIT, Ordering::AcqRel);
+        KeepAlive {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Blocks until every registered event has executed (only
+    /// [`KeepAlive`] guards remain outstanding), then stops the
+    /// runtime. The token/event split lives in one atomic, so the idle
+    /// check is a consistent snapshot — a concurrently dropped guard
+    /// cannot make this stop while real events are pending. Events
+    /// injected concurrently with the stop may or may not run — the
+    /// usual producer/stop race.
+    pub fn stop_when_idle(&self) {
+        while self.shared.outstanding.load(Ordering::Acquire) & EVENT_MASK != 0 {
+            std::thread::yield_now();
+        }
+        self.stop();
+    }
+}
+
+/// RAII guard from [`RuntimeHandle::keepalive`]; dropping it lets the
+/// workers wind down once no real events remain.
+pub struct KeepAlive {
+    shared: Arc<Shared>,
+}
+
+impl Drop for KeepAlive {
+    fn drop(&mut self) {
+        self.shared
+            .outstanding
+            .fetch_sub(KEEPALIVE_UNIT, Ordering::AcqRel);
     }
 }
 
@@ -202,6 +341,7 @@ impl ThreadedRuntime {
                         QueueImpl::Mely(q)
                     }
                 }),
+                inbox: InjectionInbox::new(),
                 in_flight: AtomicU32::new(NO_COLOR),
                 len_hint: AtomicUsize::new(0),
             })
@@ -288,10 +428,15 @@ impl ThreadedRuntime {
                     .expect("spawn worker"),
             );
         }
-        let per_core: Vec<CoreMetrics> = joins
+        let mut per_core: Vec<CoreMetrics> = joins
             .into_iter()
             .map(|j| j.join().expect("worker must not panic"))
             .collect();
+        // Producer-side pushes happen on external threads; attribute each
+        // inbox's total to the core it feeds.
+        for (m, core) in per_core.iter_mut().zip(&self.shared.cores) {
+            m.inbox_pushes = core.inbox.total_pushes();
+        }
         let wall = cycles::now().wrapping_sub(start);
         RunReport::new(per_core, wall, cycles::NOMINAL_FREQ_HZ, self.shared.ws)
     }
@@ -306,6 +451,7 @@ fn worker_loop(shared: &Shared, me: usize) -> CoreMetrics {
             break;
         }
         drain_timers(shared);
+        drain_inbox(shared, me, &mut m);
 
         // Pop from our own queue.
         let popped = {
@@ -360,7 +506,49 @@ fn drain_timers(shared: &Shared) {
             break;
         }
         let t = timers.pop().expect("peeked");
-        shared.route(t.event);
+        // Timer firings are cross-thread producers like any other: they
+        // go through the owning core's inbox, not its spinlock.
+        shared.inject(t.event);
+    }
+}
+
+/// Merges everything buffered in `me`'s inbox into its queue under a
+/// single lock acquisition. Events whose color has been stolen since the
+/// producer looked up the owner are re-routed through the color map —
+/// the same discipline the two-lock migration enforces, so an event's
+/// color is never executable on two cores.
+fn drain_inbox(shared: &Shared, me: usize, m: &mut CoreMetrics) {
+    let core = &shared.cores[me];
+    let batch = core.inbox.drain();
+    if batch.is_empty() {
+        return;
+    }
+    m.inbox_drain_batches += 1;
+    m.inbox_drained += batch.len() as u64;
+    let mut strays = Vec::new();
+    {
+        let mut q = core.queue.lock();
+        m.lock_wait_cycles += q.waited_cycles();
+        m.lock_ops += 1;
+        for ev in batch {
+            let slot = ev.color().value() as usize;
+            // Owner re-check under our own lock: a steal moving a color
+            // in or out of this core needs this lock, so owner == me is
+            // stable for the rest of the critical section.
+            if shared.color_owner[slot].load(Ordering::Acquire) == me as u32 {
+                q.push(ev);
+            } else {
+                strays.push(ev);
+            }
+        }
+        core.len_hint.store(q.len(), Ordering::Relaxed);
+    }
+    // Stolen-away colors take the locked routing path (with its own
+    // owner re-check loop); they are rare — one steal must have raced
+    // the producer — so the per-event lock cost does not matter here.
+    m.inbox_rerouted += strays.len() as u64;
+    for ev in strays {
+        shared.route_prepared(ev);
     }
 }
 
@@ -396,17 +584,18 @@ fn execute_event(shared: &Shared, me: usize, mut ev: Event, m: &mut CoreMetrics)
 fn try_steal(shared: &Shared, me: usize, m: &mut CoreMetrics) -> bool {
     m.steal_attempts += 1;
     let t0 = cycles::now();
-    let loads: Vec<usize> = shared
-        .cores
-        .iter()
-        .map(|c| c.len_hint.load(Ordering::Relaxed))
-        .collect();
+    // Loads include each core's inbox backlog: work a producer has
+    // pushed but the owner has not drained yet is still pending work,
+    // and `construct_core_set` must see it.
+    let loads: Vec<usize> = shared.cores.iter().map(|c| c.load_estimate()).collect();
     let set = construct_core_set(shared.ws, me, &loads, &shared.machine);
     for v in set {
         if v == me || v >= shared.cores.len() {
             continue;
         }
         if shared.cores[v].len_hint.load(Ordering::Relaxed) == 0 {
+            // Nothing stealable in the victim's queue yet (its inbox can
+            // only be drained by the victim itself).
             continue;
         }
         if steal_from(shared, me, v, m) {
@@ -447,7 +636,7 @@ fn steal_from(shared: &Shared, me: usize, v: usize, m: &mut CoreMetrics) -> bool
     };
 
     let est = shared.steal_est.load(Ordering::Relaxed);
-    let stolen = match (&mut *gv, &mut *gm) {
+    match (&mut *gv, &mut *gm) {
         (QueueImpl::Legacy(vq), QueueImpl::Legacy(mq)) => {
             if vq.distinct_colors() < 2 {
                 return false;
@@ -465,7 +654,6 @@ fn steal_from(shared: &Shared, me: usize, v: usize, m: &mut CoreMetrics) -> bool
             mq.append(events);
             m.stolen_events += n;
             m.stolen_cost_cycles += cost;
-            true
         }
         (QueueImpl::Mely(vq), QueueImpl::Mely(mq)) => {
             vq.set_steal_cost_estimate(est);
@@ -488,15 +676,48 @@ fn steal_from(shared: &Shared, me: usize, v: usize, m: &mut CoreMetrics) -> bool
             mq.absorb(d);
             m.stolen_events += n;
             m.stolen_cost_cycles += cost;
-            true
         }
         _ => unreachable!("both cores share one flavor"),
-    };
-    if stolen {
-        shared.cores[v].len_hint.store(gv.len(), Ordering::Relaxed);
-        shared.cores[me].len_hint.store(gm.len(), Ordering::Relaxed);
     }
-    stolen
+
+    // Rescue the victim's inbox backlog while both locks are held.
+    // Events of the just-stolen color would otherwise strand in the
+    // victim's inbox until its next drain — by which time newer events
+    // of that color may already have run here, inverting per-producer
+    // order. Draining concurrently with the victim is safe (each node is
+    // taken by exactly one swap); placement re-checks the color map
+    // under the locks we hold.
+    let backlog = shared.cores[v].inbox.drain();
+    if !backlog.is_empty() {
+        m.inbox_drain_batches += 1;
+        m.inbox_drained += backlog.len() as u64;
+        for ev in backlog {
+            let slot = ev.color().value() as usize;
+            let owner = shared.color_owner[slot].load(Ordering::Acquire);
+            if owner == me as u32 {
+                // The stolen color (or one we already own): goes after
+                // the just-migrated events, preserving producer order.
+                gm.push(ev);
+            } else if owner == v as u32 {
+                gv.push(ev);
+            } else if (owner as usize) < shared.cores.len() {
+                // A third core owns it (an earlier racing steal); hand
+                // the event to that core's inbox.
+                m.inbox_rerouted += 1;
+                shared.cores[owner as usize].inbox.push(ev);
+            } else {
+                // Unclaimed colors cannot normally reach an inbox
+                // (inject claims an owner before pushing); keep the
+                // event with the victim and claim the color for it.
+                shared.color_owner[slot].store(v as u32, Ordering::Release);
+                gv.push(ev);
+            }
+        }
+    }
+
+    shared.cores[v].len_hint.store(gv.len(), Ordering::Relaxed);
+    shared.cores[me].len_hint.store(gm.len(), Ordering::Relaxed);
+    true
 }
 
 #[cfg(test)]
@@ -621,6 +842,60 @@ mod tests {
         let r = rt.run();
         injector.join().unwrap();
         assert!(r.events_processed() >= 21);
+        // Handle registrations and the timer firing all went through the
+        // lock-free inboxes, and every push was eventually drained.
+        assert!(r.inbox_pushes() >= 21);
+        assert_eq!(r.inbox_drained(), r.inbox_pushes());
+        assert!(r.avg_inbox_drain_batch().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn keepalive_holds_workers_and_stop_when_idle_drains() {
+        let rt = rt(Flavor::Mely, WsPolicy::off(), 2);
+        let keepalive = rt.handle().keepalive();
+        let handle = rt.handle();
+        let done = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&done);
+        let injector = std::thread::spawn(move || {
+            // The workers have nothing queued at start; without the
+            // keepalive they would already have exited.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            for i in 0..30u16 {
+                let d = Arc::clone(&d);
+                handle.register(Event::new(Color::new(i + 1), 0).with_action(move |_| {
+                    d.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            handle.stop_when_idle();
+            drop(keepalive);
+        });
+        let r = rt.run();
+        injector.join().unwrap();
+        assert_eq!(done.load(Ordering::Relaxed), 30, "late work still ran");
+        assert_eq!(r.events_processed(), 30);
+    }
+
+    #[test]
+    fn direct_and_inbox_injection_paths_agree() {
+        let rt = rt(Flavor::Libasync, WsPolicy::base(), 2);
+        rt.register(Event::new(Color::new(1), 0).with_action(|ctx| {
+            ctx.register_after(50_000_000, Event::new(Color::new(1), 0));
+        }));
+        let handle = rt.handle();
+        let injector = std::thread::spawn(move || {
+            for i in 0..40u16 {
+                let ev = Event::new(Color::new(i % 8 + 10), 0);
+                if i % 2 == 0 {
+                    handle.register(ev);
+                } else {
+                    handle.register_direct(ev);
+                }
+            }
+        });
+        let r = rt.run();
+        injector.join().unwrap();
+        assert_eq!(r.events_processed(), 42);
+        assert!(r.inbox_pushes() >= 20, "inbox path used for half");
     }
 
     #[test]

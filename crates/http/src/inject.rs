@@ -1,0 +1,131 @@
+//! Turning parsed HTTP requests into runtime events.
+//!
+//! SWS's event graph colors request processing per connection (paper
+//! Section V-C1): parsing, cache lookup and response construction for
+//! one connection are serialized, while different connections spread
+//! across cores. This module is the HTTP layer's producer side for the
+//! threaded executor: [`request_event`] builds the colored, cost-
+//! annotated event for serving one parsed [`Request`], and
+//! [`inject_request`] registers it through the runtime's lock-free
+//! injection inbox (the HTTP frontend is an external producer; it must
+//! not take a core's dispatch spinlock per request).
+//!
+//! The declared cost uses [`service_cost`]: a fixed parse/lookup charge
+//! plus a per-byte charge for streaming the response, mirroring how the
+//! paper attributes SWS handler time between protocol work and data
+//! movement.
+
+use mely_core::color::Color;
+use mely_core::ctx::Ctx;
+use mely_core::event::Event;
+use mely_core::threaded::RuntimeHandle;
+
+use crate::{Request, ResponseCache};
+
+/// Fixed cycles charged for parsing + cache lookup of one request.
+pub const REQUEST_BASE_COST: u64 = 8_000;
+
+/// Cycles charged per 64 bytes of response payload streamed out.
+pub const COST_PER_64B: u64 = 16;
+
+/// Declared processing cost of serving a response of `wire_len` bytes.
+pub fn service_cost(wire_len: usize) -> u64 {
+    REQUEST_BASE_COST + (wire_len as u64).div_ceil(64) * COST_PER_64B
+}
+
+/// Builds the runtime event for serving `req` out of `cache` on
+/// connection color `color`: correct cost annotation, no action (attach
+/// one with [`Event::with_action`]). Misses are costed as a 404.
+pub fn request_event(color: Color, req: &Request, cache: &ResponseCache) -> Event {
+    let wire_len = cache
+        .lookup(&req.path)
+        .map(|r| r.wire_len())
+        .unwrap_or_else(|| crate::Response::not_found().wire_len());
+    Event::new(color, service_cost(wire_len))
+}
+
+/// Registers the serving of `req` with the runtime, through the owning
+/// core's lock-free inbox; `action` does the actual response write.
+/// Returns the declared cost (useful for accounting tests).
+pub fn inject_request(
+    handle: &RuntimeHandle,
+    color: Color,
+    req: &Request,
+    cache: &ResponseCache,
+    action: impl FnOnce(&mut Ctx<'_>) + Send + 'static,
+) -> u64 {
+    let ev = request_event(color, req, cache).with_action(action);
+    let cost = ev.cost();
+    handle.register(ev);
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_request, ParseOutcome};
+    use mely_core::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn parsed(raw: &[u8]) -> Request {
+        match parse_request(raw) {
+            ParseOutcome::Complete(req, _) => req,
+            other => panic!("expected complete request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn service_cost_scales_with_payload() {
+        assert_eq!(service_cost(0), REQUEST_BASE_COST);
+        assert_eq!(service_cost(64), REQUEST_BASE_COST + COST_PER_64B);
+        assert_eq!(service_cost(65), REQUEST_BASE_COST + 2 * COST_PER_64B);
+        assert!(service_cost(1 << 20) > service_cost(1 << 10));
+    }
+
+    #[test]
+    fn request_event_costs_hits_and_misses() {
+        let mut cache = ResponseCache::new();
+        cache.insert_file("/index.html", vec![b'x'; 4096]);
+        let hit = parsed(b"GET /index.html HTTP/1.1\r\n\r\n");
+        let miss = parsed(b"GET /nope HTTP/1.1\r\n\r\n");
+        let c = Color::new(42);
+        let hit_ev = request_event(c, &hit, &cache);
+        let miss_ev = request_event(c, &miss, &cache);
+        assert_eq!(hit_ev.color(), c);
+        assert!(
+            hit_ev.cost() > miss_ev.cost(),
+            "a 4 KiB body must out-cost a 404"
+        );
+        assert!(miss_ev.cost() >= REQUEST_BASE_COST);
+    }
+
+    #[test]
+    fn injected_requests_execute_on_the_threaded_runtime() {
+        let mut cache = ResponseCache::new();
+        cache.populate_uniform(8, 1024);
+        let rt = RuntimeBuilder::new()
+            .cores(2)
+            .flavor(Flavor::Mely)
+            .build_threaded();
+        let keepalive = rt.handle().keepalive();
+        let handle = rt.handle();
+        let served = Arc::new(AtomicU64::new(0));
+        for conn in 0..8u16 {
+            let req = parsed(format!("GET /f{conn}.bin HTTP/1.1\r\n\r\n").as_bytes());
+            let served = Arc::clone(&served);
+            let cost = inject_request(&handle, Color::new(conn + 100), &req, &cache, move |_ctx| {
+                served.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(cost >= REQUEST_BASE_COST);
+        }
+        let stopper = rt.handle();
+        std::thread::spawn(move || {
+            stopper.stop_when_idle();
+            drop(keepalive);
+        });
+        let r = rt.run();
+        assert_eq!(served.load(Ordering::Relaxed), 8);
+        assert!(r.inbox_pushes() >= 8, "requests went through the inboxes");
+    }
+}

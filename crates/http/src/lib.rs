@@ -31,6 +31,8 @@
 //! }
 //! ```
 
+pub mod inject;
+
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;

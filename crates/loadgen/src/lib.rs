@@ -10,6 +10,10 @@
 //! implementations living in the application crates (HTTP for SWS, the
 //! SFS read protocol for SFS).
 //!
+//! For the *threaded* executor, [`threaded::InjectorPool`] provides the
+//! real-time analogue: OS producer threads injecting events through the
+//! runtime's lock-free inboxes.
+//!
 //! # Examples
 //!
 //! A minimal echo protocol against a hand-driven server:
@@ -47,6 +51,8 @@
 //! load.advance(&mut net, 2_000_000);
 //! assert_eq!(load.stats().responses, 1);
 //! ```
+
+pub mod threaded;
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

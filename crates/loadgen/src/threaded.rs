@@ -1,0 +1,236 @@
+//! Multi-threaded load injection into a running
+//! [`ThreadedRuntime`](mely_core::threaded::ThreadedRuntime).
+//!
+//! The closed-loop driver in [`crate`] lives in *virtual* time and feeds
+//! the simulated executor. This module is its real-time counterpart: a
+//! pool of OS producer threads hammering a [`RuntimeHandle`] with
+//! events, the way a network frontend or RPC ingress would. Each
+//! producer is an *external* producer in the sense of the threaded
+//! executor's injection architecture — its registrations go through the
+//! owning core's lock-free inbox and never contend on the core's
+//! dispatch spinlock ([`InjectMode::Inbox`]), unless the caller
+//! explicitly asks for the legacy per-event-lock path
+//! ([`InjectMode::DirectLock`], kept for measuring the difference).
+//!
+//! # Examples
+//!
+//! ```
+//! use mely_core::prelude::*;
+//! use mely_loadgen::threaded::{InjectMode, InjectorConfig, InjectorPool};
+//!
+//! let rt = RuntimeBuilder::new()
+//!     .cores(2)
+//!     .flavor(Flavor::Mely)
+//!     .build_threaded();
+//! // Keep the workers alive until the pool is done, then drain + stop.
+//! let keepalive = rt.handle().keepalive();
+//! let pool = InjectorPool::spawn(
+//!     rt.handle(),
+//!     InjectorConfig {
+//!         producers: 2,
+//!         events_per_producer: 100,
+//!         colors: 8,
+//!         cost: 0,
+//!         mode: InjectMode::Inbox,
+//!     },
+//! );
+//! let stopper = rt.handle();
+//! std::thread::spawn(move || {
+//!     assert_eq!(pool.join(), 200);
+//!     stopper.stop_when_idle();
+//!     drop(keepalive);
+//! });
+//! let report = rt.run();
+//! assert!(report.events_processed() >= 200);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+
+use mely_core::color::Color;
+use mely_core::event::Event;
+use mely_core::threaded::RuntimeHandle;
+
+/// Which injection path the producers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InjectMode {
+    /// Push through the owning core's lock-free inbox
+    /// ([`RuntimeHandle::register`]) — the default and the fast path.
+    #[default]
+    Inbox,
+    /// Take the owning core's spinlock per event
+    /// ([`RuntimeHandle::register_direct`]) — the pre-inbox behavior,
+    /// kept so benchmarks can quantify the contention it causes.
+    DirectLock,
+}
+
+/// Shape of the injected load.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectorConfig {
+    /// Number of OS producer threads.
+    pub producers: usize,
+    /// Events each producer registers.
+    pub events_per_producer: u64,
+    /// Events cycle through this many distinct colors per producer
+    /// (disjoint across producers, so producers never serialize on a
+    /// color).
+    pub colors: u16,
+    /// Declared processing cost of each event, in cycles.
+    pub cost: u64,
+    /// Injection path.
+    pub mode: InjectMode,
+}
+
+impl Default for InjectorConfig {
+    fn default() -> Self {
+        InjectorConfig {
+            producers: 4,
+            events_per_producer: 10_000,
+            colors: 16,
+            cost: 0,
+            mode: InjectMode::Inbox,
+        }
+    }
+}
+
+/// A running pool of producer threads.
+///
+/// Construction ([`InjectorPool::spawn`]) starts all producers behind a
+/// barrier so they begin injecting simultaneously; [`InjectorPool::join`]
+/// waits for completion and returns the total events injected.
+pub struct InjectorPool {
+    threads: Vec<JoinHandle<()>>,
+    injected: Arc<AtomicU64>,
+}
+
+impl InjectorPool {
+    /// Starts `cfg.producers` threads injecting into `handle`'s runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.producers` or `cfg.colors` is zero, or if
+    /// `producers * colors` exceeds the 16-bit color space (the
+    /// disjoint-per-producer color ranges could not exist).
+    pub fn spawn(handle: RuntimeHandle, cfg: InjectorConfig) -> Self {
+        assert!(cfg.producers > 0, "need at least one producer");
+        assert!(cfg.colors > 0, "need at least one color per producer");
+        assert!(
+            cfg.producers as u64 * u64::from(cfg.colors) <= u64::from(u16::MAX),
+            "producers x colors must fit the 16-bit color space for the \
+             per-producer ranges to stay disjoint"
+        );
+        let barrier = Arc::new(Barrier::new(cfg.producers));
+        let injected = Arc::new(AtomicU64::new(0));
+        let threads = (0..cfg.producers)
+            .map(|p| {
+                let handle = handle.clone();
+                let barrier = Arc::clone(&barrier);
+                let injected = Arc::clone(&injected);
+                std::thread::Builder::new()
+                    .name(format!("mely-inject-{p}"))
+                    .spawn(move || {
+                        // Disjoint color range per producer: producer p
+                        // uses colors [1 + p*colors, 1 + (p+1)*colors)
+                        // (in-bounds by the assert in `spawn`; colors
+                        // start at 1 to avoid the fully-serializing
+                        // default color 0).
+                        let base = 1 + p as u64 * u64::from(cfg.colors);
+                        barrier.wait();
+                        for i in 0..cfg.events_per_producer {
+                            let color = Color::new((base + i % u64::from(cfg.colors)) as u16);
+                            let ev = Event::new(color, cfg.cost);
+                            match cfg.mode {
+                                InjectMode::Inbox => handle.register(ev),
+                                InjectMode::DirectLock => handle.register_direct(ev),
+                            }
+                        }
+                        injected.fetch_add(cfg.events_per_producer, Ordering::Relaxed);
+                    })
+                    .expect("spawn producer")
+            })
+            .collect();
+        InjectorPool { threads, injected }
+    }
+
+    /// Waits for every producer and returns the total events injected.
+    pub fn join(self) -> u64 {
+        for t in self.threads {
+            t.join().expect("producer must not panic");
+        }
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mely_core::prelude::*;
+
+    fn run_with_pool(mode: InjectMode) -> RunReport {
+        let rt = RuntimeBuilder::new()
+            .cores(2)
+            .flavor(Flavor::Mely)
+            .build_threaded();
+        let keepalive = rt.handle().keepalive();
+        let pool = InjectorPool::spawn(
+            rt.handle(),
+            InjectorConfig {
+                producers: 3,
+                events_per_producer: 500,
+                colors: 4,
+                cost: 0,
+                mode,
+            },
+        );
+        let stopper = rt.handle();
+        let waiter = std::thread::spawn(move || {
+            assert_eq!(pool.join(), 1_500);
+            stopper.stop_when_idle();
+            drop(keepalive);
+        });
+        let report = rt.run();
+        waiter.join().unwrap();
+        report
+    }
+
+    #[test]
+    fn inbox_pool_injects_everything() {
+        let r = run_with_pool(InjectMode::Inbox);
+        assert!(r.events_processed() >= 1_500);
+        assert!(r.inbox_pushes() >= 1_500, "inbox path must be used");
+    }
+
+    #[test]
+    fn direct_pool_injects_everything() {
+        let r = run_with_pool(InjectMode::DirectLock);
+        assert!(r.events_processed() >= 1_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one producer")]
+    fn zero_producers_rejected() {
+        let rt = RuntimeBuilder::new().cores(1).build_threaded();
+        let _ = InjectorPool::spawn(
+            rt.handle(),
+            InjectorConfig {
+                producers: 0,
+                ..InjectorConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "16-bit color space")]
+    fn color_space_overflow_rejected() {
+        let rt = RuntimeBuilder::new().cores(1).build_threaded();
+        let _ = InjectorPool::spawn(
+            rt.handle(),
+            InjectorConfig {
+                producers: 9,
+                colors: 8_192,
+                ..InjectorConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Bridging network readiness into the threaded runtime.
+//!
+//! The paper's servers turn readiness notifications into colored events:
+//! per-listener events for accepts, per-connection events for reads and
+//! closes, so requests on different connections parallelize while each
+//! connection stays serialized (Section V-C). [`NetInjector`] is that
+//! boundary for the *threaded* executor: it maps a [`NetEvent`] to a
+//! [`Color`] and registers the handler through the runtime's lock-free
+//! injection inbox ([`RuntimeHandle::register`]) — the poll loop is an
+//! external producer and must not contend on a core's dispatch spinlock.
+//!
+//! Color discipline:
+//!
+//! - connections hash into colors `1..=0x7FFF` ([`conn_color`]); `Fd`s
+//!   are never reused, so two live connections share a color only on a
+//!   hash collision, which merely serializes them (never unsafe);
+//! - listeners map to colors `0x8000..=0xFFFF` ([`listener_color`]),
+//!   disjoint from connection colors, so accept storms cannot serialize
+//!   behind request processing.
+
+use mely_core::color::Color;
+use mely_core::ctx::Ctx;
+use mely_core::event::Event;
+use mely_core::threaded::RuntimeHandle;
+
+use crate::{Fd, NetEvent};
+
+/// The color serializing all events of connection `fd`.
+pub fn conn_color(fd: Fd) -> Color {
+    Color::new(1 + (fd % 0x7FFF) as u16)
+}
+
+/// The color serializing accepts on listener `port` (disjoint from every
+/// [`conn_color`]).
+pub fn listener_color(port: u16) -> Color {
+    Color::new(0x8000 | (port & 0x7FFF))
+}
+
+/// Declared processing-cost estimates for injected events, in cycles
+/// (they feed the time-left workstealing heuristic, not real spinning —
+/// unless the runtime materializes them).
+#[derive(Debug, Clone, Copy)]
+pub struct InjectCosts {
+    /// Cost of an accept event.
+    pub accept: u64,
+    /// Cost of a read (request-processing) event.
+    pub read: u64,
+    /// Cost of a peer-close event.
+    pub close: u64,
+}
+
+impl Default for InjectCosts {
+    fn default() -> Self {
+        // The paper's SWS measurements: accepts and closes are short
+        // kernel-bound handlers, reads carry the request parsing.
+        InjectCosts {
+            accept: 5_000,
+            read: 20_000,
+            close: 2_000,
+        }
+    }
+}
+
+/// Registers colored runtime events for network readiness, through the
+/// lock-free injection inbox of the color's owning core.
+pub struct NetInjector {
+    handle: RuntimeHandle,
+    costs: InjectCosts,
+}
+
+impl NetInjector {
+    /// Creates an injector feeding `handle`'s runtime.
+    pub fn new(handle: RuntimeHandle, costs: InjectCosts) -> Self {
+        NetInjector { handle, costs }
+    }
+
+    /// The color an event would be registered under.
+    pub fn color_of(e: &NetEvent) -> Color {
+        match e {
+            NetEvent::Acceptable(port) => listener_color(*port),
+            NetEvent::Readable(fd) | NetEvent::PeerClosed(fd) => conn_color(*fd),
+        }
+    }
+
+    /// Builds the (action-less) runtime event for a readiness event:
+    /// correct color, declared cost. Callers attach their handler with
+    /// [`Event::with_action`].
+    pub fn event_for(&self, e: &NetEvent) -> Event {
+        let cost = match e {
+            NetEvent::Acceptable(_) => self.costs.accept,
+            NetEvent::Readable(_) => self.costs.read,
+            NetEvent::PeerClosed(_) => self.costs.close,
+        };
+        Event::new(Self::color_of(e), cost)
+    }
+
+    /// Registers `action` for one readiness event; returns the color it
+    /// was serialized under.
+    pub fn inject(
+        &self,
+        e: &NetEvent,
+        action: impl FnOnce(&mut Ctx<'_>) + Send + 'static,
+    ) -> Color {
+        let ev = self.event_for(e).with_action(action);
+        let color = ev.color();
+        self.handle.register(ev);
+        color
+    }
+
+    /// Registers one event per readiness notification via `make_action`;
+    /// returns how many were injected. This is the shape of a poll loop:
+    /// `injector.inject_poll(net.poll(now), |e| handler_for(e))`.
+    pub fn inject_poll<A>(
+        &self,
+        events: impl IntoIterator<Item = NetEvent>,
+        mut make_action: impl FnMut(&NetEvent) -> A,
+    ) -> usize
+    where
+        A: FnOnce(&mut Ctx<'_>) + Send + 'static,
+    {
+        let mut n = 0;
+        for e in events {
+            self.inject(&e, make_action(&e));
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetConfig, SimNet};
+    use mely_core::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn colors_partition_listeners_and_connections() {
+        assert_eq!(conn_color(0), Color::new(1));
+        assert_eq!(conn_color(0x7FFF), Color::new(1), "wraps, stays nonzero");
+        assert!(conn_color(u64::MAX).value() < 0x8000);
+        assert!(listener_color(80).value() >= 0x8000);
+        assert!(listener_color(0xFFFF).value() >= 0x8000);
+        for fd in [0u64, 1, 2, 1_000, u64::MAX] {
+            assert!(!conn_color(fd).is_default(), "default color serializes");
+        }
+    }
+
+    #[test]
+    fn poll_events_flow_into_the_threaded_runtime() {
+        // A real SimNet interaction produces the readiness events...
+        let mut net = SimNet::new(NetConfig { one_way_delay: 10 });
+        net.listen(80);
+        let fd = {
+            net.connect(80, 0).expect("listening");
+            let events = net.poll(100);
+            assert!(matches!(events[0], NetEvent::Acceptable(80)));
+            net.accept(80, 100).expect("acceptable")
+        };
+        net.client_write(fd, 100, b"GET /".to_vec());
+        let mut events = vec![NetEvent::Acceptable(80)];
+        events.extend(net.poll(200));
+        assert!(events.contains(&NetEvent::Readable(fd)));
+
+        // ...which the injector turns into colored runtime events.
+        let rt = RuntimeBuilder::new()
+            .cores(2)
+            .flavor(Flavor::Mely)
+            .build_threaded();
+        let keepalive = rt.handle().keepalive();
+        let injector = NetInjector::new(rt.handle(), InjectCosts::default());
+        let hits = Arc::new(AtomicU64::new(0));
+        let n = injector.inject_poll(events.iter().copied(), |_e| {
+            let hits = Arc::clone(&hits);
+            move |_ctx: &mut Ctx<'_>| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(n, 2);
+        let stopper = rt.handle();
+        std::thread::spawn(move || {
+            stopper.stop_when_idle();
+            drop(keepalive);
+        });
+        let r = rt.run();
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        assert!(r.inbox_pushes() >= 2, "poll loop used the inbox path");
+    }
+
+    #[test]
+    fn event_for_carries_declared_costs() {
+        let rt = RuntimeBuilder::new().cores(1).build_threaded();
+        let inj = NetInjector::new(
+            rt.handle(),
+            InjectCosts {
+                accept: 1,
+                read: 2,
+                close: 3,
+            },
+        );
+        assert_eq!(inj.event_for(&NetEvent::Acceptable(80)).cost(), 1);
+        assert_eq!(inj.event_for(&NetEvent::Readable(9)).cost(), 2);
+        assert_eq!(inj.event_for(&NetEvent::PeerClosed(9)).cost(), 3);
+        assert_eq!(inj.event_for(&NetEvent::Readable(9)).color(), conn_color(9));
+    }
+}

@@ -44,6 +44,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 pub mod driver;
+pub mod inject;
 
 /// Network parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

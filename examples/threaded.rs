@@ -1,5 +1,6 @@
 //! The threaded executor: the same scheduler running on real OS threads
-//! with spinlock-protected queues and real workstealing.
+//! with spinlock-protected queues and real workstealing — plus external
+//! producers injecting through the per-core lock-free inboxes.
 //!
 //! Run with `cargo run --release --example threaded`.
 
@@ -27,15 +28,65 @@ fn main() {
             0,
         );
     }
+
+    // Meanwhile, two external producer threads inject 300 more events
+    // each through the lock-free inboxes (never touching a core's
+    // dispatch spinlock), the way a network frontend would.
+    let injected = Arc::new(AtomicU64::new(0));
+    let producers: Vec<_> = (0..2u16)
+        .map(|p| {
+            let handle = rt.handle();
+            let injected = Arc::clone(&injected);
+            std::thread::spawn(move || {
+                for i in 0..300u16 {
+                    let injected = Arc::clone(&injected);
+                    handle.register(
+                        Event::new(Color::new(500 + p * 300 + i), 5_000).with_action(move |_ctx| {
+                            injected.fetch_add(1, Ordering::Relaxed);
+                        }),
+                    );
+                }
+            })
+        })
+        .collect();
+
+    // Keep the workers alive until every producer is done, then let the
+    // runtime drain and stop it.
+    let keepalive = rt.handle().keepalive();
+    let stopper = rt.handle();
+    let waiter = std::thread::spawn(move || {
+        for p in producers {
+            p.join().unwrap();
+        }
+        stopper.stop_when_idle();
+        drop(keepalive);
+    });
     let report = rt.run();
+    waiter.join().unwrap();
     assert_eq!(sum.load(Ordering::Relaxed), (1..=200u64).sum());
+    assert_eq!(injected.load(Ordering::Relaxed), 600);
     println!("events processed : {}", report.events_processed());
     println!("steals           : {}", report.total().steals);
+    println!(
+        "injected         : {} executed of {} pushed via inboxes",
+        injected.load(Ordering::Relaxed),
+        report.inbox_pushes()
+    );
+    println!(
+        "inbox drains     : {} events in {} batches (avg {:.1}/drain, {} re-routed after steals)",
+        report.inbox_drained(),
+        report.total().inbox_drain_batches,
+        report.avg_inbox_drain_batch().unwrap_or(0.0),
+        report.total().inbox_rerouted,
+    );
     println!(
         "wall             : {:.2} ms (cycle-counter time)",
         report.wall_secs() * 1e3
     );
     for (i, c) in report.per_core().iter().enumerate() {
-        println!("core {i}: {:>4} events", c.events_processed);
+        println!(
+            "core {i}: {:>4} events ({} drained from inbox)",
+            c.events_processed, c.inbox_drained
+        );
     }
 }

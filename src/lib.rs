@@ -7,19 +7,19 @@
 //! workspace so that the examples and integration tests in the repository
 //! root can exercise the whole system through one dependency:
 //!
-//! - [`core`](mely_core) — the Mely runtime and the Libasync-smp baseline
+//! - [`core`] — the Mely runtime and the Libasync-smp baseline
 //!   (events, colors, queues, workstealing, simulated and threaded
 //!   executors).
-//! - [`topology`](mely_topology) — machine and cache-hierarchy models.
-//! - [`cachesim`](mely_cachesim) — multi-level set-associative cache
+//! - [`topology`] — machine and cache-hierarchy models.
+//! - [`cachesim`] — multi-level set-associative cache
 //!   simulator.
-//! - [`net`](mely_net) — the simulated network substrate and its readiness
+//! - [`net`] — the simulated network substrate and its readiness
 //!   selector (the role `epoll` plays in the paper).
-//! - [`http`](mely_http) — the HTTP/1.1 subset used by the SWS web server.
-//! - [`crypto`](mely_crypto) — the stream cipher and MAC used by SFS.
+//! - [`http`] — the HTTP/1.1 subset used by the SWS web server.
+//! - [`crypto`] — the stream cipher and MAC used by SFS.
 //! - [`sws`] / [`sfs`] — the two system services of the paper's evaluation.
-//! - [`loadgen`](mely_loadgen) — the closed-loop load injector.
-//! - [`bench`](mely_bench) — workloads and table/figure harnesses.
+//! - [`loadgen`] — the closed-loop load injector.
+//! - [`bench`](mod@bench) — workloads and table/figure harnesses.
 //!
 //! # Quickstart
 //!

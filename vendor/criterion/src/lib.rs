@@ -2,12 +2,23 @@
 //!
 //! Implements the API surface the workspace's benchmarks use —
 //! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
-//! `bench_function`, `Bencher::iter` / `iter_batched`, `Throughput`,
-//! `BatchSize`, `black_box` — with a simple wall-clock measurement loop
-//! instead of criterion's statistical machinery. Good enough to keep
-//! `cargo bench --no-run` honest in CI and to print indicative ns/iter
-//! numbers when actually run.
+//! `bench_function`, `Bencher::iter` / `iter_batched` / `iter_custom`,
+//! `Throughput`, `BatchSize`, `black_box` — with a simple wall-clock
+//! measurement loop instead of criterion's statistical machinery. Good
+//! enough to keep `cargo bench --no-run` honest in CI and to print
+//! indicative ns/iter numbers when actually run.
+//!
+//! Two environment variables integrate the shim with CI:
+//!
+//! - `MELY_BENCH_JSON=<path>` — append one JSON line
+//!   `{"id":"<benchmark id>","ns_per_op":<mean>}` per benchmark to
+//!   `<path>` (JSON Lines; the `bench_gate` tool merges them into the
+//!   `BENCH_<run>.json` summary and compares against the committed
+//!   baseline);
+//! - `MELY_BENCH_BUDGET_MS=<ms>` — wall-clock measuring budget per
+//!   benchmark (default 200 ms; CI's `bench-quick` uses a short budget).
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -100,10 +111,46 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput
         _ => String::new(),
     };
     println!("{id:<40} {ns_per_iter:>12.1} ns/iter{rate}");
+    emit_json(id, ns_per_iter);
 }
 
-/// Target wall-clock time spent measuring one benchmark.
-const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Appends `{"id":...,"ns_per_op":...}` to `$MELY_BENCH_JSON` (JSON
+/// Lines), if set. Quoting is safe for the ids this workspace uses
+/// (no quotes/backslashes); non-finite means are recorded as 0.
+///
+/// Public so hand-rolled bench harnesses (`micro_inject`, which cannot
+/// use the shim's auto-sized loops) emit the exact same protocol.
+pub fn emit_json(id: &str, ns_per_op: f64) {
+    let Ok(path) = std::env::var("MELY_BENCH_JSON") else {
+        return;
+    };
+    let ns = if ns_per_op.is_finite() {
+        ns_per_op
+    } else {
+        0.0
+    };
+    let line = format!("{{\"id\":\"{id}\",\"ns_per_op\":{ns:.3}}}\n");
+    let r = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = r {
+        eprintln!("warning: cannot append to MELY_BENCH_JSON={path}: {e}");
+    }
+}
+
+/// Target wall-clock time spent measuring one benchmark
+/// (`MELY_BENCH_BUDGET_MS` overrides the 200 ms default). Public for
+/// hand-rolled bench harnesses that scale their own op counts.
+pub fn measure_budget() -> Duration {
+    std::env::var("MELY_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(200))
+}
+
 const WARMUP_ITERS: u64 = 3;
 const MIN_ITERS: u64 = 10;
 const MAX_ITERS: u64 = 1_000_000;
@@ -122,7 +169,7 @@ impl Bencher {
             black_box(routine());
         }
         let est = start.elapsed().max(Duration::from_nanos(1)) / WARMUP_ITERS as u32;
-        let iters = (MEASURE_BUDGET.as_nanos() / est.as_nanos().max(1)) as u64;
+        let iters = (measure_budget().as_nanos() / est.as_nanos().max(1)) as u64;
         let iters = iters.clamp(MIN_ITERS, MAX_ITERS);
         let start = Instant::now();
         for _ in 0..iters {
@@ -146,7 +193,7 @@ impl Bencher {
             est += start.elapsed();
         }
         let est = (est / WARMUP_ITERS as u32).max(Duration::from_nanos(1));
-        let iters = (MEASURE_BUDGET.as_nanos() / est.as_nanos().max(1)) as u64;
+        let iters = (measure_budget().as_nanos() / est.as_nanos().max(1)) as u64;
         let iters = iters.clamp(MIN_ITERS, MAX_ITERS);
         for _ in 0..iters {
             let input = setup();
@@ -155,6 +202,22 @@ impl Bencher {
             self.total += start.elapsed();
         }
         self.iters += iters;
+    }
+
+    /// Full-control measurement: `routine(n)` performs `n` operations
+    /// and returns the time they took (the caller owns setup, threads,
+    /// and the clock). Available for harnesses whose operation does not
+    /// fit `iter`'s closure shape; note that `micro_inject` does NOT
+    /// use it — probe-sized batches are too noisy for multi-threaded
+    /// runs, so it hand-rolls fixed-size measurements and emits
+    /// [`emit_json`] lines directly.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        const PROBE_OPS: u64 = 64;
+        let est = routine(PROBE_OPS).max(Duration::from_nanos(1)) / PROBE_OPS as u32;
+        let ops = (measure_budget().as_nanos() / est.as_nanos().max(1)) as u64;
+        let ops = ops.clamp(MIN_ITERS, MAX_ITERS);
+        self.total += routine(ops);
+        self.iters += ops;
     }
 }
 
@@ -195,5 +258,39 @@ mod tests {
             )
         });
         g.finish();
+    }
+
+    #[test]
+    fn iter_custom_accumulates_reported_time() {
+        let mut c = Criterion::default();
+        c.bench_function("custom", |b| {
+            b.iter_custom(|ops| {
+                let start = Instant::now();
+                let mut acc = 0u64;
+                for i in 0..ops {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                black_box(acc);
+                start.elapsed()
+            })
+        });
+    }
+
+    #[test]
+    fn json_lines_are_appended_when_env_set() {
+        let path = std::env::temp_dir().join(format!("mely-bench-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // Env vars are process-global; tests in this crate run in one
+        // process, so set, run, and clean up in one place.
+        std::env::set_var("MELY_BENCH_JSON", &path);
+        emit_json("group/bench", 123.456);
+        emit_json("other", f64::NAN);
+        std::env::remove_var("MELY_BENCH_JSON");
+        let data = std::fs::read_to_string(&path).expect("file written");
+        let _ = std::fs::remove_file(&path);
+        // Sibling tests running benchmarks concurrently may append their
+        // own lines while the env var is set; only check ours.
+        assert!(data.contains("{\"id\":\"group/bench\",\"ns_per_op\":123.456}"));
+        assert!(data.contains("{\"id\":\"other\",\"ns_per_op\":0.000}"));
     }
 }

@@ -1,9 +1,13 @@
 //! Minimal, offline stand-in for the `crossbeam-utils` crate.
 //!
-//! Provides only [`CachePadded`], which is all this workspace uses. The
-//! alignment is 128 bytes — two 64-byte lines — to defeat the adjacent-
-//! line prefetcher on modern x86, same as the real crate.
+//! Provides the pieces this workspace uses, with the real crate's API:
+//!
+//! - [`CachePadded`] — pads and aligns a value to 128 bytes (two 64-byte
+//!   lines, defeating the adjacent-line prefetcher on modern x86);
+//! - [`Backoff`] — exponential backoff for compare-and-swap retry loops,
+//!   used by the lock-free injection inbox of the threaded runtime.
 
+use std::cell::Cell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 
@@ -49,6 +53,80 @@ impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
     }
 }
 
+/// Exponential backoff for retry loops on atomic operations.
+///
+/// Mirrors the real crate: [`Backoff::spin`] busy-waits with
+/// exponentially more `spin_loop` hints per call, and once the budget is
+/// exhausted ([`Backoff::is_completed`]) callers are expected to switch
+/// to [`Backoff::snooze`], which yields the thread instead of burning
+/// cycles. Contention on a compare-and-swap loop thus degrades
+/// gracefully from "retry immediately" to "let someone else run".
+///
+/// # Examples
+///
+/// ```
+/// use crossbeam_utils::Backoff;
+///
+/// let backoff = Backoff::new();
+/// backoff.spin(); // 1 spin hint
+/// backoff.spin(); // 2 spin hints, then 4, 8, ...
+/// while !backoff.is_completed() {
+///     backoff.snooze(); // spins first, yields once the budget is spent
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: Cell<u32>,
+}
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+impl Backoff {
+    /// Creates a fresh backoff state.
+    pub fn new() -> Self {
+        Backoff { step: Cell::new(0) }
+    }
+
+    /// Resets to the initial (shortest) backoff.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Backs off with `2^step` spin-loop hints, doubling each call up to
+    /// `2^6`.
+    pub fn spin(&self) {
+        let step = self.step.get().min(SPIN_LIMIT);
+        for _ in 0..1u32 << step {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Backs off, yielding the thread once spinning has run its course.
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= SPIN_LIMIT {
+            for _ in 0..1u32 << step {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if step <= YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// Whether the spinning budget is exhausted (callers should block or
+    /// yield from here on).
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +138,22 @@ mod tests {
         *p += 1;
         assert_eq!(*p, 8);
         assert_eq!(p.into_inner(), 8);
+    }
+
+    #[test]
+    fn backoff_progresses_to_completion() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..SPIN_LIMIT + 1 {
+            b.spin();
+        }
+        // Spinning alone never exhausts the budget; snoozing does.
+        assert!(!b.is_completed());
+        for _ in 0..YIELD_LIMIT + 1 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
     }
 }
