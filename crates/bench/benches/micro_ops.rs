@@ -37,6 +37,38 @@ fn queue_ops(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // High color-churn steady state: one long-lived queue; every round
+    // creates 64 single-event colors and retires them all — the
+    // "short-lived color" path of paper Section V-C1. After the first
+    // round the buffer pool and index are warm, so this measures the
+    // allocation-free pooled path the dispatch loop actually runs.
+    g.bench_function("mely_push_pop_churn", |b| {
+        let mut q = MelyQueue::with_capacity(true, 64);
+        b.iter(|| {
+            for i in 0..64u16 {
+                q.push(Event::new(Color::new(i + 1), 100));
+            }
+            while q.pop(10).is_some() {}
+        });
+    });
+    // Seed-equivalent control for the churn workload: a fresh queue per
+    // batch with capacity 0 means an empty pool and lazy tables, so
+    // every color creation pays the allocator exactly like the pre-pool
+    // code did. bench_gate asserts churn (pooled) beats this
+    // (`--min-speedup`).
+    g.bench_function("mely_push_pop_churn_cold", |b| {
+        b.iter_batched(
+            || MelyQueue::with_capacity(true, 0),
+            |mut q| {
+                for i in 0..64u16 {
+                    q.push(Event::new(Color::new(i + 1), 100));
+                }
+                while q.pop(10).is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
     g.finish();
 }
 

@@ -149,6 +149,13 @@ impl Event {
     /// processing time: `cost / penalty` (at least 1 when the cost is
     /// nonzero), per Section IV-B of the paper.
     pub fn weighted_cost(&self) -> u64 {
+        // The default penalty of 1 is by far the common case and the
+        // queues evaluate this on every push and pop; skip the u64
+        // division for it (identical result: cost/1 is cost, and the
+        // max(1) clamp only matters for penalties above the cost).
+        if self.penalty <= 1 {
+            return self.cost;
+        }
         if self.cost == 0 {
             0
         } else {

@@ -53,6 +53,12 @@ pub struct CoreMetrics {
     /// Drained events whose color had been stolen between push and
     /// drain, re-routed through the color map.
     pub inbox_rerouted: u64,
+    /// Inbox pushes that reused a recycled Treiber node instead of
+    /// allocating (threaded executor only).
+    pub inbox_node_reuse: u64,
+    /// Color-queue creations that reused a pooled event buffer instead
+    /// of allocating (Mely flavor only).
+    pub queue_buf_reuse: u64,
 }
 
 impl CoreMetrics {
@@ -76,6 +82,8 @@ impl CoreMetrics {
         self.inbox_drained += o.inbox_drained;
         self.inbox_drain_batches += o.inbox_drain_batches;
         self.inbox_rerouted += o.inbox_rerouted;
+        self.inbox_node_reuse += o.inbox_node_reuse;
+        self.queue_buf_reuse += o.queue_buf_reuse;
     }
 }
 
@@ -196,6 +204,18 @@ impl RunReport {
         (t.inbox_drain_batches > 0).then(|| t.inbox_drained as f64 / t.inbox_drain_batches as f64)
     }
 
+    /// Inbox pushes served by the node recycling pool instead of the
+    /// allocator (threaded executor; 0 under simulation).
+    pub fn inbox_node_reuse(&self) -> u64 {
+        self.total().inbox_node_reuse
+    }
+
+    /// Color-queue creations served by the queue's buffer pool instead
+    /// of the allocator (Mely flavor; 0 for Libasync).
+    pub fn queue_buf_reuse(&self) -> u64 {
+        self.total().queue_buf_reuse
+    }
+
     /// L2 misses per processed event (Tables V and VI). Returns 0.0 when
     /// nothing was processed.
     pub fn l2_misses_per_event(&self) -> f64 {
@@ -288,18 +308,24 @@ mod tests {
             inbox_drained: 9,
             inbox_drain_batches: 3,
             inbox_rerouted: 1,
+            inbox_node_reuse: 7,
+            queue_buf_reuse: 4,
             ..Default::default()
         };
         let b = CoreMetrics {
             inbox_pushes: 2,
             inbox_drained: 3,
             inbox_drain_batches: 1,
+            inbox_node_reuse: 1,
+            queue_buf_reuse: 2,
             ..Default::default()
         };
         let r = RunReport::new(vec![a, b], 100, 1_000, WsPolicy::off());
         assert_eq!(r.inbox_pushes(), 12);
         assert_eq!(r.inbox_drained(), 12);
         assert_eq!(r.total().inbox_rerouted, 1);
+        assert_eq!(r.inbox_node_reuse(), 8);
+        assert_eq!(r.queue_buf_reuse(), 6);
         assert_eq!(r.avg_inbox_drain_batch().unwrap(), 3.0);
         let quiet = RunReport::new(vec![m(1, 0)], 100, 1_000, WsPolicy::off());
         assert!(quiet.avg_inbox_drain_batch().is_none());

@@ -17,9 +17,39 @@
 //! Stealing a color from a `MelyQueue` detaches the whole color-queue in
 //! O(1) — this is the structural change that makes Mely's steals ~12.5×
 //! cheaper than Libasync-smp's queue scans (Table III).
+//!
+//! # Memory architecture
+//!
+//! The steady-state dispatch path is allocation-free and hash-cheap:
+//!
+//! - The color index is a [`FxHashMap`] (vendored Fx hasher: one
+//!   multiply per key) instead of `std`'s SipHash `RandomState` —
+//!   every push pays one lookup, and colors are 2-byte application
+//!   annotations, not adversarial input, so HashDoS hardening buys
+//!   nothing on this path.
+//! - Freed color-queues return their event buffer (a `VecDeque` with
+//!   its grown capacity intact) to a bounded per-queue *buffer pool*
+//!   (`BUF_POOL_MAX` entries); creating a color-queue takes a pooled
+//!   buffer first. Short-lived colors — the costly path the paper
+//!   notes in Section V-C1 — therefore stop hitting the allocator once
+//!   the pool is warm.
+//! - Steals stay O(1) and allocation-free end to end: [`MelyQueue::detach`]
+//!   hands the victim's buffer to the [`DetachedColorQueue`], which
+//!   carries it across the migration; [`MelyQueue::absorb`] either
+//!   installs that buffer directly as the thief's new color-queue or,
+//!   when the color already exists on the thief, drains it and drops
+//!   the emptied buffer into the thief's pool. Buffers thus follow the
+//!   events — no side-channel is needed to return them.
+//! - [`MelyQueue::with_capacity`] pre-reserves the slot table, free
+//!   list and index so cold-start pushes don't trigger incremental
+//!   regrow/rehash; [`MelyQueue::new`] uses a default sizing.
+//!
+//! [`MelyQueue::buf_reuses`] counts pool hits; the threaded executor
+//! surfaces it as `queue_buf_reuse` in [`crate::metrics::CoreMetrics`].
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
+
+use fxhash::{FxBuildHasher, FxHashMap};
 
 use crate::color::Color;
 use crate::event::Event;
@@ -42,6 +72,13 @@ struct ColorQueue {
 
 /// A color-queue detached from a victim core by a steal, ready to be
 /// absorbed by the thief.
+///
+/// Carries the victim's event buffer (capacity and all) across the
+/// migration: [`MelyQueue::absorb`] reinstates it as the thief's
+/// color-queue buffer, or empties it into an existing one and pools it.
+/// Dropping a `DetachedColorQueue` without absorbing it discards the
+/// stolen events *and* returns the buffer to the allocator — real
+/// steals always absorb.
 #[derive(Debug)]
 pub struct DetachedColorQueue {
     color: Color,
@@ -83,6 +120,40 @@ impl DetachedColorQueue {
 /// Number of time-left intervals in the stealing-queue.
 const INTERVALS: usize = 3;
 
+/// Color-queue capacity [`MelyQueue::new`] pre-reserves (slots, free
+/// list and index); enough for every workload in the evaluation to
+/// start without a regrow.
+const DEFAULT_COLOR_CAPACITY: usize = 32;
+
+/// Maximum number of empty event buffers retained for reuse. Bounds
+/// the memory a burst of distinct colors can pin: beyond this, freed
+/// buffers go back to the allocator.
+const BUF_POOL_MAX: usize = 64;
+
+/// Event capacity of each pre-warmed pool buffer: a small power-of-two
+/// starter. A color whose first burst exceeds it pays a one-time
+/// regrow, after which the buffer's larger capacity persists through
+/// the pool — so steady state is allocation-free regardless of burst
+/// size (up to the pool bound).
+const INITIAL_BUF_EVENTS: usize = 8;
+
+/// Stealing-queue interval for cumulative weight `cum_weighted` under
+/// steal-cost estimate `est`; `None` when not worth stealing. A free
+/// function so the push/pop hot paths can evaluate it while the
+/// color-queue is mutably borrowed.
+fn bucket_for(est: u64, cum_weighted: u64) -> Option<usize> {
+    let est = est.max(1);
+    if cum_weighted <= est {
+        None
+    } else if cum_weighted < 4 * est {
+        Some(0)
+    } else if cum_weighted < 16 * est {
+        Some(1)
+    } else {
+        Some(2)
+    }
+}
+
 /// The Mely per-core queue: core-queue of color-queues plus the
 /// stealing-queue of worthy colors.
 #[derive(Debug)]
@@ -91,8 +162,13 @@ pub struct MelyQueue {
     free: Vec<usize>,
     head: Option<usize>,
     tail: Option<usize>,
-    index: HashMap<Color, usize>,
+    index: FxHashMap<Color, usize>,
     buckets: [Vec<usize>; INTERVALS],
+    /// Empty event buffers recycled from drained/absorbed color-queues,
+    /// capacity intact; bounded by [`BUF_POOL_MAX`].
+    buf_pool: Vec<VecDeque<Event>>,
+    /// Color-queue creations served from the buffer pool.
+    buf_reuses: u64,
     steal_cost_estimate: u64,
     use_penalty: bool,
     total_events: usize,
@@ -102,17 +178,36 @@ pub struct MelyQueue {
 }
 
 impl MelyQueue {
-    /// Creates an empty queue. `use_penalty` selects whether cumulative
-    /// weighted times divide by the events' workstealing penalties (the
-    /// penalty-aware heuristic) or use raw costs.
+    /// Creates an empty queue with the default pre-reserved capacity of
+    /// `DEFAULT_COLOR_CAPACITY` color-queues. `use_penalty` selects
+    /// whether cumulative weighted times divide by the events'
+    /// workstealing penalties (the penalty-aware heuristic) or use raw
+    /// costs.
     pub fn new(use_penalty: bool) -> Self {
+        Self::with_capacity(use_penalty, DEFAULT_COLOR_CAPACITY)
+    }
+
+    /// Creates an empty queue pre-reserving room for `colors` distinct
+    /// colors in the slot table, the free list, the index and the
+    /// stealing-queue buckets, and pre-warming the buffer pool with as
+    /// many (small) event buffers — so cold-start pushes never trigger
+    /// an incremental regrow/rehash and the dispatch path is
+    /// allocation-free from the very first event. `colors == 0` skips
+    /// every reservation (the seed's lazy behavior, kept for the
+    /// `mely_push_pop_churn_cold` benchmark control).
+    pub fn with_capacity(use_penalty: bool, colors: usize) -> Self {
+        let pool = colors.min(BUF_POOL_MAX);
         MelyQueue {
-            slots: Vec::new(),
-            free: Vec::new(),
+            slots: Vec::with_capacity(colors),
+            free: Vec::with_capacity(colors),
             head: None,
             tail: None,
-            index: HashMap::new(),
-            buckets: Default::default(),
+            index: FxHashMap::with_capacity_and_hasher(colors, FxBuildHasher::default()),
+            buckets: std::array::from_fn(|_| Vec::with_capacity(colors)),
+            buf_pool: (0..pool)
+                .map(|_| VecDeque::with_capacity(INITIAL_BUF_EVENTS))
+                .collect(),
+            buf_reuses: 0,
             steal_cost_estimate: 0,
             use_penalty,
             total_events: 0,
@@ -146,6 +241,37 @@ impl MelyQueue {
         self.steal_cost_estimate
     }
 
+    /// Color-queue creations that reused a pooled event buffer instead
+    /// of allocating (the threaded executor's `queue_buf_reuse` metric).
+    pub fn buf_reuses(&self) -> u64 {
+        self.buf_reuses
+    }
+
+    /// Empty buffers currently pooled (tests and debugging).
+    pub fn buf_pool_len(&self) -> usize {
+        self.buf_pool.len()
+    }
+
+    /// Takes an event buffer from the pool, or allocates a fresh one.
+    fn take_buf(&mut self) -> VecDeque<Event> {
+        match self.buf_pool.pop() {
+            Some(buf) => {
+                self.buf_reuses += 1;
+                buf
+            }
+            None => VecDeque::new(),
+        }
+    }
+
+    /// Returns an emptied event buffer to the pool (capacity intact),
+    /// unless the pool is full.
+    fn put_buf(&mut self, buf: VecDeque<Event>) {
+        debug_assert!(buf.is_empty(), "pooled buffers must be empty");
+        if self.buf_pool.len() < BUF_POOL_MAX {
+            self.buf_pool.push(buf);
+        }
+    }
+
     /// Updates the steal-cost estimate (from the runtime's monitoring).
     /// Re-classifies every color-queue when the estimate moved by more
     /// than 25% (stale interval assignments are tolerated in between;
@@ -177,16 +303,7 @@ impl MelyQueue {
     /// `None` when the color is not worth stealing (paper Section III-B:
     /// worthy iff processing time exceeds the steal cost).
     fn desired_bucket(&self, cum_weighted: u64) -> Option<usize> {
-        let est = self.steal_cost_estimate.max(1);
-        if cum_weighted <= est {
-            None
-        } else if cum_weighted < 4 * est {
-            Some(0)
-        } else if cum_weighted < 16 * est {
-            Some(1)
-        } else {
-            Some(2)
-        }
+        bucket_for(self.steal_cost_estimate, cum_weighted)
     }
 
     fn bucket_remove(&mut self, slot: usize) {
@@ -272,14 +389,20 @@ impl MelyQueue {
         self.total_events += 1;
         self.total_cost += cost;
         if let Some(&slot) = self.index.get(&color) {
+            let est = self.steal_cost_estimate;
             let cq = self.slots[slot].as_mut().expect("indexed slot is live");
             cq.events.push_back(ev);
             cq.cum_cost += cost;
             cq.cum_weighted += w;
-            self.rebucket(slot);
+            // Hot path: check the interval while the slot is already
+            // borrowed; `rebucket` (which re-borrows) only runs when
+            // the color actually moves.
+            if bucket_for(est, cq.cum_weighted) != cq.bucket.map(|(b, _)| b) {
+                self.rebucket(slot);
+            }
             false
         } else {
-            let mut events = VecDeque::new();
+            let mut events = self.take_buf();
             events.push_back(ev);
             let slot = self.alloc_slot(ColorQueue {
                 color,
@@ -342,20 +465,24 @@ impl MelyQueue {
             return None;
         }
         let slot = self.normalize_cur(batch_threshold)?;
-        let (ev, now_empty, next) = {
+        let use_penalty = self.use_penalty;
+        let est = self.steal_cost_estimate;
+        let (ev, now_empty, next, need_rebucket) = {
             let cq = self.slots[slot].as_mut().expect("cur slot is live");
             let ev = cq
                 .events
                 .pop_front()
                 .expect("live color-queue is non-empty");
-            (ev, cq.events.is_empty(), cq.next)
-        };
-        let w = self.weight_of(&ev);
-        {
-            let cq = self.slots[slot].as_mut().expect("cur slot is live");
+            let w = if use_penalty {
+                ev.weighted_cost()
+            } else {
+                ev.cost()
+            };
             cq.cum_cost -= ev.cost();
             cq.cum_weighted -= w;
-        }
+            let need = bucket_for(est, cq.cum_weighted) != cq.bucket.map(|(b, _)| b);
+            (ev, cq.events.is_empty(), cq.next, need)
+        };
         self.total_events -= 1;
         self.total_cost -= ev.cost();
         if now_empty {
@@ -365,7 +492,9 @@ impl MelyQueue {
                 (s, c, 0)
             });
         } else {
-            self.rebucket(slot);
+            if need_rebucket {
+                self.rebucket(slot);
+            }
             if let Some((s, c, n)) = self.cur {
                 debug_assert_eq!(s, slot);
                 self.cur = Some((s, c, n + 1));
@@ -380,6 +509,9 @@ impl MelyQueue {
         let cq = self.slots[slot].take().expect("slot is live");
         self.index.remove(&cq.color);
         self.free.push(slot);
+        // The drained color's buffer keeps its capacity for the next
+        // short-lived color instead of going back to the allocator.
+        self.put_buf(cq.events);
     }
 
     /// Earliest time the event `pop` would return can run (`None` when
@@ -478,6 +610,9 @@ impl MelyQueue {
     }
 
     /// Detaches a whole color-queue in O(1) — Mely's steal primitive.
+    /// The color's event buffer leaves with the returned set (the thief's
+    /// [`MelyQueue::absorb`] reuses or pools it), so a steal allocates
+    /// nothing on either side.
     ///
     /// # Panics
     ///
@@ -503,18 +638,23 @@ impl MelyQueue {
     /// here while the steal was in flight), the stolen — older — events
     /// are prepended to preserve per-color FIFO order. Returns the number
     /// of absorbed events.
-    pub fn absorb(&mut self, d: DetachedColorQueue) -> usize {
+    ///
+    /// Allocation-free: the detached set's buffer either becomes the new
+    /// color-queue's buffer directly or, when the color already exists,
+    /// is emptied into it and dropped into this queue's buffer pool.
+    pub fn absorb(&mut self, mut d: DetachedColorQueue) -> usize {
         let n = d.events.len();
         self.total_events += n;
         self.total_cost += d.cum_cost;
         if let Some(&slot) = self.index.get(&d.color) {
             let cq = self.slots[slot].as_mut().expect("indexed slot is live");
-            for ev in d.events.into_iter().rev() {
+            while let Some(ev) = d.events.pop_back() {
                 cq.events.push_front(ev);
             }
             cq.cum_cost += d.cum_cost;
             cq.cum_weighted += d.cum_weighted;
             self.rebucket(slot);
+            self.put_buf(d.events);
         } else {
             let slot = self.alloc_slot(ColorQueue {
                 color: d.color,
@@ -824,6 +964,90 @@ mod tests {
         e.visible_at = 777;
         q.push(e);
         assert_eq!(q.next_ready_time(10), Some(777));
+    }
+
+    #[test]
+    fn drained_buffers_are_pooled_and_reused() {
+        // Cold queue (no pre-warmed pool) so the counters start at zero.
+        let mut q = MelyQueue::with_capacity(true, 0);
+        // Grow a color's buffer well past the default, then drain it.
+        for i in 0..32 {
+            q.push(ev(1, i));
+        }
+        while q.pop(100).is_some() {}
+        assert_eq!(q.buf_pool_len(), 1);
+        assert_eq!(q.buf_reuses(), 0);
+        // A brand-new color takes the pooled buffer (capacity intact).
+        q.push(ev(2, 5));
+        assert_eq!(q.buf_pool_len(), 0);
+        assert_eq!(q.buf_reuses(), 1);
+        assert_eq!(q.pop(10).unwrap().cost(), 5);
+        q.assert_invariants();
+    }
+
+    #[test]
+    fn absorb_into_existing_color_pools_the_stolen_buffer() {
+        let mut victim = MelyQueue::with_capacity(true, 0);
+        victim.push(ev(7, 1));
+        victim.push(ev(8, 1));
+        victim.push(ev(8, 1));
+        victim.push(ev(8, 1));
+        let (slot, _) = victim.choose_scan(None).unwrap();
+        let d = victim.detach(slot);
+        assert_eq!(d.color(), Color::new(7));
+
+        let mut thief = MelyQueue::with_capacity(true, 0);
+        thief.push(ev(7, 2));
+        assert_eq!(thief.buf_pool_len(), 0);
+        thief.absorb(d);
+        // The stolen set's emptied buffer landed in the thief's pool.
+        assert_eq!(thief.buf_pool_len(), 1);
+        thief.assert_invariants();
+    }
+
+    #[test]
+    fn absorb_new_color_reuses_the_stolen_buffer_directly() {
+        let mut victim = MelyQueue::with_capacity(true, 0);
+        victim.push(ev(7, 1));
+        victim.push(ev(8, 1));
+        victim.push(ev(8, 1));
+        victim.push(ev(8, 1));
+        let (slot, _) = victim.choose_scan(None).unwrap();
+        let d = victim.detach(slot);
+
+        let mut thief = MelyQueue::with_capacity(true, 0);
+        thief.absorb(d);
+        // No pooling needed: the buffer became the new color-queue.
+        assert_eq!(thief.buf_pool_len(), 0);
+        assert_eq!(thief.buf_reuses(), 0);
+        assert_eq!(thief.pop(10).unwrap().color(), Color::new(7));
+        thief.assert_invariants();
+    }
+
+    #[test]
+    fn pool_is_capacity_bounded() {
+        let mut q = MelyQueue::new(true);
+        // Create and drain far more distinct colors than the pool holds.
+        for round in 0..4u16 {
+            for i in 0..100u16 {
+                q.push(ev(1_000 + round * 100 + i, 1));
+            }
+            while q.pop(10).is_some() {}
+        }
+        assert!(q.buf_pool_len() <= 64, "pool must stay bounded");
+        q.assert_invariants();
+    }
+
+    #[test]
+    fn with_capacity_pre_reserves() {
+        let mut q = MelyQueue::with_capacity(true, 16);
+        for i in 0..16u16 {
+            q.push(ev(i + 1, 1));
+        }
+        assert_eq!(q.distinct_colors(), 16);
+        q.assert_invariants();
+        while q.pop(10).is_some() {}
+        assert!(q.is_empty());
     }
 
     #[test]

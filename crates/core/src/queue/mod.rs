@@ -53,6 +53,15 @@ impl QueueImpl {
         }
     }
 
+    /// Color-queue creations served from the recycled-buffer pool
+    /// (always 0 for the legacy flavor, which has no pool).
+    pub fn buf_reuses(&self) -> u64 {
+        match self {
+            QueueImpl::Legacy(_) => 0,
+            QueueImpl::Mely(q) => q.buf_reuses(),
+        }
+    }
+
     /// Pushes one event (appending to its color's position for the
     /// flavor's discipline).
     pub fn push(&mut self, ev: Event) {

@@ -36,7 +36,12 @@
 //!   relies on) and re-routes any event whose color has been stolen in
 //!   the meantime. See [`inbox`] for the data structure and
 //!   [`RuntimeHandle::register_direct`] for the legacy per-event-lock
-//!   path (kept for benchmarking the difference).
+//!   path (kept for benchmarking the difference). The steady-state
+//!   dispatch path is allocation-free end to end: the inbox recycles
+//!   its Treiber nodes, each worker reuses one drain buffer across
+//!   iterations, and the Mely queue pools freed color-queue buffers
+//!   (surfaced as the `inbox_node_reuse` / `queue_buf_reuse` counters
+//!   in [`CoreMetrics`]).
 
 pub mod inbox;
 
@@ -433,9 +438,12 @@ impl ThreadedRuntime {
             .map(|j| j.join().expect("worker must not panic"))
             .collect();
         // Producer-side pushes happen on external threads; attribute each
-        // inbox's total to the core it feeds.
+        // inbox's totals to the core it feeds. The queue's buffer-pool
+        // counter lives in the (now idle) queue itself.
         for (m, core) in per_core.iter_mut().zip(&self.shared.cores) {
             m.inbox_pushes = core.inbox.total_pushes();
+            m.inbox_node_reuse = core.inbox.total_node_reuses();
+            m.queue_buf_reuse = core.queue.lock().buf_reuses();
         }
         let wall = cycles::now().wrapping_sub(start);
         RunReport::new(per_core, wall, cycles::NOMINAL_FREQ_HZ, self.shared.ws)
@@ -446,12 +454,15 @@ fn worker_loop(shared: &Shared, me: usize) -> CoreMetrics {
     let mut m = CoreMetrics::default();
     let batch = shared.batch_threshold;
     let mut idle_spins: u32 = 0;
+    // Reused across iterations so steady-state inbox drains never
+    // allocate (the inbox recycles its nodes; this recycles the batch).
+    let mut inbox_batch: Vec<Event> = Vec::new();
     loop {
         if shared.stop.load(Ordering::Acquire) {
             break;
         }
         drain_timers(shared);
-        drain_inbox(shared, me, &mut m);
+        drain_inbox(shared, me, &mut inbox_batch, &mut m);
 
         // Pop from our own queue.
         let popped = {
@@ -517,10 +528,10 @@ fn drain_timers(shared: &Shared) {
 /// producer looked up the owner are re-routed through the color map —
 /// the same discipline the two-lock migration enforces, so an event's
 /// color is never executable on two cores.
-fn drain_inbox(shared: &Shared, me: usize, m: &mut CoreMetrics) {
+fn drain_inbox(shared: &Shared, me: usize, batch: &mut Vec<Event>, m: &mut CoreMetrics) {
     let core = &shared.cores[me];
-    let batch = core.inbox.drain();
-    if batch.is_empty() {
+    debug_assert!(batch.is_empty(), "caller hands the buffer back empty");
+    if core.inbox.drain_into(batch) == 0 {
         return;
     }
     m.inbox_drain_batches += 1;
@@ -530,7 +541,7 @@ fn drain_inbox(shared: &Shared, me: usize, m: &mut CoreMetrics) {
         let mut q = core.queue.lock();
         m.lock_wait_cycles += q.waited_cycles();
         m.lock_ops += 1;
-        for ev in batch {
+        for ev in batch.drain(..) {
             let slot = ev.color().value() as usize;
             // Owner re-check under our own lock: a steal moving a color
             // in or out of this core needs this lock, so owner == me is
@@ -847,6 +858,47 @@ mod tests {
         assert!(r.inbox_pushes() >= 21);
         assert_eq!(r.inbox_drained(), r.inbox_pushes());
         assert!(r.avg_inbox_drain_batch().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn recycling_counters_surface_in_the_report() {
+        let rt = rt(Flavor::Mely, WsPolicy::off(), 1);
+        // Serialize everything on one color so the worker drains the
+        // inbox in many small batches, recycling nodes in between, and
+        // the queue keeps retiring and recreating the color-queue.
+        let keepalive = rt.handle().keepalive();
+        let handle = rt.handle();
+        let injector = std::thread::spawn(move || {
+            // Chunked with a drain barrier in between: waiting for
+            // `outstanding` to hit zero guarantees the worker drained
+            // the inbox (recycling its nodes) and popped the color-queue
+            // empty (pooling its buffer) before the next chunk pushes —
+            // so both reuse counters must advance no matter how the
+            // scheduler interleaves the threads.
+            for chunk in 0..40u64 {
+                for i in 0..50u64 {
+                    handle.register(Event::new(Color::new(5), (chunk + i) % 3));
+                }
+                while handle.outstanding() > 0 {
+                    std::thread::yield_now();
+                }
+            }
+            handle.stop_when_idle();
+            drop(keepalive);
+        });
+        let r = rt.run();
+        injector.join().unwrap();
+        assert_eq!(r.events_processed(), 2_000);
+        assert!(
+            r.inbox_node_reuse() > 0,
+            "inbox node pool never hit: {:?}",
+            r.total()
+        );
+        assert!(
+            r.queue_buf_reuse() > 0,
+            "queue buffer pool never hit: {:?}",
+            r.total()
+        );
     }
 
     #[test]

@@ -32,6 +32,25 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
+/// Random operations over a *pair* of pooled queues, modelling two
+/// cores with steals migrating whole color-queues between them.
+#[derive(Debug, Clone)]
+enum PairOp {
+    Push { color: u16, penalty: u32 },
+    Pop { on_b: bool, threshold: u32 },
+    Steal { a_to_b: bool },
+    SetEstimate { est: u64 },
+}
+
+fn pair_op_strategy() -> impl Strategy<Value = PairOp> {
+    prop_oneof![
+        (0u16..12, 1u32..100).prop_map(|(color, penalty)| PairOp::Push { color, penalty }),
+        (any::<bool>(), 1u32..8).prop_map(|(on_b, threshold)| PairOp::Pop { on_b, threshold }),
+        any::<bool>().prop_map(|a_to_b| PairOp::Steal { a_to_b }),
+        (0u64..10_000).prop_map(|est| PairOp::SetEstimate { est }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -73,6 +92,85 @@ proptest! {
             q.assert_invariants();
         }
         prop_assert_eq!(pushed - removed, q.len() as u64);
+    }
+
+    /// The pooled-buffer queue pair under randomized push/pop/detach/
+    /// absorb: invariants always hold, and recycled buffers never leak
+    /// events across colors — every popped event is checked against a
+    /// per-color FIFO model keyed by a unique id, on whichever queue
+    /// currently owns the color, so a stale event surviving in a reused
+    /// buffer (wrong color, wrong order, or duplicated) is caught
+    /// immediately.
+    #[test]
+    fn pooled_queues_never_leak_events_across_colors(
+        ops in prop::collection::vec(pair_op_strategy(), 1..300),
+    ) {
+        // Tiny initial capacity: regrow and pool warm-up paths both run.
+        let mut qa = MelyQueue::with_capacity(true, 4);
+        let mut qb = MelyQueue::with_capacity(true, 4);
+        // Per-color FIFO of unique ids (encoded in the cost); colors
+        // live on exactly one queue at a time, `on_b` tracking which.
+        let mut model: std::collections::HashMap<u16, std::collections::VecDeque<u64>> =
+            Default::default();
+        let mut on_b: std::collections::HashMap<u16, bool> = Default::default();
+        let mut next_id: u64 = 1;
+        for op in ops {
+            match op {
+                PairOp::Push { color, penalty } => {
+                    let owner = *on_b.entry(color).or_insert(color % 2 == 0);
+                    let q = if owner { &mut qb } else { &mut qa };
+                    q.push(Event::new(Color::new(color), next_id).with_penalty(penalty));
+                    model.entry(color).or_default().push_back(next_id);
+                    next_id += 1;
+                }
+                PairOp::Pop { on_b: pop_b, threshold } => {
+                    let q = if pop_b { &mut qb } else { &mut qa };
+                    if let Some(ev) = q.pop(threshold) {
+                        let c = ev.color().value();
+                        prop_assert_eq!(on_b.get(&c).copied(), Some(pop_b));
+                        let expected = model
+                            .get_mut(&c)
+                            .and_then(std::collections::VecDeque::pop_front);
+                        prop_assert_eq!(expected, Some(ev.cost()));
+                    }
+                }
+                PairOp::Steal { a_to_b } => {
+                    let (victim, thief) = if a_to_b {
+                        (&mut qa, &mut qb)
+                    } else {
+                        (&mut qb, &mut qa)
+                    };
+                    let slot = victim
+                        .choose_scan(None)
+                        .map(|(s, _)| s)
+                        .or_else(|| victim.choose_worthy(None));
+                    if let Some(slot) = slot {
+                        let d = victim.detach(slot);
+                        on_b.insert(d.color().value(), a_to_b);
+                        thief.absorb(d);
+                    }
+                }
+                PairOp::SetEstimate { est } => {
+                    qa.set_steal_cost_estimate(est);
+                    qb.set_steal_cost_estimate(est);
+                }
+            }
+            qa.assert_invariants();
+            qb.assert_invariants();
+        }
+        // Drain everything; the model must be consumed exactly.
+        for (q, is_b) in [(&mut qa, false), (&mut qb, true)] {
+            while let Some(ev) = q.pop(3) {
+                let c = ev.color().value();
+                prop_assert_eq!(on_b.get(&c).copied(), Some(is_b));
+                let expected = model
+                    .get_mut(&c)
+                    .and_then(std::collections::VecDeque::pop_front);
+                prop_assert_eq!(expected, Some(ev.cost()));
+            }
+        }
+        prop_assert!(model.values().all(std::collections::VecDeque::is_empty),
+            "events lost in a recycled buffer");
     }
 
     /// Per-color FIFO: whatever the pop interleaving, events of one

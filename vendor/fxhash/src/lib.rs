@@ -1,0 +1,171 @@
+//! Minimal, offline stand-in for the `fxhash`/`rustc-hash` crates.
+//!
+//! Implements Firefox's "Fx" hash: a single multiply-and-rotate per
+//! machine word. It is *not* collision-resistant against adversarial
+//! inputs — the trade the real crates make too — but it is an order of
+//! magnitude cheaper than the SipHash-1-3 used by `std`'s default
+//! `RandomState`, which matters when the keys are 2-byte event colors
+//! and the lookup sits on the dispatch hot path (every queue push does
+//! one). The runtime's color maps are keyed by colors chosen by the
+//! application, not by untrusted remote input, so HashDoS resistance
+//! buys nothing here.
+//!
+//! API surface mirrors the real crates for the pieces this workspace
+//! uses: [`FxHasher`], [`FxBuildHasher`], and the [`FxHashMap`] /
+//! [`FxHashSet`] aliases.
+//!
+//! # Examples
+//!
+//! ```
+//! use fxhash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u16, usize> = FxHashMap::default();
+//! m.insert(7, 42);
+//! assert_eq!(m.get(&7), Some(&42));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier from the Firefox / rustc implementation: a 64-bit
+/// constant derived from the golden ratio (`2^64 / phi`), which spreads
+/// consecutive small integers — exactly what color values are — across
+/// the upper bits that `HashMap` uses for bucket selection.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Rotation applied before each multiply; mixes previously hashed words
+/// into the new one.
+const ROTATE: u32 = 5;
+
+/// A streaming Fx hasher: one rotate-xor-multiply per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while rest.len() >= 8 {
+            let (word, tail) = rest.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(word.try_into().expect("8 bytes")));
+            rest = tail;
+        }
+        if rest.len() >= 4 {
+            let (word, tail) = rest.split_at(4);
+            self.add_to_hash(u64::from(u32::from_le_bytes(
+                word.try_into().expect("4 bytes"),
+            )));
+            rest = tail;
+        }
+        for &b in rest {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; deterministic (no per-map
+/// random seed), which the simulator's reproducibility relies on.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using Fx hashing.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using Fx hashing.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_of(&1234u16), hash_of(&1234u16));
+        assert_eq!(hash_of(&"color"), hash_of(&"color"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_small_keys() {
+        // Color values are consecutive small integers; the multiply must
+        // spread them (identity hashing would cluster buckets).
+        let a = hash_of(&1u16);
+        let b = hash_of(&2u16);
+        assert_ne!(a, b);
+        assert_ne!(a >> 57, b >> 57, "top bits must differ for siblings");
+    }
+
+    #[test]
+    fn write_handles_all_chunk_sizes() {
+        // 8-byte, 4-byte and tail paths all feed the state.
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+        let long = h.finish();
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3]);
+        let short = h.finish();
+        assert_ne!(long, short);
+        assert_ne!(long, 0);
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u16, &str> = FxHashMap::default();
+        m.insert(9, "nine");
+        assert_eq!(m[&9], "nine");
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn with_capacity_and_hasher_compiles() {
+        let m: FxHashMap<u16, usize> =
+            FxHashMap::with_capacity_and_hasher(32, FxBuildHasher::default());
+        assert!(m.capacity() >= 32);
+    }
+}
