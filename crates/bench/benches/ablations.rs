@@ -25,7 +25,8 @@ fn heuristic_matrix() {
                 .cores(cfg.cores)
                 .flavor(Flavor::Mely)
                 .workstealing(ws)
-                .build_sim();
+                .build(ExecKind::Sim)
+                .into_sim();
             use rand::{Rng, SeedableRng};
             let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
             while rt.virtual_now() < cfg.duration {
@@ -64,7 +65,8 @@ fn batch_threshold_sweep() {
             .flavor(Flavor::Mely)
             .workstealing(WsPolicy::base().with_time_left(true))
             .batch_threshold(thr)
-            .build_sim();
+            .build(ExecKind::Sim)
+            .into_sim();
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
         while rt.virtual_now() < cfg.duration {
@@ -106,7 +108,8 @@ fn scan_cost_sensitivity() {
                 scan_per_event: scan,
                 ..CostParams::default()
             })
-            .build_sim();
+            .build(ExecKind::Sim)
+            .into_sim();
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
         while rt.virtual_now() < cfg.duration {

@@ -7,10 +7,9 @@
 //! lock acquisition. This bench quantifies the difference where it
 //! matters — many producers hammering a running runtime:
 //!
-//! - `inject/spin_direct/{1,4,8}p` — `RuntimeHandle::register_direct`,
-//!   the legacy per-event-lock path;
-//! - `inject/inbox/{1,4,8}p` — `RuntimeHandle::register`, the inbox
-//!   path.
+//! - `inject/spin_direct/{1,4,8}p` — `Injector::inject_locked`, the
+//!   legacy per-event-lock path;
+//! - `inject/inbox/{1,4,8}p` — `Injector::inject`, the inbox path.
 //!
 //! One *operation* is one event injected by a producer thread into a
 //! runtime whose workers are concurrently dispatching; the reported
@@ -52,16 +51,16 @@ const EVENT_COST: u64 = 1_000;
 /// producer done — identical spawn overhead in both modes, so it
 /// cancels out of the comparison).
 fn injection_run(mode: InjectMode, producers: usize, per_producer: u64) -> Duration {
-    let rt = RuntimeBuilder::new()
+    let mut rt = RuntimeBuilder::new()
         .cores(CORES)
         .flavor(Flavor::Mely)
         .workstealing(WsPolicy::off())
-        .build_threaded();
+        .build(ExecKind::Threaded);
     // Keep workers spinning on dispatch (the realistic contention)
     // instead of exiting the moment their queues run dry.
-    let _keepalive = rt.handle().keepalive();
-    let pool_handle = rt.handle();
-    let stopper = rt.handle();
+    let _keepalive = rt.injector().keepalive();
+    let pool_handle = rt.injector();
+    let stopper = rt.injector();
     let runner = std::thread::spawn(move || rt.run());
     let start = std::time::Instant::now();
     let pool = InjectorPool::spawn(

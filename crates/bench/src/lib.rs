@@ -59,7 +59,7 @@ impl PaperConfig {
         }
     }
 
-    /// The label used in the paper's tables.
+    /// The label used in the paper's tables (also the `Display` text).
     pub fn label(self) -> &'static str {
         match self {
             PaperConfig::Libasync => "Libasync-smp",
@@ -71,6 +71,12 @@ impl PaperConfig {
             PaperConfig::MelyLocalityWs => "Mely - locality-aware WS",
             PaperConfig::MelyImprovedWs => "Mely - WS",
         }
+    }
+}
+
+impl std::fmt::Display for PaperConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 

@@ -9,9 +9,9 @@ use mely_core::metrics::RunReport;
 use mely_core::prelude::*;
 use mely_loadgen::{ClosedLoopLoad, LoadConfig, LoadStats};
 use mely_net::{NetConfig, SimNet};
-use sfs::{Sfs, SfsConfig, SfsProtocol, SfsStats};
+use sfs::{SfsConfig, SfsProtocol, SfsService, SfsStats};
 use sws::comparators::{install_ncopy, ThreadedServer, ThreadedServerConfig};
-use sws::{HttpProtocol, Sws, SwsConfig, SwsStats};
+use sws::{HttpProtocol, SwsConfig, SwsService, SwsStats};
 
 use crate::PaperConfig;
 
@@ -46,7 +46,7 @@ pub fn sws_run(config: PaperConfig, clients: usize, duration: u64) -> SwsRun {
         .cores(8)
         .flavor(flavor)
         .workstealing(ws)
-        .build_sim();
+        .build(ExecKind::Sim);
     let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
     let cfg = SwsConfig::default();
     let load = ClosedLoopLoad::new(
@@ -60,12 +60,12 @@ pub fn sws_run(config: PaperConfig, clients: usize, duration: u64) -> SwsRun {
         },
     );
     let driver = Arc::new(Mutex::new(load));
-    let server = Sws::install(&mut rt, net, Arc::clone(&driver), cfg);
+    let server = rt.install(SwsService::new(net, Arc::clone(&driver), cfg));
     let report = rt.run();
     let secs = duration as f64 / 2_330_000_000.0;
     let load = driver.lock().stats();
     SwsRun {
-        label: config.label().to_string(),
+        label: config.to_string(),
         load,
         server: server.stats(),
         report,
@@ -81,7 +81,7 @@ pub fn sws_ncopy_run(clients: usize, duration: u64) -> SwsRun {
         .cores(copies)
         .flavor(Flavor::Mely)
         .workstealing(WsPolicy::off())
-        .build_sim();
+        .build(ExecKind::Sim);
     let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
     let cfg = SwsConfig::default();
     let load = ClosedLoopLoad::new(
@@ -159,7 +159,7 @@ pub fn sfs_run(config: PaperConfig, clients: usize, duration: u64) -> SfsRun {
         .cores(8)
         .flavor(flavor)
         .workstealing(ws)
-        .build_sim();
+        .build(ExecKind::Sim);
     let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
     let cfg = SfsConfig::default();
     let load = ClosedLoopLoad::new(
@@ -173,14 +173,14 @@ pub fn sfs_run(config: PaperConfig, clients: usize, duration: u64) -> SfsRun {
         },
     );
     let driver = Arc::new(Mutex::new(load));
-    let server = Sfs::install(&mut rt, net, Arc::clone(&driver), cfg);
+    let server = rt.install(SfsService::new(net, Arc::clone(&driver), cfg));
     let report = rt.run();
     let secs = duration as f64 / 2_330_000_000.0;
     let d = driver.lock();
     let (load, verified, corrupt) = (d.stats(), d.protocol().verified(), d.protocol().corrupt());
     drop(d);
     SfsRun {
-        label: config.label().to_string(),
+        label: config.to_string(),
         load,
         server: server.stats(),
         verified,

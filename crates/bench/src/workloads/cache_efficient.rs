@@ -82,7 +82,8 @@ pub fn cache_efficient(config: PaperConfig, cfg: &CacheEfficientCfg) -> RunRepor
         .workstealing(ws)
         .track_cache(true)
         .machine(mely_topology::MachineModel::xeon_e5410())
-        .build_sim();
+        .build(ExecKind::Sim)
+        .into_sim();
     let h_a = rt.register_handler(HandlerSpec::new("A").cost(cfg.a_cost));
     let h_b = rt.register_handler(HandlerSpec::new("B").cost(cfg.b_cost));
     let h_c = rt.register_handler(HandlerSpec::new("C").cost(cfg.c_cost));
@@ -222,7 +223,7 @@ mod probe {
             let t = r.total();
             eprintln!(
                 "{:<26} ev={} wall={} kev/s={:.0} steals={} attempts={} fail_cy={} l2/ev={:.2}",
-                cfgp.label(),
+                cfgp,
                 t.events_processed,
                 r.wall_cycles(),
                 r.kevents_per_sec(),

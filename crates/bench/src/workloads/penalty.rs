@@ -93,7 +93,8 @@ pub fn penalty(config: PaperConfig, cfg: &PenaltyCfg) -> RunReport {
         .workstealing(ws)
         .track_cache(true)
         .machine(mely_topology::MachineModel::xeon_e5410())
-        .build_sim();
+        .build(ExecKind::Sim)
+        .into_sim();
     let cfg = Arc::new(cfg.clone());
     let h_a = rt.register_handler(mely_core::handler::HandlerSpec::new("A").cost(cfg.a_cost));
     let h_b = rt.register_handler(
@@ -192,7 +193,7 @@ mod probe {
             let t = r.total();
             eprintln!(
                 "{:<28} ev={} wall={} kev/s={:.0} steals={} stolen_ev={} steal_cy={} fail_cy={} idle={} l2/ev={:.1} lock%={:.1}",
-                cfgp.label(), t.events_processed, r.wall_cycles(), r.kevents_per_sec(),
+                cfgp, t.events_processed, r.wall_cycles(), r.kevents_per_sec(),
                 t.steals, t.stolen_events, t.steal_cycles, t.failed_steal_cycles,
                 t.idle_cycles, r.l2_misses_per_event(), r.lock_time_fraction()*100.0
             );

@@ -60,7 +60,8 @@ pub fn unbalanced(config: PaperConfig, cfg: &UnbalancedCfg) -> RunReport {
         .cores(cfg.cores)
         .flavor(flavor)
         .workstealing(ws)
-        .build_sim();
+        .build(ExecKind::Sim)
+        .into_sim();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     while rt.virtual_now() < cfg.duration {
         // One fork/join round: independent colors, all pinned on core 0.
@@ -179,7 +180,7 @@ mod probe {
             let t = r.total();
             eprintln!(
                 "{:<22} ev={} wall={} kev/s={:.0} steals={} stolen_ev={} avg_steal={:.0} avg_stolen={:.0} fail_cy={} lock%={:.1}",
-                cfgp.label(), t.events_processed, r.wall_cycles(), r.kevents_per_sec(),
+                cfgp, t.events_processed, r.wall_cycles(), r.kevents_per_sec(),
                 t.steals, t.stolen_events,
                 r.avg_steal_cycles().unwrap_or(0.0), r.avg_stolen_cost().unwrap_or(0.0),
                 t.failed_steal_cycles, r.lock_time_fraction()*100.0

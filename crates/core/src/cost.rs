@@ -15,7 +15,7 @@
 
 /// Cycle costs of the runtime's internal operations, used by the
 /// simulation executor. All values are in CPU cycles.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CostParams {
     /// Scanning one event in a Libasync-style FIFO (follow a link, check
     /// the color). Paper Section II-C: "about 190 cycles".
@@ -102,7 +102,7 @@ impl CostParams {
 /// }
 /// assert!(e.get() > 1_900); // converges toward the samples
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Ewma {
     value: u64,
     seeded: bool,

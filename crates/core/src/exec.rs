@@ -1,0 +1,755 @@
+//! The executor-agnostic runtime API: one surface for both executors.
+//!
+//! The paper's central claim is that one scheduler design — colored
+//! events plus the three workstealing heuristics — serves both analysis
+//! (the deterministic simulation) and real execution (the threaded
+//! runtime). This module makes that claim a *type*: applications are
+//! written once against the [`Executor`] trait and dispatched to either
+//! executor, the way libasync-smp applications targeted one event API
+//! regardless of deployment.
+//!
+//! Three abstractions:
+//!
+//! - [`Executor`] — the runtime surface every executor implements:
+//!   handler registration, dataset allocation, event registration,
+//!   injector acquisition and [`Executor::run`]. Implemented by
+//!   [`SimRuntime`], [`ThreadedRuntime`] and the unified [`Runtime`]
+//!   enum that [`crate::runtime::RuntimeBuilder::build`] returns.
+//! - [`Service`] — an application bundle (handler specs, initial
+//!   events, and event actions dispatching on [`crate::ctx::Ctx`]).
+//!   `rt.install(MyService)` works identically on both executors; the
+//!   cross-executor conformance suite in the repository root asserts
+//!   that a [`Service`] processes the *same number of events* on sim
+//!   and threads.
+//! - [`Injector`] — a cloneable, `Send` handle for registering events
+//!   from outside the runtime (load generators, network poll loops).
+//!   On the threaded executor it wraps the lock-free injection inboxes;
+//!   on the simulator it feeds a mailbox the run loop drains at
+//!   iteration boundaries, so external-producer code is also written
+//!   once.
+//!
+//! # Injection semantics (the unified naming)
+//!
+//! Exactly three ways events enter a running executor from outside, with
+//! one canonical name each (the former `register`/`register_direct`/
+//! `register_after` trio on [`RuntimeHandle`] survives as deprecated
+//! aliases):
+//!
+//! | method | semantics |
+//! |---|---|
+//! | [`Injector::inject`] | enqueue to the color's owning core through its lock-free inbox (threaded) or the run-loop mailbox (sim). The default path: producers never contend on a dispatch lock. |
+//! | [`Injector::inject_locked`] | enqueue by taking the owning core's dispatch spinlock (threaded). The pre-inbox path, kept for measuring what the inbox buys; on the simulator it is identical to `inject`. |
+//! | [`Injector::inject_after`] | enqueue after a delay in cycles (virtual cycles under sim, cycle-counter cycles under threads). |
+//!
+//! # Examples
+//!
+//! The same application, dispatched to either executor:
+//!
+//! ```
+//! use mely_core::prelude::*;
+//!
+//! struct Burst(u16);
+//!
+//! impl Service for Burst {
+//!     fn name(&self) -> &str {
+//!         "burst"
+//!     }
+//!     fn install(&mut self, exec: &mut dyn Executor) {
+//!         for i in 0..self.0 {
+//!             exec.register(Event::new(Color::new(i + 1), 1_000));
+//!         }
+//!     }
+//! }
+//!
+//! for kind in [ExecKind::Sim, ExecKind::Threaded] {
+//!     let mut rt = RuntimeBuilder::new().cores(2).build(kind);
+//!     rt.install(Burst(50));
+//!     assert_eq!(rt.run().events_processed(), 50);
+//! }
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::dataset::DataSetRef;
+use crate::event::Event;
+use crate::handler::{HandlerId, HandlerSpec};
+use crate::metrics::RunReport;
+use crate::runtime::Flavor;
+use crate::sim::SimRuntime;
+use crate::steal::WsPolicy;
+use crate::threaded::{RuntimeHandle, ThreadedRuntime};
+
+/// Which executor to build: the deterministic simulation or the real
+/// one-OS-thread-per-core runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecKind {
+    /// The deterministic discrete-event simulator ([`SimRuntime`]).
+    #[default]
+    Sim,
+    /// The real executor with one OS thread per core
+    /// ([`ThreadedRuntime`]).
+    Threaded,
+}
+
+impl fmt::Display for ExecKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExecKind::Sim => "sim",
+            ExecKind::Threaded => "threaded",
+        })
+    }
+}
+
+impl FromStr for ExecKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "sim" | "simulation" | "simulated" => Ok(ExecKind::Sim),
+            "threaded" | "threads" | "thread" => Ok(ExecKind::Threaded),
+            other => Err(format!(
+                "unknown executor kind {other:?} (try \"sim\" or \"threaded\")"
+            )),
+        }
+    }
+}
+
+/// The executor-agnostic runtime surface.
+///
+/// Everything an application needs — registering handlers, allocating
+/// data sets, seeding events, acquiring an [`Injector`] for external
+/// producers, and running to completion — is available through this
+/// trait on both executors, so the application is written once.
+///
+/// The trait is object-safe: service crates accept `&mut dyn Executor`
+/// and never name a concrete runtime.
+pub trait Executor {
+    /// Which executor this is.
+    fn kind(&self) -> ExecKind;
+
+    /// Number of cores (simulated or worker threads).
+    fn cores(&self) -> usize;
+
+    /// Queue architecture this executor runs.
+    fn flavor(&self) -> Flavor;
+
+    /// The active workstealing policy.
+    fn policy(&self) -> WsPolicy;
+
+    /// Registers an application handler (name, cost annotation,
+    /// penalty). Must be called before [`Executor::run`].
+    fn register_handler(&mut self, spec: HandlerSpec) -> HandlerId;
+
+    /// The runtime's current cost estimate for a handler: the
+    /// annotation, or the monitored EWMA for
+    /// [`crate::handler::CostSource::Measured`] handlers.
+    fn handler_estimate(&self, id: HandlerId) -> u64;
+
+    /// Allocates a data set of `len` bytes (simulated addresses; swept
+    /// through the cache simulator under sim, accounted under threads).
+    fn alloc_dataset(&mut self, len: u64) -> DataSetRef;
+
+    /// Registers an event. It is dispatched to the core owning its
+    /// color (initially the color's home core).
+    fn register(&mut self, ev: Event);
+
+    /// Registers an event and pins its color to `core`, overriding the
+    /// hash dispatch — how the microbenchmarks create their initial
+    /// imbalance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    fn register_pinned(&mut self, ev: Event, core: usize);
+
+    /// A cloneable, `Send` handle for injecting events from other
+    /// threads while the runtime runs.
+    fn injector(&self) -> Injector;
+
+    /// Runs until every registered event (and every event they spawn)
+    /// has executed — or a handler called
+    /// [`crate::ctx::Ctx::stop_runtime`], an injector called
+    /// [`Injector::stop`], or (sim only) `max_cycles` elapsed — then
+    /// returns the report. Can be called again after registering more
+    /// events.
+    fn run(&mut self) -> RunReport;
+
+    /// Installs a [`Service`]: the service registers its handlers and
+    /// seeds its initial events, then is handed back so the caller can
+    /// query it after [`Executor::run`].
+    fn install<S: Service>(&mut self, mut svc: S) -> S
+    where
+        Self: Sized,
+    {
+        svc.install(self);
+        svc
+    }
+}
+
+/// An application bundle: handler specs, initial events, and a
+/// [`crate::ctx::Ctx`]-driven dispatch entry (the actions attached to
+/// its events).
+///
+/// A `Service` never names a concrete executor, so the same
+/// implementation runs unmodified on the simulator and on threads:
+///
+/// ```
+/// use mely_core::prelude::*;
+///
+/// struct Pings;
+/// impl Service for Pings {
+///     fn name(&self) -> &str {
+///         "pings"
+///     }
+///     fn install(&mut self, exec: &mut dyn Executor) {
+///         let h = exec.register_handler(HandlerSpec::new("ping").cost(500));
+///         exec.register(Event::for_handler(Color::new(1), h).with_action(|ctx| {
+///             ctx.register(Event::new(Color::new(2), 500));
+///         }));
+///     }
+/// }
+///
+/// let mut rt = RuntimeBuilder::new().cores(2).build(ExecKind::Sim);
+/// rt.install(Pings);
+/// assert_eq!(rt.run().events_processed(), 2);
+/// ```
+pub trait Service {
+    /// Human-readable name (reports, conformance harnesses).
+    fn name(&self) -> &str;
+
+    /// Registers the service's handlers and seeds its initial events.
+    /// Follow-up work is dispatched from event actions through
+    /// [`crate::ctx::Ctx::register`] / [`crate::ctx::Ctx::register_after`],
+    /// which are executor-agnostic by construction.
+    fn install(&mut self, exec: &mut dyn Executor);
+}
+
+/// The simulator's external-producer mailbox: a mutex-protected buffer
+/// the run loop drains at iteration boundaries, giving [`Injector`]s a
+/// target on an executor that is otherwise single-threaded.
+///
+/// Determinism note: a simulation that only ever registers events from
+/// its own thread (the normal case) never observes the mailbox and
+/// stays fully deterministic. Cross-thread injection into a *running*
+/// simulation is inherently racy — the drain order depends on OS
+/// scheduling — and is intended for running threaded-style producer
+/// code unmodified, not for cycle-accurate claims.
+pub(crate) struct SimMailbox {
+    /// Buffered entries: immediate events and (delay, event) pairs.
+    queue: Mutex<Vec<MailboxEntry>>,
+    /// Entries pushed but not yet drained by the run loop.
+    buffered: AtomicU64,
+    /// Live keepalive guards: the run loop does not exit while nonzero.
+    keepalive: AtomicU64,
+    /// Hard-stop request ([`Injector::stop`]).
+    stop: AtomicBool,
+    /// Whether the simulated machine has nothing left to execute
+    /// (queues and timers empty). Maintained by the run loop; starts
+    /// `true` (an unstarted machine is empty). Lets
+    /// [`Injector::stop_when_idle`] wait for *execution*, not just
+    /// absorption — the same contract as the threaded executor's
+    /// outstanding-event count.
+    idle: AtomicBool,
+}
+
+impl Default for SimMailbox {
+    fn default() -> Self {
+        SimMailbox {
+            queue: Mutex::new(Vec::new()),
+            buffered: AtomicU64::new(0),
+            keepalive: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            idle: AtomicBool::new(true),
+        }
+    }
+}
+
+pub(crate) enum MailboxEntry {
+    Now(Event),
+    After(u64, Event),
+}
+
+impl SimMailbox {
+    fn push(&self, entry: MailboxEntry) {
+        // Count before publishing so `outstanding` never under-reports
+        // (the symmetric discipline to the threaded inbox's counter).
+        self.buffered.fetch_add(1, Ordering::AcqRel);
+        self.queue.lock().push(entry);
+    }
+
+    /// Takes the whole backlog. Called by the sim run loop.
+    pub(crate) fn drain(&self) -> Vec<MailboxEntry> {
+        if self.buffered.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let batch = std::mem::take(&mut *self.queue.lock());
+        self.buffered
+            .fetch_sub(batch.len() as u64, Ordering::AcqRel);
+        batch
+    }
+
+    /// Whether the run loop must keep spinning with an empty machine.
+    pub(crate) fn holds_open(&self) -> bool {
+        self.keepalive.load(Ordering::Acquire) > 0 || self.buffered.load(Ordering::Acquire) > 0
+    }
+
+    pub(crate) fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn clear_stop(&self) {
+        self.stop.store(false, Ordering::Release);
+    }
+
+    /// Run-loop bookkeeping for the machine-idle flag (see the `idle`
+    /// field).
+    pub(crate) fn set_machine_idle(&self, idle: bool) {
+        self.idle.store(idle, Ordering::Release);
+    }
+
+    fn machine_idle(&self) -> bool {
+        self.idle.load(Ordering::Acquire)
+    }
+}
+
+#[derive(Clone)]
+enum InjectorInner {
+    Sim(Arc<SimMailbox>),
+    Threaded(RuntimeHandle),
+}
+
+/// A cloneable, `Send` handle for registering events into a running
+/// executor from other threads — the unified face of the threaded
+/// runtime's [`RuntimeHandle`] and the simulator's mailbox.
+///
+/// Obtained from [`Executor::injector`]; also constructible from a
+/// [`RuntimeHandle`] via `From`, so pre-existing threaded code can hand
+/// its handle to the trait-based bridges unchanged.
+#[derive(Clone)]
+pub struct Injector {
+    inner: InjectorInner,
+}
+
+impl Injector {
+    pub(crate) fn for_sim(mailbox: Arc<SimMailbox>) -> Self {
+        Injector {
+            inner: InjectorInner::Sim(mailbox),
+        }
+    }
+
+    /// Which executor this injector feeds.
+    pub fn kind(&self) -> ExecKind {
+        match &self.inner {
+            InjectorInner::Sim(_) => ExecKind::Sim,
+            InjectorInner::Threaded(_) => ExecKind::Threaded,
+        }
+    }
+
+    /// Registers an event through the owning core's lock-free injection
+    /// inbox (threaded) or the run-loop mailbox (sim) — the producer
+    /// never contends on a dispatch lock. The canonical injection path.
+    pub fn inject(&self, ev: Event) {
+        match &self.inner {
+            InjectorInner::Sim(m) => m.push(MailboxEntry::Now(ev)),
+            InjectorInner::Threaded(h) => h.inject(ev),
+        }
+    }
+
+    /// Registers an event by taking the owning core's dispatch spinlock
+    /// directly (threaded executor) — the pre-inbox injection path,
+    /// kept so benchmarks can measure what the inbox buys. On the
+    /// simulator this is identical to [`Injector::inject`].
+    pub fn inject_locked(&self, ev: Event) {
+        match &self.inner {
+            InjectorInner::Sim(m) => m.push(MailboxEntry::Now(ev)),
+            InjectorInner::Threaded(h) => h.inject_locked(ev),
+        }
+    }
+
+    /// Registers an event to fire after `delay` cycles: virtual cycles
+    /// under the simulator, calibrated cycle-counter cycles under the
+    /// threaded executor.
+    pub fn inject_after(&self, delay: u64, ev: Event) {
+        match &self.inner {
+            InjectorInner::Sim(m) => m.push(MailboxEntry::After(delay, ev)),
+            InjectorInner::Threaded(h) => h.inject_after(delay, ev),
+        }
+    }
+
+    /// Asks the executor to stop at the next opportunity; events still
+    /// queued may not execute (the usual producer/stop race).
+    pub fn stop(&self) {
+        match &self.inner {
+            InjectorInner::Sim(m) => m.stop.store(true, Ordering::Release),
+            InjectorInner::Threaded(h) => h.stop(),
+        }
+    }
+
+    /// Events handed to this executor but not yet executed (threaded)
+    /// or not yet absorbed by the run loop (sim). An estimate intended
+    /// for idle checks, not exact accounting.
+    pub fn outstanding(&self) -> u64 {
+        match &self.inner {
+            InjectorInner::Sim(m) => m.buffered.load(Ordering::Acquire),
+            InjectorInner::Threaded(h) => h.outstanding(),
+        }
+    }
+
+    /// Keeps the executor alive while the returned guard lives, even
+    /// with no events pending — the idiom for external producers that
+    /// will inject *later*. Without it, the threaded workers exit (and
+    /// the sim run loop returns) the moment everything registered so
+    /// far has executed. Pair with [`Injector::stop_when_idle`].
+    pub fn keepalive(&self) -> KeepAlive {
+        match &self.inner {
+            InjectorInner::Sim(m) => {
+                m.keepalive.fetch_add(1, Ordering::AcqRel);
+                let m = Arc::clone(m);
+                KeepAlive::new(move || {
+                    m.keepalive.fetch_sub(1, Ordering::AcqRel);
+                })
+            }
+            InjectorInner::Threaded(h) => h.keepalive(),
+        }
+    }
+
+    /// Blocks until every registered event has been executed, then
+    /// requests a stop — identical semantics on both executors, so the
+    /// producer idiom `pool.join(); injector.stop_when_idle();
+    /// drop(keepalive);` ports unchanged. On the threaded executor this
+    /// watches the outstanding-event count; on the simulator it waits
+    /// for the mailbox to drain *and* the simulated machine to go idle
+    /// (queues and timers empty). Events injected concurrently with the
+    /// stop may or may not run — the usual producer/stop race.
+    pub fn stop_when_idle(&self) {
+        match &self.inner {
+            InjectorInner::Sim(m) => {
+                while m.buffered.load(Ordering::Acquire) > 0 || !m.machine_idle() {
+                    std::thread::yield_now();
+                }
+                m.stop.store(true, Ordering::Release);
+            }
+            InjectorInner::Threaded(h) => h.stop_when_idle(),
+        }
+    }
+}
+
+impl From<RuntimeHandle> for Injector {
+    fn from(handle: RuntimeHandle) -> Self {
+        Injector {
+            inner: InjectorInner::Threaded(handle),
+        }
+    }
+}
+
+impl From<&RuntimeHandle> for Injector {
+    fn from(handle: &RuntimeHandle) -> Self {
+        Injector::from(handle.clone())
+    }
+}
+
+impl fmt::Debug for Injector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Injector")
+            .field("kind", &self.kind())
+            .finish()
+    }
+}
+
+/// RAII guard from [`Injector::keepalive`] /
+/// [`RuntimeHandle::keepalive`]; dropping it lets the executor wind
+/// down once no real events remain.
+pub struct KeepAlive {
+    release: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl KeepAlive {
+    pub(crate) fn new(release: impl FnOnce() + Send + 'static) -> Self {
+        KeepAlive {
+            release: Some(Box::new(release)),
+        }
+    }
+}
+
+impl Drop for KeepAlive {
+    fn drop(&mut self) {
+        if let Some(release) = self.release.take() {
+            release();
+        }
+    }
+}
+
+impl fmt::Debug for KeepAlive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("KeepAlive")
+    }
+}
+
+/// The unified runtime returned by
+/// [`crate::runtime::RuntimeBuilder::build`]: either executor behind
+/// one concrete type, usable wherever `&mut dyn Executor` is.
+pub enum Runtime {
+    /// The deterministic simulator (boxed: the sim state is large and
+    /// the enum is moved by value).
+    Sim(Box<SimRuntime>),
+    /// The threaded executor.
+    Threaded(ThreadedRuntime),
+}
+
+impl Runtime {
+    /// The concrete simulator, when this is [`Runtime::Sim`] — for
+    /// sim-only facilities (`config()`, `virtual_now()`, cache stats).
+    pub fn as_sim(&self) -> Option<&SimRuntime> {
+        match self {
+            Runtime::Sim(rt) => Some(rt),
+            Runtime::Threaded(_) => None,
+        }
+    }
+
+    /// Mutable access to the concrete simulator, when this is
+    /// [`Runtime::Sim`].
+    pub fn as_sim_mut(&mut self) -> Option<&mut SimRuntime> {
+        match self {
+            Runtime::Sim(rt) => Some(rt),
+            Runtime::Threaded(_) => None,
+        }
+    }
+
+    /// The concrete threaded runtime, when this is
+    /// [`Runtime::Threaded`] — for threaded-only facilities
+    /// ([`ThreadedRuntime::handle`]).
+    pub fn as_threaded(&self) -> Option<&ThreadedRuntime> {
+        match self {
+            Runtime::Sim(_) => None,
+            Runtime::Threaded(rt) => Some(rt),
+        }
+    }
+
+    /// Mutable access to the concrete threaded runtime, when this is
+    /// [`Runtime::Threaded`].
+    pub fn as_threaded_mut(&mut self) -> Option<&mut ThreadedRuntime> {
+        match self {
+            Runtime::Sim(_) => None,
+            Runtime::Threaded(rt) => Some(rt),
+        }
+    }
+
+    /// Unwraps the concrete simulator — for experiment drivers that
+    /// need sim-only facilities (virtual time, the cache simulator)
+    /// while still constructing through the unified builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is the threaded executor.
+    pub fn into_sim(self) -> SimRuntime {
+        match self {
+            Runtime::Sim(rt) => *rt,
+            Runtime::Threaded(_) => panic!("runtime is threaded, not sim"),
+        }
+    }
+
+    /// Unwraps the concrete threaded runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is the simulator.
+    pub fn into_threaded(self) -> ThreadedRuntime {
+        match self {
+            Runtime::Sim(_) => panic!("runtime is sim, not threaded"),
+            Runtime::Threaded(rt) => rt,
+        }
+    }
+
+    fn exec(&self) -> &dyn Executor {
+        match self {
+            Runtime::Sim(rt) => &**rt,
+            Runtime::Threaded(rt) => rt,
+        }
+    }
+
+    fn exec_mut(&mut self) -> &mut dyn Executor {
+        match self {
+            Runtime::Sim(rt) => &mut **rt,
+            Runtime::Threaded(rt) => rt,
+        }
+    }
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("kind", &self.kind())
+            .field("cores", &self.cores())
+            .field("flavor", &self.flavor())
+            .finish()
+    }
+}
+
+impl Executor for Runtime {
+    fn kind(&self) -> ExecKind {
+        self.exec().kind()
+    }
+
+    fn cores(&self) -> usize {
+        self.exec().cores()
+    }
+
+    fn flavor(&self) -> Flavor {
+        self.exec().flavor()
+    }
+
+    fn policy(&self) -> WsPolicy {
+        self.exec().policy()
+    }
+
+    fn register_handler(&mut self, spec: HandlerSpec) -> HandlerId {
+        self.exec_mut().register_handler(spec)
+    }
+
+    fn handler_estimate(&self, id: HandlerId) -> u64 {
+        self.exec().handler_estimate(id)
+    }
+
+    fn alloc_dataset(&mut self, len: u64) -> DataSetRef {
+        self.exec_mut().alloc_dataset(len)
+    }
+
+    fn register(&mut self, ev: Event) {
+        self.exec_mut().register(ev);
+    }
+
+    fn register_pinned(&mut self, ev: Event, core: usize) {
+        self.exec_mut().register_pinned(ev, core);
+    }
+
+    fn injector(&self) -> Injector {
+        self.exec().injector()
+    }
+
+    fn run(&mut self) -> RunReport {
+        self.exec_mut().run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Color;
+    use crate::runtime::RuntimeBuilder;
+
+    struct Fanout {
+        seeds: u16,
+        children: u16,
+    }
+
+    impl Service for Fanout {
+        fn name(&self) -> &str {
+            "fanout"
+        }
+
+        fn install(&mut self, exec: &mut dyn Executor) {
+            let children = self.children;
+            for i in 0..self.seeds {
+                exec.register(
+                    Event::new(Color::new(i + 1), 1_000).with_action(move |ctx| {
+                        for c in 0..children {
+                            ctx.register(Event::new(Color::new(1_000 + c), 100));
+                        }
+                    }),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exec_kind_parses_and_prints() {
+        assert_eq!("sim".parse::<ExecKind>().unwrap(), ExecKind::Sim);
+        assert_eq!("Threaded".parse::<ExecKind>().unwrap(), ExecKind::Threaded);
+        assert!("quantum".parse::<ExecKind>().is_err());
+        assert_eq!(ExecKind::Sim.to_string(), "sim");
+        assert_eq!(ExecKind::Threaded.to_string(), "threaded");
+    }
+
+    #[test]
+    fn one_service_same_count_on_both_executors() {
+        let mut counts = Vec::new();
+        for kind in [ExecKind::Sim, ExecKind::Threaded] {
+            let mut rt = RuntimeBuilder::new().cores(2).build(kind);
+            assert_eq!(rt.kind(), kind);
+            rt.install(Fanout {
+                seeds: 10,
+                children: 3,
+            });
+            counts.push(rt.run().events_processed());
+        }
+        assert_eq!(counts, vec![40, 40]);
+    }
+
+    #[test]
+    fn runtime_exposes_the_concrete_executors() {
+        let mut rt = RuntimeBuilder::new().cores(2).build(ExecKind::Sim);
+        assert!(rt.as_sim().is_some());
+        assert!(rt.as_sim_mut().is_some());
+        assert!(rt.as_threaded().is_none());
+        let mut rt = RuntimeBuilder::new().cores(2).build(ExecKind::Threaded);
+        assert!(rt.as_threaded().is_some());
+        assert!(rt.as_threaded_mut().is_some());
+        assert!(rt.as_sim().is_none());
+    }
+
+    #[test]
+    fn sim_injector_feeds_the_run_loop() {
+        let mut rt = RuntimeBuilder::new().cores(2).build(ExecKind::Sim);
+        let injector = rt.injector();
+        assert_eq!(injector.kind(), ExecKind::Sim);
+        for i in 0..20u16 {
+            injector.inject(Event::new(Color::new(i + 1), 100));
+        }
+        injector.inject_locked(Event::new(Color::new(30), 100));
+        injector.inject_after(5_000, Event::new(Color::new(31), 100));
+        assert_eq!(injector.outstanding(), 22);
+        let report = rt.run();
+        assert_eq!(report.events_processed(), 22);
+        assert_eq!(injector.outstanding(), 0);
+    }
+
+    #[test]
+    fn sim_keepalive_holds_the_run_open_for_external_producers() {
+        let mut rt = RuntimeBuilder::new().cores(2).build(ExecKind::Sim);
+        let injector = rt.injector();
+        let keepalive = injector.keepalive();
+        let producer = std::thread::spawn(move || {
+            // The machine starts empty; without the keepalive the run
+            // would have returned before these arrive.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            for i in 0..10u16 {
+                injector.inject(Event::new(Color::new(i + 1), 100));
+            }
+            injector.stop_when_idle();
+            drop(keepalive);
+        });
+        let report = rt.run();
+        producer.join().unwrap();
+        assert_eq!(report.events_processed(), 10);
+    }
+
+    #[test]
+    fn sim_injector_stop_halts_the_run() {
+        let mut rt = RuntimeBuilder::new().cores(1).build(ExecKind::Sim);
+        let injector = rt.injector();
+        for _ in 0..100 {
+            injector.inject(Event::new(Color::new(1), 1_000_000_000));
+        }
+        injector.stop();
+        let report = rt.run();
+        assert!(report.events_processed() < 100);
+        // The stop is consumed: a subsequent run proceeds normally.
+        rt.register(Event::new(Color::new(2), 10));
+        assert!(rt.run().events_processed() > report.events_processed());
+    }
+}

@@ -32,7 +32,7 @@ impl fmt::Display for HandlerId {
 }
 
 /// How the runtime estimates a handler's processing time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CostSource {
     /// Use the programmer-provided [`HandlerSpec::avg_cost`] annotation
     /// (the paper's approach).
@@ -58,7 +58,7 @@ pub enum CostSource {
 ///     .penalty(1_000);
 /// assert_eq!(spec.ws_penalty, 1_000);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct HandlerSpec {
     /// Human-readable name (used in reports).
     pub name: String,

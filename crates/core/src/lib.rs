@@ -26,6 +26,11 @@
 //!   library is an actual runtime and providing the substrate for
 //!   integration tests (and for real speedups on a multicore host).
 //!
+//! Both executors sit behind one executor-agnostic API ([`exec`]):
+//! applications are written once against the [`exec::Executor`] and
+//! [`exec::Service`] traits and dispatched to either executor by
+//! [`runtime::RuntimeBuilder::build`].
+//!
 //! # Quickstart
 //!
 //! ```
@@ -35,7 +40,7 @@
 //!     .cores(8)
 //!     .flavor(Flavor::Mely)
 //!     .workstealing(WsPolicy::improved())
-//!     .build_sim();
+//!     .build(ExecKind::Sim); // or ExecKind::Threaded: same API
 //!
 //! // 100 independent events of 1000 cycles each, all initially placed on
 //! // core 0 (an unbalanced load that workstealing spreads out).
@@ -47,12 +52,15 @@
 //! assert!(report.total().steals > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod color;
 pub mod cost;
 pub mod ctx;
 pub mod cycles;
 pub mod dataset;
 pub mod event;
+pub mod exec;
 pub mod handler;
 pub mod metrics;
 pub mod queue;
@@ -69,16 +77,18 @@ pub mod prelude {
     pub use crate::ctx::Ctx;
     pub use crate::dataset::DataSetRef;
     pub use crate::event::Event;
+    pub use crate::exec::{ExecKind, Executor, Injector, KeepAlive, Runtime, Service};
     pub use crate::handler::{HandlerId, HandlerSpec};
     pub use crate::metrics::{CoreMetrics, RunReport};
     pub use crate::runtime::{Flavor, RuntimeBuilder};
     pub use crate::sim::SimRuntime;
     pub use crate::steal::WsPolicy;
-    pub use crate::threaded::{KeepAlive, RuntimeHandle, ThreadedRuntime};
+    pub use crate::threaded::{RuntimeHandle, ThreadedRuntime};
     pub use mely_topology::MachineModel;
 }
 
 pub use color::Color;
 pub use event::Event;
+pub use exec::{ExecKind, Executor, Injector, Runtime, Service};
 pub use runtime::{Flavor, RuntimeBuilder};
 pub use steal::WsPolicy;

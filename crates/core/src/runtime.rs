@@ -1,29 +1,50 @@
 //! Runtime construction: flavor selection and the builder.
 
+use std::fmt;
+
 use mely_topology::{CacheLevel, MachineModel};
 
 use crate::cost::CostParams;
+use crate::exec::{ExecKind, Runtime};
 use crate::sim::{SimConfig, SimRuntime};
 use crate::steal::WsPolicy;
 use crate::threaded::ThreadedRuntime;
 
 /// Which runtime architecture to use (paper Sections II and IV).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Flavor {
     /// Libasync-smp: one FIFO event queue per core.
     Libasync,
     /// Mely: per-color color-queues chained in a core-queue, with a
     /// stealing-queue of worthy colors.
+    #[default]
     Mely,
 }
 
 impl Flavor {
-    /// Short label used by reports and benches.
-    pub fn label(&self) -> &'static str {
+    /// The paper-style label text (single source for `label` and
+    /// `Display`).
+    const fn text(self) -> &'static str {
         match self {
             Flavor::Libasync => "Libasync-smp",
             Flavor::Mely => "Mely",
         }
+    }
+
+    /// Deprecated alias of the [`fmt::Display`] implementation.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the Display impl (`format!(\"{flavor}\")`)"
+    )]
+    pub fn label(&self) -> &'static str {
+        self.text()
+    }
+}
+
+impl fmt::Display for Flavor {
+    /// The paper-style label: `Libasync-smp` or `Mely`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text())
     }
 }
 
@@ -155,13 +176,34 @@ impl RuntimeBuilder {
         (cores, machine)
     }
 
-    /// Builds the deterministic simulation executor.
+    /// Builds the requested executor behind the unified
+    /// [`Runtime`] type — the one construction path of the
+    /// executor-agnostic API ([`crate::exec`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mely_core::prelude::*;
+    ///
+    /// for kind in [ExecKind::Sim, ExecKind::Threaded] {
+    ///     let mut rt = RuntimeBuilder::new().cores(2).build(kind);
+    ///     rt.register(Event::new(Color::new(1), 1_000));
+    ///     assert_eq!(rt.run().events_processed(), 1);
+    /// }
+    /// ```
     ///
     /// # Panics
     ///
     /// Panics if the requested core count is zero or exceeds the machine
     /// model's cores.
-    pub fn build_sim(self) -> SimRuntime {
+    pub fn build(self, kind: ExecKind) -> Runtime {
+        match kind {
+            ExecKind::Sim => Runtime::Sim(Box::new(self.make_sim())),
+            ExecKind::Threaded => Runtime::Threaded(self.make_threaded()),
+        }
+    }
+
+    pub(crate) fn make_sim(self) -> SimRuntime {
         let (cores, machine) = self.resolve();
         SimRuntime::new(SimConfig {
             cores,
@@ -176,13 +218,7 @@ impl RuntimeBuilder {
         })
     }
 
-    /// Builds the threaded executor (one OS thread per core).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the requested core count is zero or exceeds the machine
-    /// model's cores.
-    pub fn build_threaded(self) -> ThreadedRuntime {
+    pub(crate) fn make_threaded(self) -> ThreadedRuntime {
         let (cores, machine) = self.resolve();
         ThreadedRuntime::new(
             cores,
@@ -192,6 +228,38 @@ impl RuntimeBuilder {
             self.batch_threshold,
             self.initial_steal_estimate,
         )
+    }
+
+    /// Builds the deterministic simulation executor as a concrete
+    /// [`SimRuntime`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested core count is zero or exceeds the machine
+    /// model's cores.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `build(ExecKind::Sim)` and the unified `Executor` API \
+                (`as_sim()` recovers the concrete runtime when needed)"
+    )]
+    pub fn build_sim(self) -> SimRuntime {
+        self.make_sim()
+    }
+
+    /// Builds the threaded executor (one OS thread per core) as a
+    /// concrete [`ThreadedRuntime`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested core count is zero or exceeds the machine
+    /// model's cores.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `build(ExecKind::Threaded)` and the unified `Executor` API \
+                (`as_threaded()` recovers the concrete runtime when needed)"
+    )]
+    pub fn build_threaded(self) -> ThreadedRuntime {
+        self.make_threaded()
     }
 }
 
@@ -231,7 +299,7 @@ mod tests {
 
     #[test]
     fn defaults_follow_the_paper() {
-        let rt = RuntimeBuilder::new().build_sim();
+        let rt = RuntimeBuilder::new().make_sim();
         assert_eq!(rt.config().cores, 8);
         assert_eq!(rt.config().batch_threshold, 10);
         assert_eq!(rt.config().flavor, Flavor::Mely);
@@ -239,14 +307,34 @@ mod tests {
     }
 
     #[test]
+    fn build_returns_the_requested_executor() {
+        use crate::exec::Executor;
+        let rt = RuntimeBuilder::new().cores(2).build(ExecKind::Sim);
+        assert_eq!(rt.kind(), ExecKind::Sim);
+        assert!(rt.as_sim().is_some());
+        let rt = RuntimeBuilder::new().cores(2).build(ExecKind::Threaded);
+        assert_eq!(rt.kind(), ExecKind::Threaded);
+        assert!(rt.as_threaded().is_some());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_build_shims_still_work() {
+        let rt = RuntimeBuilder::new().cores(2).build_sim();
+        assert_eq!(rt.config().cores, 2);
+        let rt = RuntimeBuilder::new().cores(2).build_threaded();
+        assert_eq!(rt.cores(), 2);
+    }
+
+    #[test]
     fn large_core_counts_get_a_generic_machine() {
-        let rt = RuntimeBuilder::new().cores(16).build_sim();
+        let rt = RuntimeBuilder::new().cores(16).make_sim();
         assert_eq!(rt.config().machine.num_cores(), 16);
     }
 
     #[test]
     fn track_cache_defaults_to_scaled_model() {
-        let rt = RuntimeBuilder::new().cores(8).track_cache(true).build_sim();
+        let rt = RuntimeBuilder::new().cores(8).track_cache(true).make_sim();
         assert!(rt.config().machine.name().contains("scaled"));
     }
 
@@ -256,18 +344,19 @@ mod tests {
         let _ = RuntimeBuilder::new()
             .cores(12)
             .machine(MachineModel::xeon_e5410())
-            .build_sim();
+            .make_sim();
     }
 
     #[test]
-    fn flavor_labels() {
-        assert_eq!(Flavor::Libasync.label(), "Libasync-smp");
-        assert_eq!(Flavor::Mely.label(), "Mely");
+    fn flavor_displays_the_paper_labels() {
+        assert_eq!(Flavor::Libasync.to_string(), "Libasync-smp");
+        assert_eq!(Flavor::Mely.to_string(), "Mely");
+        assert_eq!(Flavor::default(), Flavor::Mely);
     }
 
     #[test]
     fn batch_threshold_clamps_to_one() {
-        let rt = RuntimeBuilder::new().batch_threshold(0).build_sim();
+        let rt = RuntimeBuilder::new().batch_threshold(0).make_sim();
         assert_eq!(rt.config().batch_threshold, 1);
     }
 }

@@ -23,7 +23,7 @@
 //!     .cores(8)
 //!     .flavor(Flavor::Mely)
 //!     .workstealing(WsPolicy::improved())
-//!     .build_sim();
+//!     .build(ExecKind::Sim);
 //! for i in 0..64u16 {
 //!     rt.register_pinned(Event::new(Color::new(i + 1), 10_000), 0);
 //! }
@@ -35,6 +35,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use mely_cachesim::Hierarchy;
 
@@ -43,6 +44,7 @@ use crate::cost::{CostParams, Ewma};
 use crate::ctx::{Ctx, CtxEffects};
 use crate::dataset::{DataSetAlloc, DataSetRef};
 use crate::event::Event;
+use crate::exec::{ExecKind, Executor, Injector, MailboxEntry, SimMailbox};
 use crate::handler::{HandlerId, HandlerRegistry, HandlerSpec};
 use crate::metrics::{CoreMetrics, RunReport};
 use crate::queue::{LegacyQueue, MelyQueue, QueueImpl};
@@ -131,6 +133,9 @@ pub struct SimRuntime {
     /// Lock-wait cycles accumulated by the current steal attempt (waits
     /// are congestion, not steal work; see `try_steal`).
     attempt_wait: u64,
+    /// External-producer mailbox behind [`crate::exec::Injector`]; the
+    /// run loop drains it at iteration boundaries.
+    mailbox: Arc<SimMailbox>,
 }
 
 /// Simulated addresses of event continuations live below the dataset
@@ -182,6 +187,7 @@ impl SimRuntime {
             next_seq: 0,
             stopped: false,
             attempt_wait: 0,
+            mailbox: Arc::new(SimMailbox::default()),
         };
         rt.cache = cache;
         rt.sync_steal_estimates();
@@ -263,6 +269,9 @@ impl SimRuntime {
         ev.visible_at = visible_at;
         self.cores[core].metrics.registered += 1;
         self.cores[core].queue.push(ev);
+        // The machine holds unexecuted work again (stop_when_idle
+        // watches this through the mailbox).
+        self.mailbox.set_machine_idle(false);
     }
 
     /// Models taking `owner`'s spinlock from `locker` for `hold` cycles:
@@ -312,6 +321,10 @@ impl SimRuntime {
             if self.stopped {
                 break;
             }
+            if self.mailbox.stop_requested() {
+                break;
+            }
+            self.drain_mailbox();
             if let Some(limit) = self.cfg.max_cycles {
                 if self.virtual_now() >= limit {
                     break;
@@ -362,6 +375,19 @@ impl SimRuntime {
                     // Nothing runnable: deliver the earliest timer batch,
                     // or finish.
                     let Some(Reverse(t)) = self.timers.pop() else {
+                        // Queues and timers are empty: everything
+                        // absorbed so far has executed.
+                        self.mailbox.set_machine_idle(true);
+                        if self.mailbox.holds_open() {
+                            // An external producer holds a keepalive (or
+                            // has pushed events we have not drained yet):
+                            // wait for it instead of returning. Real
+                            // waiting, not scheduling work — keep it out
+                            // of the livelock watchdog's iteration count.
+                            iters -= 1;
+                            std::thread::yield_now();
+                            continue;
+                        }
                         break;
                     };
                     let due = t.due;
@@ -379,7 +405,41 @@ impl SimRuntime {
                 }
             }
         }
+        // Consume any stop request on the way out (like the threaded
+        // executor after its workers join), so a later `run` proceeds.
+        self.mailbox.clear_stop();
         self.report()
+    }
+
+    /// A cloneable, `Send` handle for registering events from other
+    /// threads ([`crate::exec::Injector`]); the run loop absorbs its
+    /// mailbox at iteration boundaries. Single-threaded simulations
+    /// never touch it and stay fully deterministic.
+    pub fn injector(&self) -> Injector {
+        Injector::for_sim(Arc::clone(&self.mailbox))
+    }
+
+    /// Absorbs externally injected events ([`crate::exec::Injector`])
+    /// into the owning cores' queues and the timer heap.
+    fn drain_mailbox(&mut self) {
+        for entry in self.mailbox.drain() {
+            match entry {
+                MailboxEntry::Now(ev) => {
+                    let owner = self.owner_of(ev.color());
+                    self.push_to(owner, ev, 0);
+                }
+                MailboxEntry::After(delay, ev) => {
+                    let due = self.virtual_now() + delay;
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.timers.push(Reverse(TimerEntry {
+                        due,
+                        seq,
+                        event: ev,
+                    }));
+                }
+            }
+        }
     }
 
     /// Snapshot of the cumulative metrics.
@@ -663,6 +723,52 @@ impl SimRuntime {
     }
 }
 
+impl Executor for SimRuntime {
+    fn kind(&self) -> ExecKind {
+        ExecKind::Sim
+    }
+
+    fn cores(&self) -> usize {
+        self.cfg.cores
+    }
+
+    fn flavor(&self) -> Flavor {
+        self.cfg.flavor
+    }
+
+    fn policy(&self) -> WsPolicy {
+        self.cfg.ws
+    }
+
+    fn register_handler(&mut self, spec: HandlerSpec) -> HandlerId {
+        SimRuntime::register_handler(self, spec)
+    }
+
+    fn handler_estimate(&self, id: HandlerId) -> u64 {
+        SimRuntime::handler_estimate(self, id)
+    }
+
+    fn alloc_dataset(&mut self, len: u64) -> DataSetRef {
+        SimRuntime::alloc_dataset(self, len)
+    }
+
+    fn register(&mut self, ev: Event) {
+        SimRuntime::register(self, ev);
+    }
+
+    fn register_pinned(&mut self, ev: Event, core: usize) {
+        SimRuntime::register_pinned(self, ev, core);
+    }
+
+    fn injector(&self) -> Injector {
+        SimRuntime::injector(self)
+    }
+
+    fn run(&mut self) -> RunReport {
+        SimRuntime::run(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -673,7 +779,7 @@ mod tests {
             .cores(cores)
             .flavor(flavor)
             .workstealing(ws)
-            .build_sim()
+            .make_sim()
     }
 
     #[test]
@@ -818,7 +924,7 @@ mod tests {
             .flavor(Flavor::Mely)
             .workstealing(WsPolicy::off())
             .track_cache(true)
-            .build_sim();
+            .make_sim();
         let ds = rt.alloc_dataset(64 * 100);
         rt.register(Event::new(Color::new(1), 100).touching(ds));
         let r = rt.run();
@@ -863,7 +969,7 @@ mod tests {
             .flavor(Flavor::Mely)
             .workstealing(WsPolicy::off())
             .max_cycles(10_000)
-            .build_sim();
+            .make_sim();
         for _ in 0..1_000 {
             rt.register(Event::new(Color::new(1), 1_000));
         }
@@ -884,7 +990,7 @@ mod hang_probe {
             .cores(8)
             .flavor(Flavor::Mely)
             .workstealing(WsPolicy::improved())
-            .build_sim();
+            .make_sim();
         for i in 0..500u16 {
             rt.register_pinned(
                 Event::new(Color::new(i + 1), (i as u64 % 7) * 1_000 + 50),

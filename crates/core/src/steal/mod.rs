@@ -24,7 +24,7 @@
 use mely_topology::MachineModel;
 
 /// Which workstealing heuristics are active.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WsPolicy {
     /// Master switch: disables stealing entirely when `false`.
     pub enabled: bool,
@@ -88,25 +88,42 @@ impl WsPolicy {
         self
     }
 
-    /// Short human-readable label (used by reports and benches).
+    /// Deprecated alias of the [`std::fmt::Display`] implementation.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the Display impl (`format!(\"{policy}\")`)"
+    )]
     pub fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl std::fmt::Display for WsPolicy {
+    /// Short human-readable label (used by reports and benches):
+    /// `no-WS`, `WS+base`, or `WS` plus the active heuristics
+    /// (`WS+loc+time+pen` for the fully improved policy).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if !self.enabled {
-            return "no-WS".to_string();
+            return f.write_str("no-WS");
         }
-        let mut parts = vec!["WS"];
+        f.write_str("WS")?;
+        let mut any = false;
         if self.locality {
-            parts.push("loc");
+            f.write_str("+loc")?;
+            any = true;
         }
         if self.time_left {
-            parts.push("time");
+            f.write_str("+time")?;
+            any = true;
         }
         if self.penalty {
-            parts.push("pen");
+            f.write_str("+pen")?;
+            any = true;
         }
-        if parts.len() == 1 {
-            parts.push("base");
+        if !any {
+            f.write_str("+base")?;
         }
-        parts.join("+")
+        Ok(())
     }
 }
 
@@ -177,10 +194,10 @@ mod tests {
 
     #[test]
     fn policy_labels() {
-        assert_eq!(WsPolicy::off().label(), "no-WS");
-        assert_eq!(WsPolicy::base().label(), "WS+base");
-        assert_eq!(WsPolicy::improved().label(), "WS+loc+time+pen");
-        assert_eq!(WsPolicy::base().with_time_left(true).label(), "WS+time");
+        assert_eq!(WsPolicy::off().to_string(), "no-WS");
+        assert_eq!(WsPolicy::base().to_string(), "WS+base");
+        assert_eq!(WsPolicy::improved().to_string(), "WS+loc+time+pen");
+        assert_eq!(WsPolicy::base().with_time_left(true).to_string(), "WS+time");
     }
 
     #[test]

@@ -35,7 +35,7 @@
 //!   core's own lock (exactly the guarantee the two-lock migration
 //!   relies on) and re-routes any event whose color has been stolen in
 //!   the meantime. See [`inbox`] for the data structure and
-//!   [`RuntimeHandle::register_direct`] for the legacy per-event-lock
+//!   [`RuntimeHandle::inject_locked`] for the legacy per-event-lock
 //!   path (kept for benchmarking the difference). The steady-state
 //!   dispatch path is allocation-free end to end: the inbox recycles
 //!   its Treiber nodes, each worker reuses one drain buffer across
@@ -55,6 +55,7 @@ use crate::ctx::{Ctx, CtxEffects};
 use crate::cycles;
 use crate::dataset::{DataSetAlloc, DataSetRef};
 use crate::event::Event;
+use crate::exec::{ExecKind, Executor, Injector};
 use crate::handler::{HandlerId, HandlerRegistry, HandlerSpec};
 use crate::metrics::{CoreMetrics, RunReport};
 use crate::queue::{LegacyQueue, MelyQueue, QueueImpl};
@@ -63,6 +64,8 @@ use crate::steal::{construct_core_set, WsPolicy};
 use crate::sync::SpinLock;
 use inbox::InjectionInbox;
 use mely_topology::MachineModel;
+
+pub use crate::exec::KeepAlive;
 
 const NO_COLOR: u32 = u32::MAX;
 const NO_OWNER: u32 = u32::MAX;
@@ -127,6 +130,7 @@ struct Shared {
     color_owner: Vec<AtomicU32>,
     registry: HandlerRegistry,
     machine: MachineModel,
+    flavor: Flavor,
     ws: WsPolicy,
     batch_threshold: u32,
     /// Low 48 bits: events registered but not yet fully executed
@@ -179,7 +183,7 @@ impl Shared {
     /// that core's spinlock. Retries if a concurrent steal moves the
     /// color between lookup and lock. This is the *direct* path, used by
     /// worker threads themselves (handler registrations, inbox-drain
-    /// re-routes) and by [`RuntimeHandle::register_direct`].
+    /// re-routes) and by [`RuntimeHandle::inject_locked`].
     fn route(&self, mut ev: Event) {
         self.prepare(&mut ev);
         self.route_prepared(ev);
@@ -239,24 +243,49 @@ pub struct RuntimeHandle {
 impl RuntimeHandle {
     /// Registers an event (hash-dispatched, or to the color's current
     /// owner) through the owning core's lock-free injection inbox — the
-    /// producer never contends on the core's spinlock.
-    pub fn register(&self, ev: Event) {
+    /// producer never contends on the core's spinlock. The canonical
+    /// injection path (see [`crate::exec`] for the unified naming).
+    pub fn inject(&self, ev: Event) {
         self.shared.register_injected(ev);
     }
 
     /// Registers an event by taking the owning core's spinlock directly,
     /// bypassing the inbox. This is the pre-inbox injection path, kept so
     /// `micro_inject` can measure what the inbox buys; prefer
-    /// [`RuntimeHandle::register`].
-    pub fn register_direct(&self, ev: Event) {
+    /// [`RuntimeHandle::inject`].
+    pub fn inject_locked(&self, ev: Event) {
         self.shared.register(ev);
     }
 
     /// Registers an event to fire after `delay` cycles (measured on the
     /// shared cycle clock). The firing itself is injected through the
     /// owning core's inbox.
-    pub fn register_after(&self, delay: u64, ev: Event) {
+    pub fn inject_after(&self, delay: u64, ev: Event) {
         self.shared.register_after(delay, ev);
+    }
+
+    /// Deprecated alias of [`RuntimeHandle::inject`].
+    #[deprecated(since = "0.2.0", note = "renamed to `inject` (see mely_core::exec)")]
+    pub fn register(&self, ev: Event) {
+        self.inject(ev);
+    }
+
+    /// Deprecated alias of [`RuntimeHandle::inject_locked`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "renamed to `inject_locked` (see mely_core::exec)"
+    )]
+    pub fn register_direct(&self, ev: Event) {
+        self.inject_locked(ev);
+    }
+
+    /// Deprecated alias of [`RuntimeHandle::inject_after`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "renamed to `inject_after` (see mely_core::exec)"
+    )]
+    pub fn register_after(&self, delay: u64, ev: Event) {
+        self.inject_after(delay, ev);
     }
 
     /// Asks every worker to stop at the next opportunity.
@@ -278,9 +307,12 @@ impl RuntimeHandle {
         self.shared
             .outstanding
             .fetch_add(KEEPALIVE_UNIT, Ordering::AcqRel);
-        KeepAlive {
-            shared: Arc::clone(&self.shared),
-        }
+        let shared = Arc::clone(&self.shared);
+        KeepAlive::new(move || {
+            shared
+                .outstanding
+                .fetch_sub(KEEPALIVE_UNIT, Ordering::AcqRel);
+        })
     }
 
     /// Blocks until every registered event has executed (only
@@ -295,20 +327,6 @@ impl RuntimeHandle {
             std::thread::yield_now();
         }
         self.stop();
-    }
-}
-
-/// RAII guard from [`RuntimeHandle::keepalive`]; dropping it lets the
-/// workers wind down once no real events remain.
-pub struct KeepAlive {
-    shared: Arc<Shared>,
-}
-
-impl Drop for KeepAlive {
-    fn drop(&mut self) {
-        self.shared
-            .outstanding
-            .fetch_sub(KEEPALIVE_UNIT, Ordering::AcqRel);
     }
 }
 
@@ -359,6 +377,7 @@ impl ThreadedRuntime {
                 color_owner: owners,
                 registry: HandlerRegistry::new(),
                 machine,
+                flavor,
                 ws,
                 batch_threshold,
                 outstanding: AtomicU64::new(0),
@@ -417,10 +436,28 @@ impl ThreadedRuntime {
         self.shared.ws
     }
 
+    /// Number of worker threads (simulated cores).
+    pub fn cores(&self) -> usize {
+        self.shared.cores.len()
+    }
+
+    /// The queue architecture this runtime runs.
+    pub fn flavor(&self) -> Flavor {
+        self.shared.flavor
+    }
+
+    /// The runtime's current cost estimate for a handler (annotation or
+    /// monitored EWMA).
+    pub fn handler_estimate(&self, id: HandlerId) -> u64 {
+        self.shared.registry.estimate(id)
+    }
+
     /// Runs until every registered event (and every event they spawn) has
     /// executed, then returns the report. Workers also exit on
-    /// [`Ctx::stop_runtime`] or [`RuntimeHandle::stop`].
-    pub fn run(self) -> RunReport {
+    /// [`Ctx::stop_runtime`] or [`RuntimeHandle::stop`]. Can be called
+    /// again after registering more events; each call reports the
+    /// events executed by *that* run (plus cumulative inbox counters).
+    pub fn run(&mut self) -> RunReport {
         let n = self.shared.cores.len();
         let start = cycles::now();
         let mut joins = Vec::with_capacity(n);
@@ -446,7 +483,55 @@ impl ThreadedRuntime {
             m.queue_buf_reuse = core.queue.lock().buf_reuses();
         }
         let wall = cycles::now().wrapping_sub(start);
+        // Consume any stop request so a later `run` proceeds normally.
+        self.shared.stop.store(false, Ordering::Release);
         RunReport::new(per_core, wall, cycles::NOMINAL_FREQ_HZ, self.shared.ws)
+    }
+}
+
+impl Executor for ThreadedRuntime {
+    fn kind(&self) -> ExecKind {
+        ExecKind::Threaded
+    }
+
+    fn cores(&self) -> usize {
+        ThreadedRuntime::cores(self)
+    }
+
+    fn flavor(&self) -> Flavor {
+        ThreadedRuntime::flavor(self)
+    }
+
+    fn policy(&self) -> WsPolicy {
+        ThreadedRuntime::policy(self)
+    }
+
+    fn register_handler(&mut self, spec: HandlerSpec) -> HandlerId {
+        ThreadedRuntime::register_handler(self, spec)
+    }
+
+    fn handler_estimate(&self, id: HandlerId) -> u64 {
+        ThreadedRuntime::handler_estimate(self, id)
+    }
+
+    fn alloc_dataset(&mut self, len: u64) -> DataSetRef {
+        ThreadedRuntime::alloc_dataset(self, len)
+    }
+
+    fn register(&mut self, ev: Event) {
+        ThreadedRuntime::register(self, ev);
+    }
+
+    fn register_pinned(&mut self, ev: Event, core: usize) {
+        ThreadedRuntime::register_pinned(self, ev, core);
+    }
+
+    fn injector(&self) -> Injector {
+        Injector::from(self.handle())
+    }
+
+    fn run(&mut self) -> RunReport {
+        ThreadedRuntime::run(self)
     }
 }
 
@@ -742,14 +827,14 @@ mod tests {
             .cores(cores)
             .flavor(flavor)
             .workstealing(ws)
-            .build_threaded()
+            .make_threaded()
     }
 
     #[test]
     fn executes_everything_without_ws() {
         for flavor in [Flavor::Libasync, Flavor::Mely] {
             let r = {
-                let rt = rt(flavor, WsPolicy::off(), 2);
+                let mut rt = rt(flavor, WsPolicy::off(), 2);
                 for i in 0..200u16 {
                     rt.register(Event::new(Color::new(i), 0));
                 }
@@ -762,7 +847,7 @@ mod tests {
     #[test]
     fn actions_run_and_cascade() {
         let counter = Arc::new(AtomicU64::new(0));
-        let rt = rt(Flavor::Mely, WsPolicy::off(), 2);
+        let mut rt = rt(Flavor::Mely, WsPolicy::off(), 2);
         for i in 0..50u16 {
             let c1 = Arc::clone(&counter);
             rt.register(Event::new(Color::new(i), 0).with_action(move |ctx| {
@@ -783,7 +868,7 @@ mod tests {
         // Events of one color must never run concurrently even with
         // aggressive stealing. A non-atomic-looking critical section
         // protected only by the color discipline detects violations.
-        let rt = rt(Flavor::Mely, WsPolicy::base(), 4);
+        let mut rt = rt(Flavor::Mely, WsPolicy::base(), 4);
         let in_crit: Arc<AtomicI64> = Arc::new(AtomicI64::new(0));
         let violations = Arc::new(AtomicU64::new(0));
         for i in 0..400u16 {
@@ -823,7 +908,7 @@ mod tests {
 
     #[test]
     fn stealing_spreads_pinned_load() {
-        let rt = rt(Flavor::Mely, WsPolicy::base(), 4);
+        let mut rt = rt(Flavor::Mely, WsPolicy::base(), 4);
         for i in 0..64u16 {
             rt.register_pinned(Event::new(Color::new(i + 1), 200_000), 0);
         }
@@ -837,7 +922,7 @@ mod tests {
 
     #[test]
     fn handle_allows_external_injection_and_stop() {
-        let rt = rt(Flavor::Mely, WsPolicy::off(), 2);
+        let mut rt = rt(Flavor::Mely, WsPolicy::off(), 2);
         // Seed one event so workers do not exit immediately.
         rt.register(Event::new(Color::new(1), 0).with_action(|ctx| {
             // Keep the runtime alive long enough for the injector thread
@@ -847,7 +932,7 @@ mod tests {
         let handle = rt.handle();
         let injector = std::thread::spawn(move || {
             for i in 0..20u16 {
-                handle.register(Event::new(Color::new(i + 10), 0));
+                handle.inject(Event::new(Color::new(i + 10), 0));
             }
         });
         let r = rt.run();
@@ -862,7 +947,7 @@ mod tests {
 
     #[test]
     fn recycling_counters_surface_in_the_report() {
-        let rt = rt(Flavor::Mely, WsPolicy::off(), 1);
+        let mut rt = rt(Flavor::Mely, WsPolicy::off(), 1);
         // Serialize everything on one color so the worker drains the
         // inbox in many small batches, recycling nodes in between, and
         // the queue keeps retiring and recreating the color-queue.
@@ -877,7 +962,7 @@ mod tests {
             // scheduler interleaves the threads.
             for chunk in 0..40u64 {
                 for i in 0..50u64 {
-                    handle.register(Event::new(Color::new(5), (chunk + i) % 3));
+                    handle.inject(Event::new(Color::new(5), (chunk + i) % 3));
                 }
                 while handle.outstanding() > 0 {
                     std::thread::yield_now();
@@ -903,7 +988,7 @@ mod tests {
 
     #[test]
     fn keepalive_holds_workers_and_stop_when_idle_drains() {
-        let rt = rt(Flavor::Mely, WsPolicy::off(), 2);
+        let mut rt = rt(Flavor::Mely, WsPolicy::off(), 2);
         let keepalive = rt.handle().keepalive();
         let handle = rt.handle();
         let done = Arc::new(AtomicU64::new(0));
@@ -914,7 +999,7 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(20));
             for i in 0..30u16 {
                 let d = Arc::clone(&d);
-                handle.register(Event::new(Color::new(i + 1), 0).with_action(move |_| {
+                handle.inject(Event::new(Color::new(i + 1), 0).with_action(move |_| {
                     d.fetch_add(1, Ordering::Relaxed);
                 }));
             }
@@ -929,7 +1014,7 @@ mod tests {
 
     #[test]
     fn direct_and_inbox_injection_paths_agree() {
-        let rt = rt(Flavor::Libasync, WsPolicy::base(), 2);
+        let mut rt = rt(Flavor::Libasync, WsPolicy::base(), 2);
         rt.register(Event::new(Color::new(1), 0).with_action(|ctx| {
             ctx.register_after(50_000_000, Event::new(Color::new(1), 0));
         }));
@@ -938,9 +1023,9 @@ mod tests {
             for i in 0..40u16 {
                 let ev = Event::new(Color::new(i % 8 + 10), 0);
                 if i % 2 == 0 {
-                    handle.register(ev);
+                    handle.inject(ev);
                 } else {
-                    handle.register_direct(ev);
+                    handle.inject_locked(ev);
                 }
             }
         });
@@ -951,9 +1036,27 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_register_aliases_still_inject() {
+        let mut rt = rt(Flavor::Mely, WsPolicy::off(), 2);
+        rt.register(Event::new(Color::new(1), 0).with_action(|ctx| {
+            ctx.register_after(50_000_000, Event::new(Color::new(1), 0));
+        }));
+        let handle = rt.handle();
+        let injector = std::thread::spawn(move || {
+            handle.register(Event::new(Color::new(7), 0));
+            handle.register_direct(Event::new(Color::new(8), 0));
+            handle.register_after(1_000, Event::new(Color::new(9), 0));
+        });
+        let r = rt.run();
+        injector.join().unwrap();
+        assert_eq!(r.events_processed(), 5);
+    }
+
+    #[test]
     fn timers_fire() {
         let fired = Arc::new(AtomicU64::new(0));
-        let rt = rt(Flavor::Mely, WsPolicy::off(), 2);
+        let mut rt = rt(Flavor::Mely, WsPolicy::off(), 2);
         let f = Arc::clone(&fired);
         rt.register(Event::new(Color::new(1), 0).with_action(move |ctx| {
             let f2 = Arc::clone(&f);

@@ -3,12 +3,14 @@
 //! SWS's event graph colors request processing per connection (paper
 //! Section V-C1): parsing, cache lookup and response construction for
 //! one connection are serialized, while different connections spread
-//! across cores. This module is the HTTP layer's producer side for the
-//! threaded executor: [`request_event`] builds the colored, cost-
+//! across cores. This module is the HTTP layer's producer side for
+//! *either* executor: [`request_event`] builds the colored, cost-
 //! annotated event for serving one parsed [`Request`], and
-//! [`inject_request`] registers it through the runtime's lock-free
-//! injection inbox (the HTTP frontend is an external producer; it must
-//! not take a core's dispatch spinlock per request).
+//! [`inject_request`] registers it through the executor-agnostic
+//! [`Injector`] (the HTTP frontend is an
+//! external producer; it must not take a core's dispatch spinlock per
+//! request, so injection rides the lock-free inbox on threads and the
+//! run-loop mailbox on sim).
 //!
 //! The declared cost uses [`service_cost`]: a fixed parse/lookup charge
 //! plus a per-byte charge for streaming the response, mirroring how the
@@ -18,7 +20,7 @@
 use mely_core::color::Color;
 use mely_core::ctx::Ctx;
 use mely_core::event::Event;
-use mely_core::threaded::RuntimeHandle;
+use mely_core::exec::Injector;
 
 use crate::{Request, ResponseCache};
 
@@ -44,11 +46,11 @@ pub fn request_event(color: Color, req: &Request, cache: &ResponseCache) -> Even
     Event::new(color, service_cost(wire_len))
 }
 
-/// Registers the serving of `req` with the runtime, through the owning
-/// core's lock-free inbox; `action` does the actual response write.
-/// Returns the declared cost (useful for accounting tests).
+/// Registers the serving of `req` with the runtime behind `injector`
+/// (any executor); `action` does the actual response write. Returns the
+/// declared cost (useful for accounting tests).
 pub fn inject_request(
-    handle: &RuntimeHandle,
+    injector: &Injector,
     color: Color,
     req: &Request,
     cache: &ResponseCache,
@@ -56,7 +58,7 @@ pub fn inject_request(
 ) -> u64 {
     let ev = request_event(color, req, cache).with_action(action);
     let cost = ev.cost();
-    handle.register(ev);
+    injector.inject(ev);
     cost
 }
 
@@ -101,31 +103,42 @@ mod tests {
     }
 
     #[test]
-    fn injected_requests_execute_on_the_threaded_runtime() {
-        let mut cache = ResponseCache::new();
-        cache.populate_uniform(8, 1024);
-        let rt = RuntimeBuilder::new()
-            .cores(2)
-            .flavor(Flavor::Mely)
-            .build_threaded();
-        let keepalive = rt.handle().keepalive();
-        let handle = rt.handle();
-        let served = Arc::new(AtomicU64::new(0));
-        for conn in 0..8u16 {
-            let req = parsed(format!("GET /f{conn}.bin HTTP/1.1\r\n\r\n").as_bytes());
-            let served = Arc::clone(&served);
-            let cost = inject_request(&handle, Color::new(conn + 100), &req, &cache, move |_ctx| {
-                served.fetch_add(1, Ordering::Relaxed);
+    fn injected_requests_execute_on_either_executor() {
+        for kind in [ExecKind::Sim, ExecKind::Threaded] {
+            let mut cache = ResponseCache::new();
+            cache.populate_uniform(8, 1024);
+            let mut rt = RuntimeBuilder::new()
+                .cores(2)
+                .flavor(Flavor::Mely)
+                .build(kind);
+            let keepalive = rt.injector().keepalive();
+            let injector = rt.injector();
+            let served = Arc::new(AtomicU64::new(0));
+            for conn in 0..8u16 {
+                let req = parsed(format!("GET /f{conn}.bin HTTP/1.1\r\n\r\n").as_bytes());
+                let served = Arc::clone(&served);
+                let cost = inject_request(
+                    &injector,
+                    Color::new(conn + 100),
+                    &req,
+                    &cache,
+                    move |_ctx| {
+                        served.fetch_add(1, Ordering::Relaxed);
+                    },
+                );
+                assert!(cost >= REQUEST_BASE_COST);
+            }
+            let stopper = rt.injector();
+            let waiter = std::thread::spawn(move || {
+                stopper.stop_when_idle();
+                drop(keepalive);
             });
-            assert!(cost >= REQUEST_BASE_COST);
+            let r = rt.run();
+            waiter.join().unwrap();
+            assert_eq!(served.load(Ordering::Relaxed), 8, "{kind}");
+            if kind == ExecKind::Threaded {
+                assert!(r.inbox_pushes() >= 8, "requests went through the inboxes");
+            }
         }
-        let stopper = rt.handle();
-        std::thread::spawn(move || {
-            stopper.stop_when_idle();
-            drop(keepalive);
-        });
-        let r = rt.run();
-        assert_eq!(served.load(Ordering::Relaxed), 8);
-        assert!(r.inbox_pushes() >= 8, "requests went through the inboxes");
     }
 }

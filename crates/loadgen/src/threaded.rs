@@ -1,15 +1,15 @@
-//! Multi-threaded load injection into a running
-//! [`ThreadedRuntime`](mely_core::threaded::ThreadedRuntime).
+//! Multi-threaded load injection into a running executor.
 //!
 //! The closed-loop driver in [`crate`] lives in *virtual* time and feeds
-//! the simulated executor. This module is its real-time counterpart: a
-//! pool of OS producer threads hammering a [`RuntimeHandle`] with
-//! events, the way a network frontend or RPC ingress would. Each
-//! producer is an *external* producer in the sense of the threaded
-//! executor's injection architecture — its registrations go through the
-//! owning core's lock-free inbox and never contend on the core's
-//! dispatch spinlock ([`InjectMode::Inbox`]), unless the caller
-//! explicitly asks for the legacy per-event-lock path
+//! the simulated executor's poll loop. This module is its real-time
+//! counterpart: a pool of OS producer threads hammering an executor
+//! through the executor-agnostic [`Injector`],
+//! the way a network frontend or RPC ingress would. Each producer is an
+//! *external* producer in the sense of the injection architecture — its
+//! registrations go through the owning core's lock-free inbox on the
+//! threaded executor (and the run-loop mailbox on the simulator) and
+//! never contend on a dispatch spinlock ([`InjectMode::Inbox`]), unless
+//! the caller explicitly asks for the legacy per-event-lock path
 //! ([`InjectMode::DirectLock`], kept for measuring the difference).
 //!
 //! # Examples
@@ -18,30 +18,33 @@
 //! use mely_core::prelude::*;
 //! use mely_loadgen::threaded::{InjectMode, InjectorConfig, InjectorPool};
 //!
-//! let rt = RuntimeBuilder::new()
-//!     .cores(2)
-//!     .flavor(Flavor::Mely)
-//!     .build_threaded();
-//! // Keep the workers alive until the pool is done, then drain + stop.
-//! let keepalive = rt.handle().keepalive();
-//! let pool = InjectorPool::spawn(
-//!     rt.handle(),
-//!     InjectorConfig {
-//!         producers: 2,
-//!         events_per_producer: 100,
-//!         colors: 8,
-//!         cost: 0,
-//!         mode: InjectMode::Inbox,
-//!     },
-//! );
-//! let stopper = rt.handle();
-//! std::thread::spawn(move || {
-//!     assert_eq!(pool.join(), 200);
-//!     stopper.stop_when_idle();
-//!     drop(keepalive);
-//! });
-//! let report = rt.run();
-//! assert!(report.events_processed() >= 200);
+//! // The same producer pool drives either executor.
+//! for kind in [ExecKind::Threaded, ExecKind::Sim] {
+//!     let mut rt = RuntimeBuilder::new()
+//!         .cores(2)
+//!         .flavor(Flavor::Mely)
+//!         .build(kind);
+//!     // Keep the workers alive until the pool is done, then drain + stop.
+//!     let keepalive = rt.injector().keepalive();
+//!     let pool = InjectorPool::spawn(
+//!         rt.injector(),
+//!         InjectorConfig {
+//!             producers: 2,
+//!             events_per_producer: 100,
+//!             colors: 8,
+//!             cost: 0,
+//!             mode: InjectMode::Inbox,
+//!         },
+//!     );
+//!     let stopper = rt.injector();
+//!     std::thread::spawn(move || {
+//!         assert_eq!(pool.join(), 200);
+//!         stopper.stop_when_idle();
+//!         drop(keepalive);
+//!     });
+//!     let report = rt.run();
+//!     assert!(report.events_processed() >= 200);
+//! }
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,23 +53,24 @@ use std::thread::JoinHandle;
 
 use mely_core::color::Color;
 use mely_core::event::Event;
-use mely_core::threaded::RuntimeHandle;
+use mely_core::exec::Injector;
 
 /// Which injection path the producers use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum InjectMode {
     /// Push through the owning core's lock-free inbox
-    /// ([`RuntimeHandle::register`]) — the default and the fast path.
+    /// ([`Injector::inject`]) — the default and the fast path.
     #[default]
     Inbox,
     /// Take the owning core's spinlock per event
-    /// ([`RuntimeHandle::register_direct`]) — the pre-inbox behavior,
-    /// kept so benchmarks can quantify the contention it causes.
+    /// ([`Injector::inject_locked`]) — the pre-inbox behavior, kept so
+    /// benchmarks can quantify the contention it causes (identical to
+    /// `Inbox` on the simulator).
     DirectLock,
 }
 
 /// Shape of the injected load.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InjectorConfig {
     /// Number of OS producer threads.
     pub producers: usize,
@@ -105,14 +109,18 @@ pub struct InjectorPool {
 }
 
 impl InjectorPool {
-    /// Starts `cfg.producers` threads injecting into `handle`'s runtime.
+    /// Starts `cfg.producers` threads injecting through `injector` —
+    /// anything convertible to an [`Injector`], i.e. the value of
+    /// [`Executor::injector`](mely_core::exec::Executor::injector) or a
+    /// threaded [`RuntimeHandle`](mely_core::threaded::RuntimeHandle).
     ///
     /// # Panics
     ///
     /// Panics if `cfg.producers` or `cfg.colors` is zero, or if
     /// `producers * colors` exceeds the 16-bit color space (the
     /// disjoint-per-producer color ranges could not exist).
-    pub fn spawn(handle: RuntimeHandle, cfg: InjectorConfig) -> Self {
+    pub fn spawn(injector: impl Into<Injector>, cfg: InjectorConfig) -> Self {
+        let injector = injector.into();
         assert!(cfg.producers > 0, "need at least one producer");
         assert!(cfg.colors > 0, "need at least one color per producer");
         assert!(
@@ -124,7 +132,7 @@ impl InjectorPool {
         let injected = Arc::new(AtomicU64::new(0));
         let threads = (0..cfg.producers)
             .map(|p| {
-                let handle = handle.clone();
+                let injector = injector.clone();
                 let barrier = Arc::clone(&barrier);
                 let injected = Arc::clone(&injected);
                 std::thread::Builder::new()
@@ -141,8 +149,8 @@ impl InjectorPool {
                             let color = Color::new((base + i % u64::from(cfg.colors)) as u16);
                             let ev = Event::new(color, cfg.cost);
                             match cfg.mode {
-                                InjectMode::Inbox => handle.register(ev),
-                                InjectMode::DirectLock => handle.register_direct(ev),
+                                InjectMode::Inbox => injector.inject(ev),
+                                InjectMode::DirectLock => injector.inject_locked(ev),
                             }
                         }
                         injected.fetch_add(cfg.events_per_producer, Ordering::Relaxed);
@@ -167,14 +175,14 @@ mod tests {
     use super::*;
     use mely_core::prelude::*;
 
-    fn run_with_pool(mode: InjectMode) -> RunReport {
-        let rt = RuntimeBuilder::new()
+    fn run_with_pool(kind: ExecKind, mode: InjectMode) -> RunReport {
+        let mut rt = RuntimeBuilder::new()
             .cores(2)
             .flavor(Flavor::Mely)
-            .build_threaded();
-        let keepalive = rt.handle().keepalive();
+            .build(kind);
+        let keepalive = rt.injector().keepalive();
         let pool = InjectorPool::spawn(
-            rt.handle(),
+            rt.injector(),
             InjectorConfig {
                 producers: 3,
                 events_per_producer: 500,
@@ -183,7 +191,7 @@ mod tests {
                 mode,
             },
         );
-        let stopper = rt.handle();
+        let stopper = rt.injector();
         let waiter = std::thread::spawn(move || {
             assert_eq!(pool.join(), 1_500);
             stopper.stop_when_idle();
@@ -196,23 +204,29 @@ mod tests {
 
     #[test]
     fn inbox_pool_injects_everything() {
-        let r = run_with_pool(InjectMode::Inbox);
+        let r = run_with_pool(ExecKind::Threaded, InjectMode::Inbox);
         assert!(r.events_processed() >= 1_500);
         assert!(r.inbox_pushes() >= 1_500, "inbox path must be used");
     }
 
     #[test]
     fn direct_pool_injects_everything() {
-        let r = run_with_pool(InjectMode::DirectLock);
+        let r = run_with_pool(ExecKind::Threaded, InjectMode::DirectLock);
+        assert!(r.events_processed() >= 1_500);
+    }
+
+    #[test]
+    fn the_same_pool_drives_the_simulator() {
+        let r = run_with_pool(ExecKind::Sim, InjectMode::Inbox);
         assert!(r.events_processed() >= 1_500);
     }
 
     #[test]
     #[should_panic(expected = "at least one producer")]
     fn zero_producers_rejected() {
-        let rt = RuntimeBuilder::new().cores(1).build_threaded();
+        let rt = RuntimeBuilder::new().cores(1).build(ExecKind::Threaded);
         let _ = InjectorPool::spawn(
-            rt.handle(),
+            rt.injector(),
             InjectorConfig {
                 producers: 0,
                 ..InjectorConfig::default()
@@ -223,9 +237,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "16-bit color space")]
     fn color_space_overflow_rejected() {
-        let rt = RuntimeBuilder::new().cores(1).build_threaded();
+        let rt = RuntimeBuilder::new().cores(1).build(ExecKind::Threaded);
         let _ = InjectorPool::spawn(
-            rt.handle(),
+            rt.injector(),
             InjectorConfig {
                 producers: 9,
                 colors: 8_192,

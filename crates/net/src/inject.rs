@@ -1,13 +1,19 @@
-//! Bridging network readiness into the threaded runtime.
+//! Bridging network readiness into the runtime — on either executor.
 //!
 //! The paper's servers turn readiness notifications into colored events:
 //! per-listener events for accepts, per-connection events for reads and
 //! closes, so requests on different connections parallelize while each
 //! connection stays serialized (Section V-C). [`NetInjector`] is that
-//! boundary for the *threaded* executor: it maps a [`NetEvent`] to a
-//! [`Color`] and registers the handler through the runtime's lock-free
-//! injection inbox ([`RuntimeHandle::register`]) — the poll loop is an
-//! external producer and must not contend on a core's dispatch spinlock.
+//! boundary: it maps a [`NetEvent`] to a [`Color`] and registers the
+//! handler through the executor-agnostic
+//! [`Injector`] — the poll loop is an
+//! external producer and must not contend on a core's dispatch
+//! spinlock, so injections take the lock-free inbox path on the
+//! threaded executor and the run-loop mailbox on the simulator. The
+//! bridge never names a concrete runtime: build it from
+//! [`Executor::injector`](mely_core::exec::Executor::injector) (or from
+//! a legacy [`RuntimeHandle`](mely_core::threaded::RuntimeHandle),
+//! which converts `Into<Injector>`).
 //!
 //! Color discipline:
 //!
@@ -21,7 +27,7 @@
 use mely_core::color::Color;
 use mely_core::ctx::Ctx;
 use mely_core::event::Event;
-use mely_core::threaded::RuntimeHandle;
+use mely_core::exec::Injector;
 
 use crate::{Fd, NetEvent};
 
@@ -39,7 +45,7 @@ pub fn listener_color(port: u16) -> Color {
 /// Declared processing-cost estimates for injected events, in cycles
 /// (they feed the time-left workstealing heuristic, not real spinning —
 /// unless the runtime materializes them).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InjectCosts {
     /// Cost of an accept event.
     pub accept: u64,
@@ -61,17 +67,24 @@ impl Default for InjectCosts {
     }
 }
 
-/// Registers colored runtime events for network readiness, through the
-/// lock-free injection inbox of the color's owning core.
+/// Registers colored runtime events for network readiness through the
+/// executor-agnostic injection path (lock-free inbox on threads,
+/// run-loop mailbox on sim).
 pub struct NetInjector {
-    handle: RuntimeHandle,
+    injector: Injector,
     costs: InjectCosts,
 }
 
 impl NetInjector {
-    /// Creates an injector feeding `handle`'s runtime.
-    pub fn new(handle: RuntimeHandle, costs: InjectCosts) -> Self {
-        NetInjector { handle, costs }
+    /// Creates an injector feeding the runtime behind `injector` —
+    /// anything convertible to an [`Injector`], i.e. the value of
+    /// [`Executor::injector`](mely_core::exec::Executor::injector) or a
+    /// threaded [`RuntimeHandle`](mely_core::threaded::RuntimeHandle).
+    pub fn new(injector: impl Into<Injector>, costs: InjectCosts) -> Self {
+        NetInjector {
+            injector: injector.into(),
+            costs,
+        }
     }
 
     /// The color an event would be registered under.
@@ -103,7 +116,7 @@ impl NetInjector {
     ) -> Color {
         let ev = self.event_for(e).with_action(action);
         let color = ev.color();
-        self.handle.register(ev);
+        self.injector.inject(ev);
         color
     }
 
@@ -148,51 +161,73 @@ mod tests {
     }
 
     #[test]
-    fn poll_events_flow_into_the_threaded_runtime() {
-        // A real SimNet interaction produces the readiness events...
-        let mut net = SimNet::new(NetConfig { one_way_delay: 10 });
-        net.listen(80);
-        let fd = {
-            net.connect(80, 0).expect("listening");
-            let events = net.poll(100);
-            assert!(matches!(events[0], NetEvent::Acceptable(80)));
-            net.accept(80, 100).expect("acceptable")
-        };
-        net.client_write(fd, 100, b"GET /".to_vec());
-        let mut events = vec![NetEvent::Acceptable(80)];
-        events.extend(net.poll(200));
-        assert!(events.contains(&NetEvent::Readable(fd)));
+    fn poll_events_flow_into_either_executor() {
+        for kind in [ExecKind::Sim, ExecKind::Threaded] {
+            // A real SimNet interaction produces the readiness events...
+            let mut net = SimNet::new(NetConfig { one_way_delay: 10 });
+            net.listen(80);
+            let fd = {
+                net.connect(80, 0).expect("listening");
+                let events = net.poll(100);
+                assert!(matches!(events[0], NetEvent::Acceptable(80)));
+                net.accept(80, 100).expect("acceptable")
+            };
+            net.client_write(fd, 100, b"GET /".to_vec());
+            let mut events = vec![NetEvent::Acceptable(80)];
+            events.extend(net.poll(200));
+            assert!(events.contains(&NetEvent::Readable(fd)));
 
-        // ...which the injector turns into colored runtime events.
-        let rt = RuntimeBuilder::new()
-            .cores(2)
-            .flavor(Flavor::Mely)
-            .build_threaded();
-        let keepalive = rt.handle().keepalive();
-        let injector = NetInjector::new(rt.handle(), InjectCosts::default());
-        let hits = Arc::new(AtomicU64::new(0));
-        let n = injector.inject_poll(events.iter().copied(), |_e| {
-            let hits = Arc::clone(&hits);
-            move |_ctx: &mut Ctx<'_>| {
-                hits.fetch_add(1, Ordering::Relaxed);
+            // ...which the injector turns into colored runtime events,
+            // through the same code on both executors.
+            let mut rt = RuntimeBuilder::new()
+                .cores(2)
+                .flavor(Flavor::Mely)
+                .build(kind);
+            let keepalive = rt.injector().keepalive();
+            let injector = NetInjector::new(rt.injector(), InjectCosts::default());
+            let hits = Arc::new(AtomicU64::new(0));
+            let n = injector.inject_poll(events.iter().copied(), |_e| {
+                let hits = Arc::clone(&hits);
+                move |_ctx: &mut Ctx<'_>| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert_eq!(n, 2);
+            let stopper = rt.injector();
+            let waiter = std::thread::spawn(move || {
+                stopper.stop_when_idle();
+                drop(keepalive);
+            });
+            let r = rt.run();
+            waiter.join().unwrap();
+            assert_eq!(hits.load(Ordering::Relaxed), 2, "{kind}");
+            if kind == ExecKind::Threaded {
+                assert!(r.inbox_pushes() >= 2, "poll loop used the inbox path");
             }
+        }
+    }
+
+    #[test]
+    fn handle_still_converts_into_the_bridge() {
+        // A legacy threaded RuntimeHandle slots into the trait-based
+        // bridge through `Into<Injector>` — no deprecated path needed.
+        let mut rt = RuntimeBuilder::new().cores(1).build(ExecKind::Threaded);
+        let handle = rt.as_threaded().expect("threaded").handle();
+        let inj = NetInjector::new(handle, InjectCosts::default());
+        let served = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&served);
+        inj.inject(&NetEvent::Readable(3), move |_ctx| {
+            s.fetch_add(1, Ordering::Relaxed);
         });
-        assert_eq!(n, 2);
-        let stopper = rt.handle();
-        std::thread::spawn(move || {
-            stopper.stop_when_idle();
-            drop(keepalive);
-        });
-        let r = rt.run();
-        assert_eq!(hits.load(Ordering::Relaxed), 2);
-        assert!(r.inbox_pushes() >= 2, "poll loop used the inbox path");
+        rt.run();
+        assert_eq!(served.load(Ordering::Relaxed), 1);
     }
 
     #[test]
     fn event_for_carries_declared_costs() {
-        let rt = RuntimeBuilder::new().cores(1).build_threaded();
+        let rt = RuntimeBuilder::new().cores(1).build(ExecKind::Threaded);
         let inj = NetInjector::new(
-            rt.handle(),
+            rt.injector(),
             InjectCosts {
                 accept: 1,
                 read: 2,

@@ -28,12 +28,16 @@ use parking_lot::Mutex;
 
 use mely_core::color::Color;
 use mely_core::event::Event;
+use mely_core::exec::{Executor, Service};
 use mely_core::handler::{HandlerId, HandlerSpec};
-use mely_core::sim::SimRuntime;
 use mely_crypto::{crypto_cost_cycles, Mac, SessionKey, StreamCipher};
 use mely_loadgen::ClientProtocol;
 use mely_net::driver::Driver;
 use mely_net::{Fd, NetEvent, SimNet};
+
+pub mod service;
+
+pub use service::{FileServerConfig, FileServerService, FileServerStats};
 
 /// The in-memory buffer cache holding the served files (the paper's
 /// workload never touches disk: "the content of the requested file
@@ -117,7 +121,7 @@ impl Default for SfsCosts {
 }
 
 /// Server configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SfsConfig {
     /// Listening port.
     pub port: u16,
@@ -247,11 +251,13 @@ pub struct Sfs {
 }
 
 impl Sfs {
-    /// Installs SFS onto a simulation runtime: registers the handlers,
-    /// generates the served file into the buffer cache, opens the
-    /// listener and schedules the first `Epoll` event.
+    /// Installs SFS onto any executor (`&mut dyn Executor`): registers
+    /// the handlers, generates the served file into the buffer cache,
+    /// opens the listener and schedules the first `Epoll` event.
+    /// Prefer installing through the [`Service`] impl:
+    /// `rt.install(SfsService::new(net, driver, cfg))`.
     pub fn install<D: Driver + 'static>(
-        rt: &mut SimRuntime,
+        rt: &mut dyn Executor,
         net: Arc<Mutex<SimNet>>,
         driver: Arc<Mutex<D>>,
         cfg: SfsConfig,
@@ -321,6 +327,63 @@ impl Sfs {
     /// Current server-side counters.
     pub fn stats(&self) -> SfsStats {
         (self.stats)()
+    }
+}
+
+/// SFS as an installable [`Service`]: bundle the network, the driver
+/// and the configuration, then `rt.install(SfsService::new(..))` on
+/// either executor. After the run, [`SfsService::stats`] reads the
+/// server counters.
+pub struct SfsService<D> {
+    net: Arc<Mutex<SimNet>>,
+    driver: Arc<Mutex<D>>,
+    cfg: SfsConfig,
+    installed: Option<Sfs>,
+}
+
+impl<D: Driver + 'static> SfsService<D> {
+    /// Bundles a file server over `net` serving load from `driver`.
+    pub fn new(net: Arc<Mutex<SimNet>>, driver: Arc<Mutex<D>>, cfg: SfsConfig) -> Self {
+        SfsService {
+            net,
+            driver,
+            cfg,
+            installed: None,
+        }
+    }
+
+    /// The installed server handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service has not been installed yet.
+    pub fn server(&self) -> &Sfs {
+        self.installed.as_ref().expect("service not installed")
+    }
+
+    /// Current server-side counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service has not been installed yet.
+    pub fn stats(&self) -> SfsStats {
+        self.server().stats()
+    }
+}
+
+impl<D: Driver + 'static> Service for SfsService<D> {
+    fn name(&self) -> &str {
+        "sfs"
+    }
+
+    fn install(&mut self, exec: &mut dyn Executor) {
+        let sfs = Sfs::install(
+            exec,
+            Arc::clone(&self.net),
+            Arc::clone(&self.driver),
+            self.cfg.clone(),
+        );
+        self.installed = Some(sfs);
     }
 }
 
@@ -602,7 +665,7 @@ mod tests {
             .cores(8)
             .flavor(flavor)
             .workstealing(ws)
-            .build_sim();
+            .build(ExecKind::Sim);
         let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
         let load = ClosedLoopLoad::new(
             SfsProtocol::new(clients, cfg.file_len, cfg.chunk),
@@ -678,7 +741,7 @@ mod tests {
             .cores(2)
             .flavor(Flavor::Mely)
             .workstealing(WsPolicy::off())
-            .build_sim();
+            .build(ExecKind::Sim);
         let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
         let cfg = small_cfg();
         let load = ClosedLoopLoad::new(
@@ -742,7 +805,7 @@ mod tests {
             .cores(2)
             .flavor(Flavor::Mely)
             .workstealing(WsPolicy::off())
-            .build_sim();
+            .build(ExecKind::Sim);
         let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
         let cfg = small_cfg();
         let load = ClosedLoopLoad::new(

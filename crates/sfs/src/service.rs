@@ -1,0 +1,377 @@
+//! The file-server application as a portable [`Service`].
+//!
+//! [`FileServerService`] is the SFS processing pipeline — request parse,
+//! buffer-cache read, *real* encrypt + MAC, reply with client-side
+//! verification — expressed purely as colored events against the
+//! executor-agnostic [`Executor`] API, with the network boundary
+//! replaced by a fixed, structural request schedule: each session is a
+//! closed loop of `requests_per_session` chunked reads, and every
+//! request is exactly the four-event chain
+//!
+//! ```text
+//! ReadRequest(0) ─► ProcessRead(0) ─► Encrypt(session) ─► SendReply(0)
+//! ```
+//!
+//! following the paper's SFS coloring (protocol handlers serialized on
+//! the default color, the CPU-intensive `Encrypt` colored per session,
+//! Section V-C2). Because the event count is structural —
+//! `sessions × requests_per_session × 4` — the *same unmodified
+//! service* processes the *same number of events* on the simulator and
+//! on the threaded executor; the cross-executor conformance suite
+//! pins that equality. The full network-driven SFS (poll loop, SimNet,
+//! closed-loop clients) lives in [`crate::Sfs`] / [`crate::SfsService`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mely_core::event::Event;
+use mely_core::exec::{Executor, Service};
+use mely_core::handler::{HandlerId, HandlerSpec};
+use mely_crypto::{crypto_cost_cycles, Mac, SessionKey, StreamCipher};
+
+use crate::{gen_byte, FileStore, SfsCosts};
+
+/// Shape of the deterministic file-server workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileServerConfig {
+    /// Concurrent sessions (each gets its own `Encrypt` color).
+    pub sessions: u64,
+    /// Chunked reads issued by each session, one at a time.
+    pub requests_per_session: u64,
+    /// Read chunk size per request, in bytes.
+    pub chunk: u64,
+    /// Length of the served in-memory file.
+    pub file_len: u64,
+    /// Path of the served file in the buffer cache.
+    pub path: String,
+    /// Protocol-handler cost annotations (the `Encrypt` cost is derived
+    /// from `chunk` via [`crypto_cost_cycles`]).
+    pub costs: SfsCosts,
+}
+
+impl Default for FileServerConfig {
+    fn default() -> Self {
+        FileServerConfig {
+            sessions: 8,
+            requests_per_session: 16,
+            chunk: 4 << 10,
+            file_len: 256 << 10,
+            path: "/data".to_string(),
+            costs: SfsCosts::default(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    reads: AtomicU64,
+    bytes: AtomicU64,
+    verified: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+/// Counters of a [`FileServerService`] run. Every response is verified
+/// "client-side" inside `SendReply` (MAC check, decrypt, byte-for-byte
+/// compare against the generator), so `corrupt` must stay zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FileServerStats {
+    /// Read requests served.
+    pub reads: u64,
+    /// Encrypted payload bytes produced.
+    pub bytes: u64,
+    /// Responses whose MAC and plaintext verified.
+    pub verified: u64,
+    /// Responses that failed verification (must be zero).
+    pub corrupt: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Handlers {
+    read_request: HandlerId,
+    process_read: HandlerId,
+    encrypt: HandlerId,
+    send_reply: HandlerId,
+}
+
+struct FsApp {
+    store: FileStore,
+    cfg: FileServerConfig,
+    h: Handlers,
+    counters: Arc<Counters>,
+}
+
+impl FsApp {
+    fn offset_for(&self, session: u64, seq: u64) -> u64 {
+        // Staggered like `SfsProtocol::offset_for`, so sessions do not
+        // hit the same offsets in lockstep.
+        ((session + seq) * self.cfg.chunk) % self.cfg.file_len.max(1)
+    }
+
+    fn read_request_event(self: &Arc<Self>, session: u64, seq: u64) -> Event {
+        let app = Arc::clone(self);
+        Event::for_handler(crate::PROTO_COLOR, self.h.read_request).with_action(move |ctx| {
+            let offset = app.offset_for(session, seq);
+            ctx.register(app.process_read_event(session, seq, offset));
+        })
+    }
+
+    fn process_read_event(self: &Arc<Self>, session: u64, seq: u64, offset: u64) -> Event {
+        let app = Arc::clone(self);
+        Event::for_handler(crate::PROTO_COLOR, self.h.process_read).with_action(move |ctx| {
+            let file = app
+                .store
+                .get(&app.cfg.path)
+                .expect("file generated at install");
+            let start = offset.min(file.len() as u64) as usize;
+            let end = (offset + app.cfg.chunk).min(file.len() as u64) as usize;
+            let plain = file[start..end].to_vec();
+            ctx.register(app.encrypt_event(session, seq, offset, plain));
+        })
+    }
+
+    fn encrypt_event(
+        self: &Arc<Self>,
+        session: u64,
+        seq: u64,
+        offset: u64,
+        plain: Vec<u8>,
+    ) -> Event {
+        let app = Arc::clone(self);
+        // The one colored handler: per-session parallelism, exactly the
+        // paper's SFS coloring.
+        Event::for_handler(crate::session_color(session), self.h.encrypt).with_action(move |ctx| {
+            let key = SessionKey::from_seed(session);
+            let mut payload = plain;
+            StreamCipher::new(&key, offset).apply(&mut payload);
+            let tag = Mac::new(&key).compute(&payload);
+            ctx.register(app.send_reply_event(session, seq, offset, payload, tag));
+        })
+    }
+
+    fn send_reply_event(
+        self: &Arc<Self>,
+        session: u64,
+        seq: u64,
+        offset: u64,
+        payload: Vec<u8>,
+        tag: u64,
+    ) -> Event {
+        let app = Arc::clone(self);
+        Event::for_handler(crate::PROTO_COLOR, self.h.send_reply).with_action(move |ctx| {
+            // "Client-side" verification of the wire payload: MAC, then
+            // decrypt, then compare against the content generator.
+            let key = SessionKey::from_seed(session);
+            let mac_ok = Mac::new(&key).verify(&payload, tag);
+            let mut plain = payload;
+            StreamCipher::new(&key, offset).apply(&mut plain);
+            let data_ok = plain
+                .iter()
+                .enumerate()
+                .all(|(i, &b)| b == gen_byte(offset + i as u64));
+            let c = &app.counters;
+            c.reads.fetch_add(1, Ordering::Relaxed);
+            c.bytes.fetch_add(plain.len() as u64, Ordering::Relaxed);
+            if mac_ok && data_ok {
+                c.verified.fetch_add(1, Ordering::Relaxed);
+            } else {
+                c.corrupt.fetch_add(1, Ordering::Relaxed);
+            }
+            // Closed loop: the session issues its next read.
+            if seq + 1 < app.cfg.requests_per_session {
+                ctx.register(app.read_request_event(session, seq + 1));
+            }
+        })
+    }
+}
+
+/// The deterministic file-server [`Service`]: install on any executor,
+/// run, read [`FileServerService::stats`].
+///
+/// # Examples
+///
+/// ```
+/// use mely_core::prelude::*;
+/// use sfs::{FileServerConfig, FileServerService};
+///
+/// let mut counts = Vec::new();
+/// for kind in [ExecKind::Sim, ExecKind::Threaded] {
+///     let mut rt = RuntimeBuilder::new()
+///         .cores(4)
+///         .workstealing(WsPolicy::improved())
+///         .build(kind);
+///     let svc = rt.install(FileServerService::new(FileServerConfig {
+///         sessions: 4,
+///         requests_per_session: 4,
+///         ..FileServerConfig::default()
+///     }));
+///     let report = rt.run();
+///     assert_eq!(report.events_processed(), svc.expected_events());
+///     assert_eq!(svc.stats().corrupt, 0);
+///     counts.push(report.events_processed());
+/// }
+/// // The same unmodified service processes the same number of events
+/// // on both executors.
+/// assert_eq!(counts[0], counts[1]);
+/// ```
+pub struct FileServerService {
+    cfg: FileServerConfig,
+    counters: Arc<Counters>,
+}
+
+impl FileServerService {
+    /// Creates the service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sessions`, `requests_per_session`, `chunk` or
+    /// `file_len` is zero.
+    pub fn new(cfg: FileServerConfig) -> Self {
+        assert!(cfg.sessions > 0, "need at least one session");
+        assert!(cfg.requests_per_session > 0, "need at least one request");
+        assert!(cfg.chunk > 0 && cfg.file_len > 0, "need a non-empty file");
+        FileServerService {
+            cfg,
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// The configuration this service runs.
+    pub fn config(&self) -> &FileServerConfig {
+        &self.cfg
+    }
+
+    /// The structural event count of one full run: four events per
+    /// request (`ReadRequest`, `ProcessRead`, `Encrypt`, `SendReply`) —
+    /// identical on every executor.
+    pub fn expected_events(&self) -> u64 {
+        self.cfg.sessions * self.cfg.requests_per_session * 4
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> FileServerStats {
+        FileServerStats {
+            reads: self.counters.reads.load(Ordering::Relaxed),
+            bytes: self.counters.bytes.load(Ordering::Relaxed),
+            verified: self.counters.verified.load(Ordering::Relaxed),
+            corrupt: self.counters.corrupt.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Service for FileServerService {
+    fn name(&self) -> &str {
+        "file-server"
+    }
+
+    fn install(&mut self, exec: &mut dyn Executor) {
+        let c = &self.cfg.costs;
+        const LOOP_PENALTY: u32 = 100;
+        let h = Handlers {
+            read_request: exec.register_handler(
+                HandlerSpec::new("ReadRequest")
+                    .cost(c.read_request)
+                    .penalty(LOOP_PENALTY),
+            ),
+            process_read: exec.register_handler(
+                HandlerSpec::new("ProcessRead")
+                    .cost(c.process_read)
+                    .penalty(LOOP_PENALTY),
+            ),
+            encrypt: exec.register_handler(
+                HandlerSpec::new("Encrypt").cost(crypto_cost_cycles(self.cfg.chunk)),
+            ),
+            send_reply: exec.register_handler(
+                HandlerSpec::new("SendReply")
+                    .cost(c.send_reply)
+                    .penalty(LOOP_PENALTY),
+            ),
+        };
+        let mut store = FileStore::new();
+        store.put_generated(&self.cfg.path, self.cfg.file_len);
+        let app = Arc::new(FsApp {
+            store,
+            cfg: self.cfg.clone(),
+            h,
+            counters: Arc::clone(&self.counters),
+        });
+        for session in 0..self.cfg.sessions {
+            exec.register(app.read_request_event(session, 0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mely_core::prelude::*;
+
+    fn run(
+        kind: ExecKind,
+        ws: WsPolicy,
+        cfg: FileServerConfig,
+    ) -> (FileServerStats, u64, RunReport) {
+        let mut rt = RuntimeBuilder::new()
+            .cores(4)
+            .flavor(Flavor::Mely)
+            .workstealing(ws)
+            .build(kind);
+        let svc = rt.install(FileServerService::new(cfg));
+        let report = rt.run();
+        (svc.stats(), svc.expected_events(), report)
+    }
+
+    #[test]
+    fn serves_and_verifies_every_read_on_sim() {
+        let cfg = FileServerConfig::default();
+        let (stats, expected, report) = run(ExecKind::Sim, WsPolicy::improved(), cfg.clone());
+        assert_eq!(report.events_processed(), expected);
+        assert_eq!(stats.reads, cfg.sessions * cfg.requests_per_session);
+        assert_eq!(stats.verified, stats.reads);
+        assert_eq!(stats.corrupt, 0);
+        assert_eq!(stats.bytes, stats.reads * cfg.chunk);
+    }
+
+    #[test]
+    fn same_event_count_on_both_executors() {
+        let cfg = FileServerConfig {
+            sessions: 6,
+            requests_per_session: 8,
+            ..FileServerConfig::default()
+        };
+        let (sim_stats, expected, sim_report) =
+            run(ExecKind::Sim, WsPolicy::improved(), cfg.clone());
+        let (thr_stats, _, thr_report) = run(ExecKind::Threaded, WsPolicy::improved(), cfg);
+        assert_eq!(sim_report.events_processed(), expected);
+        assert_eq!(thr_report.events_processed(), expected);
+        assert_eq!(sim_stats, thr_stats, "identical counters on both executors");
+        assert_eq!(thr_stats.corrupt, 0);
+    }
+
+    #[test]
+    fn encrypt_colors_spread_across_cores_with_ws() {
+        let (_, _, report) = run(
+            ExecKind::Sim,
+            WsPolicy::improved(),
+            FileServerConfig {
+                sessions: 16,
+                requests_per_session: 8,
+                ..FileServerConfig::default()
+            },
+        );
+        let active = report
+            .per_core()
+            .iter()
+            .filter(|c| c.events_processed > 0)
+            .count();
+        assert!(active >= 2, "sessions must parallelize, got {active}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one session")]
+    fn zero_sessions_rejected() {
+        let _ = FileServerService::new(FileServerConfig {
+            sessions: 0,
+            ..FileServerConfig::default()
+        });
+    }
+}

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use mely_core::sim::SimRuntime;
+use mely_core::exec::Executor;
 use mely_net::driver::Driver;
 use mely_net::SimNet;
 
@@ -36,13 +36,13 @@ use crate::{Sws, SwsConfig};
 ///
 /// Panics if `copies` is zero or exceeds the runtime's core count.
 pub fn install_ncopy<D: Driver + 'static>(
-    rt: &mut SimRuntime,
+    rt: &mut dyn Executor,
     net: Arc<Mutex<SimNet>>,
     driver: Arc<Mutex<D>>,
     base_cfg: &SwsConfig,
     copies: usize,
 ) -> Vec<Sws> {
-    let cores = rt.config().cores;
+    let cores = rt.cores();
     assert!(copies > 0, "need at least one copy");
     assert!(copies <= cores, "one copy per core at most");
     (0..copies)
@@ -274,7 +274,7 @@ mod tests {
             .cores(4)
             .flavor(Flavor::Mely)
             .workstealing(WsPolicy::off())
-            .build_sim();
+            .build(ExecKind::Sim);
         let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
         let cfg = SwsConfig::default();
         let load = ClosedLoopLoad::new(

@@ -19,8 +19,9 @@
 //! `WriteResponse`, `Close`) are colored by the connection's descriptor
 //! so distinct clients are served concurrently.
 //!
-//! The server installs onto a [`SimRuntime`] and serves load produced by
-//! any [`mely_net::driver::Driver`] (normally
+//! The server installs onto any executor through the unified
+//! [`Executor`] API (`rt.install(SwsService::new(..))`) and serves load
+//! produced by any [`mely_net::driver::Driver`] (normally
 //! `mely_loadgen::ClosedLoopLoad` with [`HttpProtocol`]).
 
 use std::collections::HashMap;
@@ -30,8 +31,8 @@ use parking_lot::Mutex;
 
 use mely_core::color::Color;
 use mely_core::event::Event;
+use mely_core::exec::{Executor, Service};
 use mely_core::handler::{HandlerId, HandlerSpec};
-use mely_core::sim::SimRuntime;
 use mely_http::{parse_request, ParseOutcome, Request, Response, ResponseCache};
 use mely_loadgen::ClientProtocol;
 use mely_net::driver::Driver;
@@ -88,7 +89,7 @@ impl Default for SwsCosts {
 }
 
 /// Server configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwsConfig {
     /// Listening port.
     pub port: u16,
@@ -253,12 +254,15 @@ pub struct Sws {
 }
 
 impl Sws {
-    /// Installs SWS onto a simulation runtime: registers the nine
-    /// handlers, prebuilds the response cache, opens the listener and
-    /// schedules the first `Epoll` event. The `driver` is advanced by
-    /// every poll pass, injecting client traffic in virtual time.
+    /// Installs SWS onto any executor (`&mut dyn Executor`): registers
+    /// the nine handlers, prebuilds the response cache, opens the
+    /// listener and schedules the first `Epoll` event. The `driver` is
+    /// advanced by every poll pass, injecting client traffic in the
+    /// executor's time base (virtual cycles under sim, the calibrated
+    /// cycle counter under threads). Prefer installing through the
+    /// [`Service`] impl: `rt.install(SwsService::new(net, driver, cfg))`.
     pub fn install<D: Driver + 'static>(
-        rt: &mut SimRuntime,
+        rt: &mut dyn Executor,
         net: Arc<Mutex<SimNet>>,
         driver: Arc<Mutex<D>>,
         cfg: SwsConfig,
@@ -269,7 +273,7 @@ impl Sws {
     /// Like [`Sws::install`] but with an explicit color plane (used by
     /// the N-copy comparator to pin each copy to one core).
     pub fn install_with_colors<D: Driver + 'static>(
-        rt: &mut SimRuntime,
+        rt: &mut dyn Executor,
         net: Arc<Mutex<SimNet>>,
         driver: Arc<Mutex<D>>,
         cfg: SwsConfig,
@@ -350,6 +354,72 @@ impl Sws {
     /// Current server-side counters.
     pub fn stats(&self) -> SwsStats {
         (self.stats)()
+    }
+}
+
+/// SWS as an installable [`Service`]: bundle the network, the driver
+/// and the configuration, then `rt.install(SwsService::new(..))` on
+/// either executor. After the run, [`SwsService::stats`] reads the
+/// server counters.
+pub struct SwsService<D> {
+    net: Arc<Mutex<SimNet>>,
+    driver: Arc<Mutex<D>>,
+    cfg: SwsConfig,
+    colors: ColorPlane,
+    installed: Option<Sws>,
+}
+
+impl<D: Driver + 'static> SwsService<D> {
+    /// Bundles a web server over `net` serving load from `driver`.
+    pub fn new(net: Arc<Mutex<SimNet>>, driver: Arc<Mutex<D>>, cfg: SwsConfig) -> Self {
+        SwsService {
+            net,
+            driver,
+            cfg,
+            colors: ColorPlane::single(),
+            installed: None,
+        }
+    }
+
+    /// Overrides the color plane (N-copy deployments).
+    pub fn with_colors(mut self, colors: ColorPlane) -> Self {
+        self.colors = colors;
+        self
+    }
+
+    /// The installed server handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service has not been installed yet.
+    pub fn server(&self) -> &Sws {
+        self.installed.as_ref().expect("service not installed")
+    }
+
+    /// Current server-side counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service has not been installed yet.
+    pub fn stats(&self) -> SwsStats {
+        self.server().stats()
+    }
+}
+
+impl<D: Driver + 'static> Service for SwsService<D> {
+    fn name(&self) -> &str {
+        "sws"
+    }
+
+    fn install(&mut self, exec: &mut dyn Executor) {
+        let sws = Sws::install_with_colors(
+            exec,
+            Arc::clone(&self.net),
+            Arc::clone(&self.driver),
+            self.cfg.clone(),
+            self.colors,
+        );
+        self.installed = Some(sws);
     }
 }
 
@@ -680,7 +750,7 @@ mod tests {
             .cores(8)
             .flavor(flavor)
             .workstealing(ws)
-            .build_sim();
+            .build(ExecKind::Sim);
         let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
         let cfg = SwsConfig::default();
         let load = ClosedLoopLoad::new(
@@ -715,7 +785,7 @@ mod tests {
             .cores(4)
             .flavor(Flavor::Mely)
             .workstealing(WsPolicy::off())
-            .build_sim();
+            .build(ExecKind::Sim);
         let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
         let cfg = SwsConfig::default();
         let load = ClosedLoopLoad::new(
@@ -752,7 +822,7 @@ mod tests {
             .cores(2)
             .flavor(Flavor::Mely)
             .workstealing(WsPolicy::off())
-            .build_sim();
+            .build(ExecKind::Sim);
         let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
         let load = ClosedLoopLoad::new(
             BadPath(HttpProtocol::new(1)),
@@ -787,7 +857,7 @@ mod tests {
             .cores(2)
             .flavor(Flavor::Mely)
             .workstealing(WsPolicy::off())
-            .build_sim();
+            .build(ExecKind::Sim);
         let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
         let load = ClosedLoopLoad::new(
             Garbage,

@@ -1,16 +1,78 @@
-//! The SFS secure file server: encrypted, authenticated chunked reads
-//! verified end-to-end by the clients, with and without workstealing.
+//! The file-server application on the unified `Executor` API: the same
+//! unmodified `Service` (real encrypt + MAC, client-side verification)
+//! runs on the simulator and on the threaded runtime and processes the
+//! exact same number of events on both — the executor-agnostic API's
+//! acceptance demo. The classic network-driven SFS comparison (the
+//! paper's Figures 3 and 8) follows on the simulator.
+//!
+//! Set `MELY_EXEC=sim` or `MELY_EXEC=threaded` to run the parity block
+//! on one executor only.
 //!
 //! Run with `cargo run --release --example file_server`.
 
 use mely_repro::bench::scenarios::sfs_run;
 use mely_repro::bench::PaperConfig;
+use mely_repro::core::prelude::*;
+use mely_repro::sfs::{FileServerConfig, FileServerService};
+
+fn run_service(kind: ExecKind) -> (u64, mely_repro::sfs::FileServerStats) {
+    let mut rt = RuntimeBuilder::new()
+        .cores(8)
+        .flavor(Flavor::Mely)
+        .workstealing(WsPolicy::improved())
+        .build(kind);
+    let svc = rt.install(FileServerService::new(FileServerConfig {
+        sessions: 16,
+        requests_per_session: 32,
+        chunk: 8 << 10,
+        ..FileServerConfig::default()
+    }));
+    let report = rt.run();
+    let stats = svc.stats();
+    assert_eq!(report.events_processed(), svc.expected_events());
+    assert_eq!(stats.corrupt, 0, "verification must never fail");
+    assert_eq!(stats.verified, stats.reads);
+    (report.events_processed(), stats)
+}
 
 fn main() {
+    let only: Option<ExecKind> = std::env::var("MELY_EXEC").ok().map(|s| {
+        s.parse()
+            .expect("MELY_EXEC must be \"sim\" or \"threaded\"")
+    });
+
+    println!("One service, two executors (16 sessions x 32 encrypted 8 KB reads):\n");
+    println!(
+        "{:<10} {:>10} {:>8} {:>10} {:>9}",
+        "executor", "events", "reads", "MB moved", "verified"
+    );
+    let mut counts = Vec::new();
+    for kind in [ExecKind::Sim, ExecKind::Threaded] {
+        if only.is_some_and(|k| k != kind) {
+            continue;
+        }
+        let (events, stats) = run_service(kind);
+        println!(
+            "{:<10} {:>10} {:>8} {:>10.1} {:>9}",
+            kind.to_string(),
+            events,
+            stats.reads,
+            stats.bytes as f64 / 1e6,
+            stats.verified
+        );
+        counts.push(events);
+    }
+    if counts.len() == 2 {
+        assert_eq!(
+            counts[0], counts[1],
+            "the same service must process identical event counts"
+        );
+        println!("\nidentical events_processed on sim and threads: OK");
+    }
+
     let clients = 16;
     let duration = 60_000_000;
-
-    println!("SFS: {clients} sessions reading an in-memory file in 8 KB chunks");
+    println!("\nClassic SFS under closed-loop network load (simulator):");
     println!("(every response is really encrypted and MAC'd; clients verify)\n");
     println!(
         "{:<22} {:>10} {:>10} {:>9} {:>8}",

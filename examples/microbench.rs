@@ -24,8 +24,7 @@ fn main() {
     ] {
         let r = unbalanced(c, &cfg);
         println!(
-            "{:<22} {:>8.0} KEvents/s   lock {:>5.1}%",
-            c.label(),
+            "{c:<22} {:>8.0} KEvents/s   lock {:>5.1}%",
             r.kevents_per_sec(),
             r.lock_time_fraction() * 100.0
         );
@@ -36,8 +35,7 @@ fn main() {
     for c in [PaperConfig::MelyBaseWs, PaperConfig::MelyPenaltyWs] {
         let r = penalty(c, &cfg);
         println!(
-            "{:<26} {:>8.0} KEvents/s   {:>6.1} L2 misses/event",
-            c.label(),
+            "{c:<26} {:>8.0} KEvents/s   {:>6.1} L2 misses/event",
             r.kevents_per_sec(),
             r.l2_misses_per_event()
         );
@@ -56,8 +54,7 @@ fn main() {
     ] {
         let r = cache_efficient(c, &cfg);
         println!(
-            "{:<26} {:>8.0} KEvents/s   {:>6.2} L2 misses/event",
-            c.label(),
+            "{c:<26} {:>8.0} KEvents/s   {:>6.2} L2 misses/event",
             r.kevents_per_sec(),
             r.l2_misses_per_event()
         );

@@ -1,6 +1,10 @@
-//! The threaded executor: the same scheduler running on real OS threads
-//! with spinlock-protected queues and real workstealing — plus external
-//! producers injecting through the per-core lock-free inboxes.
+//! External producers injecting into a running executor through the
+//! executor-agnostic `Injector` — lock-free per-core inboxes on the
+//! threaded runtime, the run-loop mailbox on the simulator.
+//!
+//! Defaults to the threaded executor (that is where the inbox stats are
+//! interesting); set `MELY_EXEC=sim` to watch the identical producer
+//! code drive the simulation instead.
 //!
 //! Run with `cargo run --release --example threaded`.
 
@@ -10,15 +14,16 @@ use std::sync::Arc;
 use mely_repro::core::prelude::*;
 
 fn main() {
-    let rt = RuntimeBuilder::new()
+    let kind = mely_repro::exec_kind_from_env(ExecKind::Threaded);
+    let mut rt = RuntimeBuilder::new()
         .cores(4)
         .flavor(Flavor::Mely)
         .workstealing(WsPolicy::improved())
-        .build_threaded();
+        .build(kind);
 
     let sum = Arc::new(AtomicU64::new(0));
     // 200 colored tasks, all pinned to core 0; each spins its declared
-    // cost for real, then does real work in its action.
+    // cost for real under threads, then does real work in its action.
     for i in 0..200u16 {
         let sum = Arc::clone(&sum);
         rt.register_pinned(
@@ -30,17 +35,17 @@ fn main() {
     }
 
     // Meanwhile, two external producer threads inject 300 more events
-    // each through the lock-free inboxes (never touching a core's
-    // dispatch spinlock), the way a network frontend would.
+    // each through the executor's injection path (never touching a
+    // core's dispatch spinlock), the way a network frontend would.
     let injected = Arc::new(AtomicU64::new(0));
     let producers: Vec<_> = (0..2u16)
         .map(|p| {
-            let handle = rt.handle();
+            let injector = rt.injector();
             let injected = Arc::clone(&injected);
             std::thread::spawn(move || {
                 for i in 0..300u16 {
                     let injected = Arc::clone(&injected);
-                    handle.register(
+                    injector.inject(
                         Event::new(Color::new(500 + p * 300 + i), 5_000).with_action(move |_ctx| {
                             injected.fetch_add(1, Ordering::Relaxed);
                         }),
@@ -52,8 +57,8 @@ fn main() {
 
     // Keep the workers alive until every producer is done, then let the
     // runtime drain and stop it.
-    let keepalive = rt.handle().keepalive();
-    let stopper = rt.handle();
+    let keepalive = rt.injector().keepalive();
+    let stopper = rt.injector();
     let waiter = std::thread::spawn(move || {
         for p in producers {
             p.join().unwrap();
@@ -65,6 +70,7 @@ fn main() {
     waiter.join().unwrap();
     assert_eq!(sum.load(Ordering::Relaxed), (1..=200u64).sum());
     assert_eq!(injected.load(Ordering::Relaxed), 600);
+    println!("executor         : {kind}");
     println!("events processed : {}", report.events_processed());
     println!("steals           : {}", report.total().steals);
     println!(

@@ -26,13 +26,15 @@
 //! ```
 //! use mely_core::prelude::*;
 //!
-//! // An 8-core simulated machine running the Mely runtime with the
-//! // improved workstealing algorithm (all heuristics on).
+//! // An 8-core machine running the Mely runtime with the improved
+//! // workstealing algorithm (all heuristics on). The same builder and
+//! // API serve both executors: ExecKind::Sim simulates a Xeon E5410,
+//! // ExecKind::Threaded runs one OS thread per core.
 //! let mut rt = RuntimeBuilder::new()
 //!     .cores(8)
 //!     .flavor(Flavor::Mely)
 //!     .workstealing(WsPolicy::improved())
-//!     .build_sim();
+//!     .build(ExecKind::Sim);
 //!
 //! // Register 100 independent events (distinct colors), all on core 0.
 //! for i in 0..100u16 {
@@ -41,6 +43,24 @@
 //! let report = rt.run();
 //! assert_eq!(report.events_processed(), 100);
 //! ```
+
+/// The executor kind selected by the `MELY_EXEC` environment variable
+/// (`"sim"` or `"threaded"`), or `default` when the variable is unset.
+/// Used by the examples so one binary demonstrates both executors; CI
+/// runs them under both values.
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — the examples want a loud failure,
+/// not a silent fallback.
+pub fn exec_kind_from_env(default: mely_core::ExecKind) -> mely_core::ExecKind {
+    match std::env::var("MELY_EXEC") {
+        Ok(s) => s
+            .parse()
+            .expect("MELY_EXEC must be \"sim\" or \"threaded\""),
+        Err(_) => default,
+    }
+}
 
 pub use mely_bench as bench;
 pub use mely_cachesim as cachesim;

@@ -18,7 +18,8 @@ fn run_rounds(measured: bool) -> (RunReport, u64) {
         .cores(8)
         .flavor(Flavor::Mely)
         .workstealing(WsPolicy::base().with_time_left(true))
-        .build_sim();
+        .build(ExecKind::Sim)
+        .into_sim();
     // Annotated as 50 cycles — far below any steal cost, so the
     // time-left gate sees the colors as unworthy. True cost: 30K.
     let spec = HandlerSpec::new("mis-annotated").cost(50);
@@ -71,7 +72,7 @@ fn measured_costs_only_affect_future_registrations() {
         .cores(2)
         .flavor(Flavor::Mely)
         .workstealing(WsPolicy::off())
-        .build_sim();
+        .build(ExecKind::Sim);
     let h = rt.register_handler(HandlerSpec::new("m").cost(100).measured());
     rt.register(Event::for_handler(Color::new(1), h).with_action(|ctx| ctx.charge(9_000)));
     rt.run();

@@ -23,13 +23,13 @@ const COLORS_PER_PRODUCER: u16 = 5;
 
 #[test]
 fn no_event_lost_and_no_color_on_two_cores() {
-    let rt = RuntimeBuilder::new()
+    let mut rt = RuntimeBuilder::new()
         .cores(4)
         .flavor(Flavor::Mely)
         .workstealing(WsPolicy::improved())
-        .build_threaded();
-    let keepalive = rt.handle().keepalive();
-    let handle = rt.handle();
+        .build(ExecKind::Threaded);
+    let keepalive = rt.injector().keepalive();
+    let handle = rt.injector();
 
     let executed = Arc::new(AtomicU64::new(0));
     let violations = Arc::new(AtomicU64::new(0));
@@ -57,7 +57,7 @@ fn no_event_lost_and_no_color_on_two_cores() {
                     let executed = Arc::clone(&executed);
                     let violations = Arc::clone(&violations);
                     let in_flight = Arc::clone(&in_flight);
-                    handle.register(Event::new(Color::new(color_idx as u16), 0).with_action(
+                    handle.inject(Event::new(Color::new(color_idx as u16), 0).with_action(
                         move |_| {
                             let cell = &in_flight[color_idx];
                             if cell.fetch_add(1, Ordering::SeqCst) != 0 {
@@ -74,7 +74,7 @@ fn no_event_lost_and_no_color_on_two_cores() {
         .collect();
 
     let total = PRODUCERS as u64 * EVENTS_PER_PRODUCER;
-    let stopper = rt.handle();
+    let stopper = rt.injector();
     let waiter = std::thread::spawn(move || {
         for p in producers {
             p.join().unwrap();
@@ -111,14 +111,14 @@ fn no_event_lost_and_no_color_on_two_cores() {
 fn injector_pool_under_stealing_loses_nothing() {
     // Same invariant, driven through the loadgen producer pool, with
     // nonzero costs so steals actually happen during injection.
-    let rt = RuntimeBuilder::new()
+    let mut rt = RuntimeBuilder::new()
         .cores(4)
         .flavor(Flavor::Mely)
         .workstealing(WsPolicy::base())
-        .build_threaded();
-    let keepalive = rt.handle().keepalive();
-    let pool_handle = rt.handle();
-    let stopper = rt.handle();
+        .build(ExecKind::Threaded);
+    let keepalive = rt.injector().keepalive();
+    let pool_handle = rt.injector();
+    let stopper = rt.injector();
     let waiter = std::thread::spawn(move || {
         let pool = InjectorPool::spawn(
             pool_handle,
@@ -144,27 +144,27 @@ fn injector_pool_under_stealing_loses_nothing() {
 
 #[test]
 fn stopping_with_a_nonempty_inbox_shuts_down_cleanly() {
-    let rt = RuntimeBuilder::new()
+    let mut rt = RuntimeBuilder::new()
         .cores(2)
         .flavor(Flavor::Mely)
         .workstealing(WsPolicy::off())
-        .build_threaded();
-    let keepalive = rt.handle().keepalive();
-    let handle = rt.handle();
+        .build(ExecKind::Threaded);
+    let keepalive = rt.injector().keepalive();
+    let handle = rt.injector();
     let marker = Arc::new(());
 
     // Stop the runtime while a producer is still injecting: some events
     // will be executed, the rest must be dropped (not leaked, not hung).
-    let stopper = rt.handle();
+    let stopper = rt.injector();
     let m = Arc::clone(&marker);
     let producer = std::thread::spawn(move || {
         for i in 0..50_000u64 {
             let m = Arc::clone(&m);
-            handle.register(Event::new(Color::new((i % 97 + 2) as u16), 0).with_action(
-                move |_| {
+            handle.inject(
+                Event::new(Color::new((i % 97 + 2) as u16), 0).with_action(move |_| {
                     let _ = &m;
-                },
-            ));
+                }),
+            );
             if i == 1_000 {
                 stopper.stop();
             }
@@ -176,10 +176,12 @@ fn stopping_with_a_nonempty_inbox_shuts_down_cleanly() {
     // racing a stop at the 1000th, some must still be buffered.
     assert!(report.events_processed() < 50_000, "stop was ignored");
     drop(report);
-    // The keepalive guard holds the runtime's shared state; release it
-    // so dropping the runtime frees every undrained event — after which
-    // only our local Arc remains.
+    // The keepalive guard holds the runtime's shared state, and the
+    // runtime itself (reusable since `run(&mut self)`) still owns the
+    // undrained inbox backlog; release both so every undrained event's
+    // captures are freed — after which only our local Arc remains.
     drop(keepalive);
+    drop(rt);
     assert_eq!(
         Arc::strong_count(&marker),
         1,

@@ -133,7 +133,7 @@ fn server_survives_a_client_that_disconnects_mid_request() {
         .cores(2)
         .flavor(Flavor::Mely)
         .workstealing(WsPolicy::off())
-        .build_sim();
+        .build(ExecKind::Sim);
     let net = Arc::new(PlMutex::new(SimNet::new(NetConfig::default())));
     let load = ClosedLoopLoad::new(
         Rude,
@@ -169,17 +169,17 @@ fn sim_and_threaded_execute_the_same_workload() {
         .cores(4)
         .flavor(Flavor::Mely)
         .workstealing(WsPolicy::improved())
-        .build_sim();
+        .build(ExecKind::Sim);
     for ev in build() {
         sim.register(ev);
     }
     let sim_report = sim.run();
 
-    let threaded = RuntimeBuilder::new()
+    let mut threaded = RuntimeBuilder::new()
         .cores(4)
         .flavor(Flavor::Mely)
         .workstealing(WsPolicy::improved())
-        .build_threaded();
+        .build(ExecKind::Threaded);
     for ev in build() {
         threaded.register(ev);
     }
@@ -206,6 +206,6 @@ fn topology_cachesim_and_runtime_agree_on_the_machine() {
         mely_repro::cachesim::HitLevel::Memory
     );
     // And the runtime accepts the same model.
-    let rt = RuntimeBuilder::new().machine(m).build_sim();
-    assert_eq!(rt.config().cores, 8);
+    let rt = RuntimeBuilder::new().machine(m).build(ExecKind::Sim);
+    assert_eq!(rt.cores(), 8);
 }

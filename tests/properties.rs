@@ -236,7 +236,7 @@ proptest! {
             .cores(4)
             .flavor(if flavor_mely { Flavor::Mely } else { Flavor::Libasync })
             .workstealing(ws)
-            .build_sim();
+            .build(ExecKind::Sim);
         let n = events.len() as u64;
         for (color, cost) in events {
             rt.register_pinned(Event::new(Color::new(color), cost), 0);

@@ -12,7 +12,7 @@ fn quickstart_example_logic_runs_and_steals() {
         .cores(8)
         .flavor(Flavor::Mely)
         .workstealing(WsPolicy::improved())
-        .build_sim();
+        .build(ExecKind::Sim);
 
     // 400 independent colors all pinned on core 0: a badly unbalanced
     // load that only workstealing can spread.
