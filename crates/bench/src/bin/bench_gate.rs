@@ -13,9 +13,12 @@
 //!
 //! Exit status is nonzero when any baseline benchmark regressed by more
 //! than the threshold, disappeared from the current run, or a
-//! `--min-speedup` ratio check failed. `--update-baseline <path>`
-//! rewrites the baseline from the current run instead of gating (the
-//! documented local workflow for refreshing `benches/baseline.json`).
+//! `--min-speedup` / `--max-ratio` check failed (`--min-speedup a,b,f`
+//! asserts `a ≥ f × b`; `--max-ratio a,b,f` asserts `a ≤ f × b` — the
+//! overhead gate, e.g. `stage/typed_chain,stage/raw_chain,1.10`).
+//! `--update-baseline <path>` rewrites the baseline from the current
+//! run instead of gating (the documented local workflow for refreshing
+//! `benches/baseline.json`).
 //!
 //! The summary format (one entry per line, so it diffs well):
 //!
@@ -127,12 +130,22 @@ struct SpeedupCheck {
     factor: f64,
 }
 
+/// One `--max-ratio a,b,factor` assertion: `a` must take at most
+/// `factor ×` the time of `b` (the overhead gate, e.g. typed stage
+/// dispatch ≤ 1.10× raw closure chains).
+struct RatioCheck {
+    numer: String,
+    denom: String,
+    factor: f64,
+}
+
 /// Compares `current` to `baseline`; returns human-readable failures.
 fn gate(
     current: &Summary,
     baseline: &Summary,
     max_regress_pct: f64,
     speedups: &[SpeedupCheck],
+    ratios: &[RatioCheck],
 ) -> Vec<String> {
     let mut failures = Vec::new();
     for (id, &base_ns) in baseline {
@@ -165,13 +178,30 @@ fn gate(
             ));
         }
     }
+    for c in ratios {
+        let (Some(&numer), Some(&denom)) = (current.get(&c.numer), current.get(&c.denom)) else {
+            failures.push(format!(
+                "ratio {} / {}: one of the ids was not measured",
+                c.numer, c.denom
+            ));
+            continue;
+        };
+        let ratio = numer / denom.max(1e-12);
+        if ratio > c.factor {
+            failures.push(format!(
+                "ratio {} / {}: {ratio:.3}x > allowed {:.3}x",
+                c.numer, c.denom, c.factor
+            ));
+        }
+    }
     failures
 }
 
 fn usage() -> String {
     "usage: bench_gate --raw <jsonl>... [--out <summary.json>] \
      [--baseline <summary.json>] [--max-regress-pct <pct>] \
-     [--min-speedup slow_id,fast_id,factor]... [--update-baseline <path>]"
+     [--min-speedup slow_id,fast_id,factor]... \
+     [--max-ratio id,base_id,factor]... [--update-baseline <path>]"
         .to_string()
 }
 
@@ -182,6 +212,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
     let mut update_baseline = None;
     let mut max_regress_pct = 25.0;
     let mut speedups = Vec::new();
+    let mut ratios = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| {
@@ -211,6 +242,20 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
                     factor: parts[2]
                         .parse()
                         .map_err(|_| format!("bad factor in --min-speedup {v}"))?,
+                });
+            }
+            "--max-ratio" => {
+                let v = val("--max-ratio")?;
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 3 {
+                    return Err(format!("--max-ratio wants id,base_id,factor; got {v}"));
+                }
+                ratios.push(RatioCheck {
+                    numer: parts[0].to_string(),
+                    denom: parts[1].to_string(),
+                    factor: parts[2]
+                        .parse()
+                        .map_err(|_| format!("bad factor in --max-ratio {v}"))?,
                 });
             }
             other => return Err(format!("unknown argument {other}\n{}", usage())),
@@ -256,9 +301,15 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
         for id in current.keys().filter(|id| !base.contains_key(*id)) {
             println!("note: {id} is new (not in baseline)");
         }
-        failures = gate(&current, &base, max_regress_pct, &speedups);
-    } else if !speedups.is_empty() {
-        failures = gate(&current, &Summary::new(), max_regress_pct, &speedups);
+        failures = gate(&current, &base, max_regress_pct, &speedups, &ratios);
+    } else if !speedups.is_empty() || !ratios.is_empty() {
+        failures = gate(
+            &current,
+            &Summary::new(),
+            max_regress_pct,
+            &speedups,
+            &ratios,
+        );
     }
     Ok(failures)
 }
@@ -324,14 +375,14 @@ mod tests {
     fn gate_passes_within_threshold_and_on_improvement() {
         let base = summary(&[("a", 100.0), ("b", 100.0)]);
         let cur = summary(&[("a", 124.0), ("b", 10.0), ("new", 1.0)]);
-        assert!(gate(&cur, &base, 25.0, &[]).is_empty());
+        assert!(gate(&cur, &base, 25.0, &[], &[]).is_empty());
     }
 
     #[test]
     fn gate_fails_on_regression_and_missing() {
         let base = summary(&[("a", 100.0), ("gone", 50.0)]);
         let cur = summary(&[("a", 130.0)]);
-        let failures = gate(&cur, &base, 25.0, &[]);
+        let failures = gate(&cur, &base, 25.0, &[], &[]);
         assert_eq!(failures.len(), 2);
         assert!(failures.iter().any(|f| f.contains("a:")));
         assert!(failures.iter().any(|f| f.contains("gone")));
@@ -345,15 +396,45 @@ mod tests {
             fast: "fast".into(),
             factor: 2.0,
         };
-        assert!(gate(&cur, &Summary::new(), 25.0, &[ok]).is_empty());
+        assert!(gate(&cur, &Summary::new(), 25.0, &[ok], &[]).is_empty());
         let too_much = SpeedupCheck {
             slow: "slow".into(),
             fast: "fast".into(),
             factor: 4.0,
         };
-        let failures = gate(&cur, &Summary::new(), 25.0, &[too_much]);
+        let failures = gate(&cur, &Summary::new(), 25.0, &[too_much], &[]);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("3.00x < required 4.00x"));
+    }
+
+    #[test]
+    fn gate_checks_max_ratios() {
+        let cur = summary(&[("typed", 108.0), ("raw", 100.0)]);
+        let ok = RatioCheck {
+            numer: "typed".into(),
+            denom: "raw".into(),
+            factor: 1.10,
+        };
+        assert!(gate(&cur, &Summary::new(), 25.0, &[], &[ok]).is_empty());
+        let tight = RatioCheck {
+            numer: "typed".into(),
+            denom: "raw".into(),
+            factor: 1.05,
+        };
+        let failures = gate(&cur, &Summary::new(), 25.0, &[], &[tight]);
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("1.080x > allowed 1.050x"),
+            "{failures:?}"
+        );
+        let missing = RatioCheck {
+            numer: "typed".into(),
+            denom: "absent".into(),
+            factor: 2.0,
+        };
+        let failures = gate(&cur, &Summary::new(), 25.0, &[], &[missing]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("not measured"));
     }
 
     #[test]

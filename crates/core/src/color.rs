@@ -66,6 +66,283 @@ impl From<u16> for Color {
     }
 }
 
+/// An inclusive range of colors — the unit of the color-space
+/// partition.
+///
+/// Two canonical ranges partition the non-default colors, formalizing
+/// what used to be an ad-hoc convention in `mely-net`:
+///
+/// - [`ColorRange::CONNECTIONS`] (`1..=0x7FFF`) — *keyed* colors for
+///   per-entity serialization (connections, sessions, requests). Keys
+///   hash into the range with [`ColorRange::keyed`]; a hash collision
+///   merely serializes the two entities, which is always safe.
+/// - [`ColorRange::LISTENERS`] (`0x8000..=0xFFFF`) — *structured*
+///   colors derived from listener ports, disjoint from every
+///   connection color so accept storms cannot serialize behind request
+///   processing.
+///
+/// The stage layer further splits the connection range into two
+/// *planes*: [`ColorRange::STAGE_SERIAL`] (allocator territory —
+/// [`ColorSpace::for_stages`] hands serial stage colors out of it) and
+/// [`ColorRange::STAGE_KEYED`] (hash territory — `StageSpec::keyed`
+/// colors land there). The split makes serial-vs-keyed collisions
+/// impossible by construction; the raw `mely-net` bridge keeps hashing
+/// over the full [`ColorRange::CONNECTIONS`], where any collision is
+/// still safe (it only serializes).
+///
+/// # Examples
+///
+/// ```
+/// use mely_core::color::ColorRange;
+///
+/// let c = ColorRange::CONNECTIONS.keyed(12_345);
+/// assert!(ColorRange::CONNECTIONS.contains(c));
+/// assert!(!c.is_default());
+/// assert!(!ColorRange::LISTENERS.contains(c));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColorRange {
+    first: u16,
+    last: u16,
+}
+
+impl ColorRange {
+    /// Keyed per-connection / per-session colors: `1..=0x7FFF`.
+    pub const CONNECTIONS: ColorRange = ColorRange::new(0x0001, 0x7FFF);
+
+    /// Listener (accept) colors: `0x8000..=0xFFFF`, disjoint from
+    /// [`ColorRange::CONNECTIONS`].
+    pub const LISTENERS: ColorRange = ColorRange::new(0x8000, 0xFFFF);
+
+    /// The *serial plane* of the connection range: the sub-range
+    /// [`ColorSpace::for_stages`] allocates serial stage colors from.
+    /// Disjoint from [`ColorRange::STAGE_KEYED`], so an
+    /// allocator-assigned stage color can never collide with a hashed
+    /// per-message color — without this split, connection 0's keyed
+    /// color would equal the first allocated serial color on every
+    /// run, silently serializing that connection's whole request path
+    /// behind the poll loop.
+    pub const STAGE_SERIAL: ColorRange = ColorRange::new(0x0001, 0x0FFF);
+
+    /// The *keyed plane* of the connection range: where the stage
+    /// layer's `StageSpec::keyed` colors hash to. Keyed-vs-keyed
+    /// collisions remain possible (and safe — they only serialize);
+    /// keyed-vs-serial collisions are impossible by construction.
+    pub const STAGE_KEYED: ColorRange = ColorRange::new(0x1000, 0x7FFF);
+
+    /// Creates the inclusive range `first..=last`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first > last`.
+    pub const fn new(first: u16, last: u16) -> Self {
+        assert!(first <= last, "color range must not be empty");
+        ColorRange { first, last }
+    }
+
+    /// First color of the range.
+    pub const fn first(self) -> Color {
+        Color(self.first)
+    }
+
+    /// Last color of the range.
+    pub const fn last(self) -> Color {
+        Color(self.last)
+    }
+
+    /// Number of colors in the range (at least 1).
+    pub const fn len(self) -> u32 {
+        (self.last - self.first) as u32 + 1
+    }
+
+    /// Ranges are never empty; present for API completeness.
+    pub const fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Whether `color` falls inside the range.
+    pub const fn contains(self, color: Color) -> bool {
+        self.first <= color.0 && color.0 <= self.last
+    }
+
+    /// Hashes `key` into the range. Collisions serialize the two keys —
+    /// safe by the coloring model, merely less parallel.
+    pub const fn keyed(self, key: u64) -> Color {
+        Color(self.first + (key % self.len() as u64) as u16)
+    }
+}
+
+/// Error returned by [`ColorSpace::claim`] when the color is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColorTaken(
+    /// The contested color.
+    pub Color,
+);
+
+impl fmt::Display for ColorTaken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} is already allocated or reserved", self.0)
+    }
+}
+
+impl std::error::Error for ColorTaken {}
+
+/// A collision-checked allocator over the 16-bit color space.
+///
+/// Hand-picking `u16` colors works for one service; the moment two
+/// services (or a service and the `mely-net` bridge) share an executor,
+/// silent collisions serialize unrelated work — or worse, couple a
+/// stage to a listener. `ColorSpace` makes the assignment explicit: a
+/// bitmap tracks every allocated or reserved color, [`ColorSpace::alloc`]
+/// hands out the lowest free color, and [`ColorSpace::claim`] takes a
+/// specific one, failing loudly on a collision.
+///
+/// [`ColorSpace::for_stages`] is the configuration the stage layer
+/// builds on: the default color and the whole listener range are
+/// reserved, so allocated stage colors can never shadow a listener and
+/// never silently join the all-serializing default color.
+///
+/// # Examples
+///
+/// ```
+/// use mely_core::color::{Color, ColorRange, ColorSpace};
+///
+/// let mut space = ColorSpace::for_stages();
+/// let a = space.alloc();
+/// let b = space.alloc();
+/// assert_ne!(a, b);
+/// assert!(!a.is_default());
+/// assert!(ColorRange::CONNECTIONS.contains(a));
+/// assert!(space.claim(a).is_err(), "collision-checked");
+/// ```
+#[derive(Clone)]
+pub struct ColorSpace {
+    /// One bit per color; set = allocated or reserved.
+    used: Box<[u64; COLOR_SPACE / 64]>,
+    /// Lowest value `alloc` still has to inspect.
+    cursor: u32,
+    /// Colors handed out or explicitly claimed/reserved (excluding the
+    /// implicit default-color reservation).
+    allocated: u32,
+}
+
+impl Default for ColorSpace {
+    fn default() -> Self {
+        ColorSpace::new()
+    }
+}
+
+impl ColorSpace {
+    /// An empty space with only [`Color::DEFAULT`] reserved (the default
+    /// color serializes *everything* mapped to it and must never be
+    /// handed out implicitly).
+    pub fn new() -> Self {
+        let mut s = ColorSpace {
+            used: Box::new([0u64; COLOR_SPACE / 64]),
+            cursor: 1,
+            allocated: 0,
+        };
+        s.set(Color::DEFAULT);
+        s
+    }
+
+    /// The stage layer's configuration: [`Color::DEFAULT`], the whole
+    /// [`ColorRange::LISTENERS`] range and the keyed plane
+    /// ([`ColorRange::STAGE_KEYED`]) reserved, so serial allocations
+    /// come from [`ColorRange::STAGE_SERIAL`] (4095 colors) and can
+    /// never shadow a listener or a hashed per-message stage color.
+    pub fn for_stages() -> Self {
+        let mut s = ColorSpace::new();
+        s.reserve_range(ColorRange::LISTENERS);
+        s.reserve_range(ColorRange::STAGE_KEYED);
+        s
+    }
+
+    fn set(&mut self, c: Color) {
+        self.used[c.0 as usize / 64] |= 1u64 << (c.0 % 64);
+    }
+
+    /// Whether `color` has been allocated or reserved.
+    pub fn is_used(&self, color: Color) -> bool {
+        self.used[color.0 as usize / 64] >> (color.0 % 64) & 1 == 1
+    }
+
+    /// Colors handed out through [`ColorSpace::alloc`] /
+    /// [`ColorSpace::claim`] / [`ColorSpace::reserve_range`] (the
+    /// implicit default-color reservation is not counted).
+    pub fn allocated(&self) -> u32 {
+        self.allocated
+    }
+
+    /// Allocates the lowest free color.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the space is exhausted — with 65 535 allocatable
+    /// colors, exhaustion means a leak (e.g. allocating per request
+    /// instead of per stage), not a workload that needs more colors.
+    pub fn alloc(&mut self) -> Color {
+        for v in self.cursor..COLOR_SPACE as u32 {
+            let c = Color(v as u16);
+            if !self.is_used(c) {
+                self.set(c);
+                self.cursor = v + 1;
+                self.allocated += 1;
+                return c;
+            }
+        }
+        panic!("color space exhausted: all {COLOR_SPACE} colors allocated or reserved");
+    }
+
+    /// Claims a specific color, failing if it is already taken. Use for
+    /// externally mandated colors (an N-copy plane, a paper-mandated
+    /// assignment) that must still be collision-checked against the
+    /// rest of the application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColorTaken`] when the color is already allocated or
+    /// reserved.
+    pub fn claim(&mut self, color: Color) -> Result<Color, ColorTaken> {
+        if self.is_used(color) {
+            return Err(ColorTaken(color));
+        }
+        self.set(color);
+        self.allocated += 1;
+        Ok(color)
+    }
+
+    /// Reserves every color of `range`, so [`ColorSpace::alloc`] skips
+    /// it and [`ColorSpace::claim`] fails inside it. Already-claimed
+    /// colors inside the range stay claimed (reservation is idempotent).
+    ///
+    /// Word-granular: whole `u64`s of the bitmap are filled directly
+    /// (with masked edge words), so reserving a 32K-color plane — done
+    /// by every `PipelineBuilder::new` via [`ColorSpace::for_stages`] —
+    /// is a few dozen operations, not one loop iteration per color.
+    pub fn reserve_range(&mut self, range: ColorRange) {
+        let (first, last) = (range.first as usize, range.last as usize);
+        for w in first / 64..=last / 64 {
+            let lo = first.max(w * 64) % 64;
+            let hi = last.min(w * 64 + 63) % 64;
+            // Bits lo..=hi of word w lie inside the range.
+            let mask = (u64::MAX >> (63 - hi)) & (u64::MAX << lo);
+            let newly = mask & !self.used[w];
+            self.used[w] |= mask;
+            self.allocated += newly.count_ones();
+        }
+    }
+}
+
+impl fmt::Debug for ColorSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ColorSpace")
+            .field("allocated", &self.allocated)
+            .field("cursor", &self.cursor)
+            .finish()
+    }
+}
+
 impl fmt::Display for Color {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "color#{}", self.0)
@@ -102,5 +379,112 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn home_core_rejects_zero_cores() {
         let _ = Color::new(1).home_core(0);
+    }
+
+    #[test]
+    fn canonical_ranges_partition_the_nonzero_space() {
+        let conns = ColorRange::CONNECTIONS;
+        let listeners = ColorRange::LISTENERS;
+        assert_eq!(conns.first(), Color::new(1));
+        assert_eq!(conns.last(), Color::new(0x7FFF));
+        assert_eq!(listeners.first(), Color::new(0x8000));
+        assert_eq!(listeners.last(), Color::new(0xFFFF));
+        assert_eq!(
+            conns.len() + listeners.len() + 1,
+            COLOR_SPACE as u32,
+            "ranges plus the default color cover the space exactly"
+        );
+        assert!(!conns.contains(Color::DEFAULT));
+        assert!(!listeners.contains(Color::DEFAULT));
+        assert!(!conns.contains(listeners.first()));
+        assert!(!listeners.contains(conns.last()));
+    }
+
+    #[test]
+    fn stage_planes_partition_the_connection_range() {
+        let serial = ColorRange::STAGE_SERIAL;
+        let keyed = ColorRange::STAGE_KEYED;
+        assert_eq!(serial.first(), ColorRange::CONNECTIONS.first());
+        assert_eq!(keyed.last(), ColorRange::CONNECTIONS.last());
+        assert_eq!(serial.len() + keyed.len(), ColorRange::CONNECTIONS.len());
+        assert!(!keyed.contains(serial.last()));
+        assert!(!serial.contains(keyed.first()));
+        // for_stages can therefore never hand out a keyed-plane color.
+        let mut s = ColorSpace::for_stages();
+        for _ in 0..16 {
+            assert!(serial.contains(s.alloc()));
+        }
+        assert!(s.is_used(keyed.first()) && s.is_used(keyed.last()));
+    }
+
+    #[test]
+    fn keyed_colors_stay_in_range_and_avoid_default() {
+        for key in [0u64, 1, 0x7FFE, 0x7FFF, 0xFFFF, u64::MAX] {
+            let c = ColorRange::CONNECTIONS.keyed(key);
+            assert!(ColorRange::CONNECTIONS.contains(c), "key {key}");
+            assert!(!c.is_default());
+            let l = ColorRange::LISTENERS.keyed(key);
+            assert!(ColorRange::LISTENERS.contains(l), "key {key}");
+        }
+        // Wrap-around is modular, not truncating.
+        assert_eq!(
+            ColorRange::CONNECTIONS.keyed(0x7FFF),
+            ColorRange::CONNECTIONS.keyed(0)
+        );
+    }
+
+    #[test]
+    fn color_space_allocates_without_collisions() {
+        let mut s = ColorSpace::new();
+        let a = s.alloc();
+        let b = s.alloc();
+        assert_eq!(a, Color::new(1), "default color is never handed out");
+        assert_eq!(b, Color::new(2));
+        assert!(s.is_used(a) && s.is_used(b));
+        assert!(!s.is_used(Color::new(3)));
+        assert_eq!(s.allocated(), 2);
+        assert_eq!(s.claim(a), Err(ColorTaken(a)));
+        assert_eq!(s.claim(Color::new(100)), Ok(Color::new(100)));
+        // Alloc skips explicitly claimed colors.
+        for _ in 0..97 {
+            s.alloc();
+        }
+        assert_eq!(s.alloc(), Color::new(101), "alloc skipped the claim");
+    }
+
+    #[test]
+    fn for_stages_reserves_listeners_and_default() {
+        let mut s = ColorSpace::for_stages();
+        assert!(s.is_used(Color::DEFAULT));
+        assert!(s.is_used(ColorRange::LISTENERS.first()));
+        assert!(s.is_used(ColorRange::LISTENERS.last()));
+        assert!(s.claim(Color::new(0x8000)).is_err());
+        let c = s.alloc();
+        assert!(ColorRange::CONNECTIONS.contains(c));
+    }
+
+    #[test]
+    fn reserve_range_is_idempotent_over_claims() {
+        let mut s = ColorSpace::new();
+        s.claim(Color::new(10)).unwrap();
+        s.reserve_range(ColorRange::new(8, 12));
+        assert_eq!(s.allocated(), 5, "10 was counted once");
+        for v in 8..=12u16 {
+            assert!(s.is_used(Color::new(v)));
+        }
+        assert_eq!(s.alloc(), Color::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhausted_space_panics() {
+        let mut s = ColorSpace::new();
+        s.reserve_range(ColorRange::new(1, u16::MAX));
+        let _ = s.alloc();
+    }
+
+    #[test]
+    fn color_taken_displays_the_color() {
+        assert!(ColorTaken(Color::new(7)).to_string().contains("color#7"));
     }
 }

@@ -27,6 +27,22 @@ pub(crate) struct CtxEffects {
     pub charged: u64,
     pub touches: Vec<Touch>,
     pub stop: bool,
+    /// Latency samples of requests completed by this handler execution
+    /// ([`Ctx::complete_request`]); each feeds the per-request latency
+    /// histogram of the executing core. Inline first slot: a handler
+    /// completing one request (the overwhelmingly common case) must not
+    /// pay a heap allocation on the dispatch path.
+    pub completed_first: Option<u64>,
+    pub completed_rest: Vec<u64>,
+}
+
+impl CtxEffects {
+    /// Iterates the recorded completion latencies.
+    pub(crate) fn completions(&self) -> impl Iterator<Item = u64> + '_ {
+        self.completed_first
+            .into_iter()
+            .chain(self.completed_rest.iter().copied())
+    }
 }
 
 /// Execution context passed to event handlers.
@@ -103,6 +119,29 @@ impl<'a> Ctx<'a> {
     pub fn stop_runtime(&mut self) {
         self.effects.stop = true;
     }
+
+    /// Records the completion of one end-to-end request with the given
+    /// latency in cycles: the sample lands in the executing core's
+    /// per-request latency histogram and its `completed_requests`
+    /// counter, surfaced as
+    /// [`RunReport::latency_p50`](crate::metrics::RunReport::latency_p50) /
+    /// [`RunReport::latency_p99`](crate::metrics::RunReport::latency_p99) /
+    /// [`RunReport::completed_requests`](crate::metrics::RunReport::completed_requests).
+    ///
+    /// This is the low-level hook; the typed stage layer calls it from
+    /// `StageCtx::complete` with the time elapsed since the request's
+    /// start stamp (the spawning handler's clock for spawned requests,
+    /// the first dispatch for seeded/submitted ones — see
+    /// `mely_core::stage`'s request-latency semantics). Raw-event
+    /// applications measuring their own request boundaries can call it
+    /// directly.
+    pub fn complete_request(&mut self, latency_cycles: u64) {
+        if self.effects.completed_first.is_none() {
+            self.effects.completed_first = Some(latency_cycles);
+        } else {
+            self.effects.completed_rest.push(latency_cycles);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +165,7 @@ mod tests {
             ctx.charge(200);
             ctx.touch(&ds);
             ctx.touch_range(&ds, 64, 32);
+            ctx.complete_request(777);
             ctx.stop_runtime();
         }
         assert_eq!(fx.registrations.len(), 1);
@@ -135,6 +175,7 @@ mod tests {
         assert_eq!(fx.touches.len(), 2);
         assert_eq!(fx.touches[0].len, 128);
         assert_eq!(fx.touches[1].offset, 64);
+        assert_eq!(fx.completions().collect::<Vec<_>>(), vec![777]);
         assert!(fx.stop);
     }
 

@@ -66,22 +66,26 @@ pub mod metrics;
 pub mod queue;
 pub mod runtime;
 pub mod sim;
+pub mod stage;
 pub mod steal;
 pub mod sync;
 pub mod threaded;
 
 /// Convenient re-exports of the types needed by typical users.
 pub mod prelude {
-    pub use crate::color::Color;
+    pub use crate::color::{Color, ColorRange, ColorSpace};
     pub use crate::cost::CostParams;
     pub use crate::ctx::Ctx;
     pub use crate::dataset::DataSetRef;
     pub use crate::event::Event;
     pub use crate::exec::{ExecKind, Executor, Injector, KeepAlive, Runtime, Service};
     pub use crate::handler::{HandlerId, HandlerSpec};
-    pub use crate::metrics::{CoreMetrics, RunReport};
+    pub use crate::metrics::{CoreMetrics, LatencyHistogram, RunReport};
     pub use crate::runtime::{Flavor, RuntimeBuilder};
     pub use crate::sim::SimRuntime;
+    pub use crate::stage::{
+        Collected, Pipeline, PipelineBuilder, Stage, StageCtx, StageSender, StageSpec,
+    };
     pub use crate::steal::WsPolicy;
     pub use crate::threaded::{RuntimeHandle, ThreadedRuntime};
     pub use mely_topology::MachineModel;

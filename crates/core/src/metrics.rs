@@ -7,7 +7,128 @@
 //! time (Tables I, III, IV), and L2 cache misses per event (Tables V,
 //! VI).
 
+use std::fmt;
+
 use crate::steal::WsPolicy;
+
+/// Number of log2 latency buckets: bucket `b` holds samples whose bit
+/// length is `b` (0, then `[2^(b-1), 2^b)`), so bucket 64 holds
+/// everything from `2^63` up to `u64::MAX` — recording saturates there
+/// instead of overflowing.
+const LATENCY_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of per-request latencies in cycles.
+///
+/// Recording is one `leading_zeros` and one increment — cheap enough
+/// for the dispatch path on both executors. Percentiles are read from
+/// the bucket boundaries, so a reported quantile is an *upper bound*
+/// with at most 2× resolution error — the right trade for a scheduler
+/// metric whose interesting signal is orders of magnitude (queueing
+/// collapse, steal storms), not single cycles.
+///
+/// # Examples
+///
+/// ```
+/// use mely_core::metrics::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::default();
+/// for v in [100u64, 110, 120, 5_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile(0.50) <= h.percentile(0.99));
+/// assert!(h.percentile(0.99) >= 5_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the bucket holding `sample`: its bit length.
+    fn bucket_of(sample: u64) -> usize {
+        (u64::BITS - sample.leading_zeros()) as usize
+    }
+
+    /// Records one latency sample in cycles.
+    pub fn record(&mut self, sample: u64) {
+        self.buckets[Self::bucket_of(sample)] += 1;
+        self.count = self.count.saturating_add(1);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Adds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count = self.count.saturating_add(other.count);
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` clamped to `0.0..=1.0`); 0 for an empty histogram. Because
+    /// the answer is a shared bucket boundary, quantiles are monotone:
+    /// `percentile(0.50) <= percentile(0.99)` always holds.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the quantile sample, 1-based, at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper_bound(b);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Largest value a sample in bucket `b` can have.
+    fn bucket_upper_bound(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << b) - 1,
+        }
+    }
+}
+
+impl fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("p50", &self.percentile(0.50))
+            .field("p99", &self.percentile(0.99))
+            .finish()
+    }
+}
 
 /// Counters accumulated by one core.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,6 +180,11 @@ pub struct CoreMetrics {
     /// Color-queue creations that reused a pooled event buffer instead
     /// of allocating (Mely flavor only).
     pub queue_buf_reuse: u64,
+    /// Requests completed on this core ([`crate::ctx::Ctx::complete_request`],
+    /// reached through the stage layer's `StageCtx::complete`).
+    pub completed_requests: u64,
+    /// Per-request latency samples completed on this core.
+    pub latency: LatencyHistogram,
 }
 
 impl CoreMetrics {
@@ -84,6 +210,8 @@ impl CoreMetrics {
         self.inbox_rerouted += o.inbox_rerouted;
         self.inbox_node_reuse += o.inbox_node_reuse;
         self.queue_buf_reuse += o.queue_buf_reuse;
+        self.completed_requests += o.completed_requests;
+        self.latency.merge(&o.latency);
     }
 }
 
@@ -216,6 +344,36 @@ impl RunReport {
         self.total().queue_buf_reuse
     }
 
+    /// Requests completed through the per-request latency pipeline
+    /// (the stage layer's `StageCtx::complete`, or a raw handler calling
+    /// [`crate::ctx::Ctx::complete_request`]). 0 for workloads that never
+    /// open requests.
+    pub fn completed_requests(&self) -> u64 {
+        self.total().completed_requests
+    }
+
+    /// Median end-to-end request latency in cycles (upper bound of the
+    /// log2 bucket holding the median sample); 0 when no request
+    /// completed. Always `<=` [`RunReport::latency_p99`].
+    pub fn latency_p50(&self) -> u64 {
+        self.latency_histogram().percentile(0.50)
+    }
+
+    /// 99th-percentile end-to-end request latency in cycles; 0 when no
+    /// request completed.
+    pub fn latency_p99(&self) -> u64 {
+        self.latency_histogram().percentile(0.99)
+    }
+
+    /// The merged per-request latency histogram over all cores.
+    pub fn latency_histogram(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::default();
+        for c in &self.per_core {
+            h.merge(&c.latency);
+        }
+        h
+    }
+
     /// L2 misses per processed event (Tables V and VI). Returns 0.0 when
     /// nothing was processed.
     pub fn l2_misses_per_event(&self) -> f64 {
@@ -336,5 +494,94 @@ mod tests {
         let r = RunReport::new(vec![], 0, 1_000, WsPolicy::off());
         assert_eq!(r.kevents_per_sec(), 0.0);
         assert_eq!(r.lock_time_fraction(), 0.0);
+        assert_eq!(r.completed_requests(), 0);
+        assert_eq!(r.latency_p50(), 0);
+        assert_eq!(r.latency_p99(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_everywhere() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000);
+        assert_eq!(h.count(), 1);
+        // 1000 has bit length 10: bucket upper bound 2^10 - 1.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 1_023, "q={q}");
+        }
+        // A zero-latency sample lands in the zero bucket.
+        let mut z = LatencyHistogram::new();
+        z.record(0);
+        assert_eq!(z.percentile(0.5), 0);
+        assert_eq!(z.count(), 1);
+    }
+
+    #[test]
+    fn saturating_samples_land_in_the_top_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(1.0), u64::MAX, "top bucket saturates");
+        // The exact power of two below sits in the bucket beneath.
+        let mut p = LatencyHistogram::new();
+        p.record((1u64 << 63) - 1);
+        assert_eq!(p.percentile(1.0), (1u64 << 63) - 1);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bound_the_samples() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 3, 7, 100, 5_000, 5_001, 1_000_000] {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        assert!(p99 >= 1_000_000, "p99 must cover the max sample's bucket");
+        assert!(p50 >= 7, "p50 must cover the median sample");
+        // Out-of-range quantiles clamp instead of panicking.
+        assert_eq!(h.percentile(-1.0), h.percentile(0.0));
+        assert_eq!(h.percentile(2.0), h.percentile(1.0));
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts_and_report_merges_cores() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.percentile(1.0) >= 1_000_000);
+
+        let mut la = LatencyHistogram::new();
+        la.record(100);
+        let mut lb = LatencyHistogram::new();
+        lb.record(200);
+        let ca = CoreMetrics {
+            completed_requests: 1,
+            latency: la,
+            ..Default::default()
+        };
+        let cb = CoreMetrics {
+            completed_requests: 1,
+            latency: lb,
+            ..Default::default()
+        };
+        let r = RunReport::new(vec![ca, cb], 100, 1_000, WsPolicy::off());
+        assert_eq!(r.completed_requests(), 2);
+        assert_eq!(r.latency_histogram().count(), 2);
+        assert!(r.latency_p50() <= r.latency_p99());
+        assert!(r.latency_p99() >= 200);
     }
 }

@@ -46,6 +46,14 @@
 //!
 //! [`MelyQueue::buf_reuses`] counts pool hits; the threaded executor
 //! surfaces it as `queue_buf_reuse` in [`crate::metrics::CoreMetrics`].
+//!
+//! The steal primitives ([`MelyQueue::choose_worthy`],
+//! [`MelyQueue::detach`], [`MelyQueue::absorb`]) and their list/bucket
+//! helpers carry `#[inline]` hints: an unrelated module addition once
+//! shifted codegen layout enough to cost this path ~35 % on
+//! `steal/mely_choose_and_detach_1k` (3383→4612 ns) without a single
+//! line here changing. Hints pin the inlining decision instead of
+//! leaving it to whole-crate layout luck.
 
 use std::collections::VecDeque;
 
@@ -141,6 +149,7 @@ const INITIAL_BUF_EVENTS: usize = 8;
 /// steal-cost estimate `est`; `None` when not worth stealing. A free
 /// function so the push/pop hot paths can evaluate it while the
 /// color-queue is mutably borrowed.
+#[inline(always)]
 fn bucket_for(est: u64, cum_weighted: u64) -> Option<usize> {
     let est = est.max(1);
     if cum_weighted <= est {
@@ -306,6 +315,7 @@ impl MelyQueue {
         bucket_for(self.steal_cost_estimate, cum_weighted)
     }
 
+    #[inline(always)]
     fn bucket_remove(&mut self, slot: usize) {
         let Some((b, i)) = self.slots[slot].as_ref().and_then(|c| c.bucket) else {
             return;
@@ -320,6 +330,7 @@ impl MelyQueue {
         self.slots[slot].as_mut().expect("slot is live").bucket = None;
     }
 
+    #[inline(always)]
     fn rebucket(&mut self, slot: usize) {
         let cq = self.slots[slot].as_ref().expect("slot is live");
         let desired = self.desired_bucket(cq.cum_weighted);
@@ -335,6 +346,7 @@ impl MelyQueue {
         }
     }
 
+    #[inline(always)]
     fn alloc_slot(&mut self, cq: ColorQueue) -> usize {
         if let Some(slot) = self.free.pop() {
             self.slots[slot] = Some(cq);
@@ -345,6 +357,7 @@ impl MelyQueue {
         }
     }
 
+    #[inline(always)]
     fn link_tail(&mut self, slot: usize) {
         let old_tail = self.tail;
         {
@@ -360,6 +373,7 @@ impl MelyQueue {
         self.tail = Some(slot);
     }
 
+    #[inline(always)]
     fn unlink(&mut self, slot: usize) {
         let (prev, next) = {
             let cq = self.slots[slot].as_ref().expect("slot is live");
@@ -556,6 +570,7 @@ impl MelyQueue {
     /// highest-interval of the stealing-queue, skipping `in_flight` and
     /// re-validating worthiness against the current estimate. O(1) in the
     /// common case.
+    #[inline]
     pub fn choose_worthy(&self, in_flight: Option<Color>) -> Option<usize> {
         let est = self.steal_cost_estimate.max(1);
         for b in (0..INTERVALS).rev() {
@@ -617,6 +632,7 @@ impl MelyQueue {
     /// # Panics
     ///
     /// Panics if `slot` is not a live color-queue.
+    #[inline]
     pub fn detach(&mut self, slot: usize) -> DetachedColorQueue {
         self.bucket_remove(slot);
         self.unlink(slot);
@@ -642,6 +658,7 @@ impl MelyQueue {
     /// Allocation-free: the detached set's buffer either becomes the new
     /// color-queue's buffer directly or, when the color already exists,
     /// is emptied into it and dropped into this queue's buffer pool.
+    #[inline]
     pub fn absorb(&mut self, mut d: DetachedColorQueue) -> usize {
         let n = d.events.len();
         self.total_events += n;

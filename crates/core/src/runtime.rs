@@ -59,7 +59,8 @@ impl fmt::Display for Flavor {
 ///     .cores(8)
 ///     .flavor(Flavor::Libasync)
 ///     .workstealing(WsPolicy::base())
-///     .build_sim();
+///     .build(ExecKind::Sim)
+///     .into_sim();
 /// assert_eq!(rt.config().cores, 8);
 /// ```
 #[derive(Debug, Clone)]
@@ -317,13 +318,43 @@ mod tests {
         assert!(rt.as_threaded().is_some());
     }
 
+    /// The single test pinning every deprecated alias of the 0.2 API
+    /// rename: the `build_sim`/`build_threaded` shims, the
+    /// `register`/`register_direct`/`register_after` injection trio,
+    /// and the `label()` Display aliases. Every other caller in the
+    /// tree has been migrated; this one keeps the shims compiling and
+    /// behaving until they are removed.
     #[test]
     #[allow(deprecated)]
-    fn deprecated_build_shims_still_work() {
+    fn deprecated_aliases_still_work() {
+        // Builder shims.
         let rt = RuntimeBuilder::new().cores(2).build_sim();
         assert_eq!(rt.config().cores, 2);
-        let rt = RuntimeBuilder::new().cores(2).build_threaded();
+        let mut rt = RuntimeBuilder::new().cores(2).build_threaded();
         assert_eq!(rt.cores(), 2);
+
+        // Display aliases.
+        assert_eq!(Flavor::Mely.label(), Flavor::Mely.to_string());
+        assert_eq!(
+            crate::steal::WsPolicy::improved().label(),
+            crate::steal::WsPolicy::improved().to_string()
+        );
+
+        // The injection trio's old names still deliver events.
+        use crate::color::Color;
+        use crate::event::Event;
+        rt.register(Event::new(Color::new(1), 0).with_action(|ctx| {
+            ctx.register_after(50_000_000, Event::new(Color::new(1), 0));
+        }));
+        let handle = rt.handle();
+        let injector = std::thread::spawn(move || {
+            handle.register(Event::new(Color::new(7), 0));
+            handle.register_direct(Event::new(Color::new(8), 0));
+            handle.register_after(1_000, Event::new(Color::new(9), 0));
+        });
+        let r = rt.run();
+        injector.join().unwrap();
+        assert_eq!(r.events_processed(), 5);
     }
 
     #[test]

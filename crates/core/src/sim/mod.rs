@@ -524,6 +524,10 @@ impl SimRuntime {
         self.cores[c].in_flight = Some((color, start + exec));
         self.cores[c].metrics.busy_cycles += exec;
         self.cores[c].metrics.events_processed += 1;
+        for latency in fx.completions() {
+            self.cores[c].metrics.completed_requests += 1;
+            self.cores[c].metrics.latency.record(latency);
+        }
         if let Some(h) = ev.handler() {
             self.registry.record(h, exec);
         }

@@ -1,0 +1,1341 @@
+//! The typed stage-graph application API.
+//!
+//! The paper's programming model is "events = handler pointer +
+//! continuation" with colors for mutual exclusion. The raw [`Event`]
+//! API exposes that model directly — and remains public as the
+//! low-level layer — but applications written against it hand-allocate
+//! `u16` colors, wire `HandlerId`s manually, and smuggle payloads
+//! through boxed `FnOnce` captures at every chain step. This module is
+//! the typed layer on top:
+//!
+//! - a [`Stage`] is a node of the application's processing graph with
+//!   an associated message type ([`Stage::In`]); its [`StageSpec`]
+//!   carries the handler annotation (name, cost, penalty,
+//!   [`CostSource`](crate::handler::CostSource)) *and* the stage's
+//!   coloring discipline (serial, inherited, keyed, or shared with
+//!   another stage);
+//! - a [`PipelineBuilder`] assembles stages into an installable
+//!   [`Pipeline`] (a [`Service`]), registering every handler spec
+//!   automatically and allocating colors through the collision-checked
+//!   [`ColorSpace`] allocator — no hand-picked `u16`s;
+//! - inside a handler, [`StageCtx::to`] emits a typed message to the
+//!   next stage (the event's cost and penalty come from that stage's
+//!   spec; the color follows the target's coloring, with
+//!   [`StageCtx::to_colored`] for explicit re-coloring), and
+//!   [`StageCtx::complete`] finishes a request — stamping its
+//!   end-to-end latency into the per-request histogram surfaced as
+//!   [`RunReport::latency_p50`](crate::metrics::RunReport::latency_p50) /
+//!   [`RunReport::latency_p99`](crate::metrics::RunReport::latency_p99) /
+//!   [`RunReport::completed_requests`](crate::metrics::RunReport::completed_requests).
+//!
+//! A pipeline never names a concrete executor, so the same stage graph
+//! runs unmodified on the simulator and on threads, like every other
+//! [`Service`].
+//!
+//! # Request latency semantics
+//!
+//! Every request carries one start stamp:
+//!
+//! - [`StageCtx::spawn`] stamps the **spawning handler's clock**, so
+//!   the request's latency includes the queueing delay before its
+//!   first stage executes (a poll loop spawning per-readiness requests
+//!   makes downstream queueing collapse visible);
+//! - seeds ([`PipelineBuilder::seed`]) and external submissions
+//!   ([`StageSender::submit`]) are stamped when their first handler
+//!   begins executing — there is no executor clock to read outside a
+//!   handler, so cross-thread submission latency starts at first
+//!   dispatch.
+//!
+//! [`StageCtx::to`] forwards the running request to the next stage;
+//! [`StageCtx::complete`] closes it, recording `now - start` (virtual
+//! cycles under simulation — deterministic — and calibrated
+//! cycle-counter cycles under threads). A request that is never
+//! completed (e.g. a poll loop's self-message) records nothing.
+//!
+//! # Examples
+//!
+//! ```
+//! use mely_core::prelude::*;
+//!
+//! struct Double(u64);
+//! struct Emit;
+//! struct Sum;
+//!
+//! impl Stage for Emit {
+//!     type In = u64;
+//!     fn spec(&self) -> StageSpec<u64> {
+//!         StageSpec::new("Emit").cost(500).keyed(|&v| v)
+//!     }
+//!     fn handle(&self, ctx: &mut StageCtx<'_, '_>, v: u64) {
+//!         ctx.to::<Sum>(Double(v * 2));
+//!     }
+//! }
+//!
+//! impl Stage for Sum {
+//!     type In = Double;
+//!     fn spec(&self) -> StageSpec<Double> {
+//!         StageSpec::new("Sum").cost(200)
+//!     }
+//!     fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: Double) {
+//!         ctx.complete(msg.0);
+//!     }
+//! }
+//!
+//! for kind in [ExecKind::Sim, ExecKind::Threaded] {
+//!     let mut builder = PipelineBuilder::new("doubler").stage(Emit).stage(Sum);
+//!     let outputs = builder.collect::<u64>();
+//!     let mut rt = RuntimeBuilder::new().cores(2).build(kind);
+//!     rt.install(builder.seed::<Emit>(3).seed::<Emit>(4).build());
+//!     let report = rt.run();
+//!     assert_eq!(report.events_processed(), 4);
+//!     assert_eq!(report.completed_requests(), 2);
+//!     assert!(report.latency_p50() <= report.latency_p99());
+//!     let mut got = outputs.take();
+//!     got.sort_unstable();
+//!     assert_eq!(got, vec![6, 8]);
+//! }
+//! ```
+
+use std::any::{Any, TypeId};
+use std::fmt;
+use std::sync::Arc;
+
+use fxhash::FxHashMap;
+use parking_lot::Mutex;
+
+use crate::color::{Color, ColorRange, ColorSpace};
+use crate::ctx::Ctx;
+use crate::event::Event;
+use crate::exec::{Executor, Injector, Service};
+use crate::handler::{HandlerId, HandlerSpec};
+
+/// A typed node of the application's stage graph.
+///
+/// The stage *instance* holds the stage's state (shared state goes in
+/// `Arc`s, exactly as with raw event closures); [`Stage::handle`] is
+/// invoked with a `&self` borrow, so per-request mutation uses interior
+/// mutability — the color discipline, not the borrow checker, is what
+/// serializes same-color executions.
+pub trait Stage: Send + Sync + Sized + 'static {
+    /// The message type this stage consumes.
+    type In: Send + 'static;
+
+    /// The stage's description: handler annotation (name, cost,
+    /// penalty, cost source) plus coloring discipline. Registered
+    /// automatically by [`PipelineBuilder::stage`]; takes `&self` so
+    /// costs can derive from the instance's configuration (e.g. a
+    /// chunk-size-dependent crypto cost).
+    fn spec(&self) -> StageSpec<Self::In>;
+
+    /// Processes one message. Emit follow-ups with [`StageCtx::to`] /
+    /// [`StageCtx::spawn`], finish the request with
+    /// [`StageCtx::complete`].
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: Self::In);
+}
+
+/// How a stage's events are colored.
+#[derive(Clone, Copy)]
+enum Coloring<M> {
+    /// One color for the whole stage, allocated by the pipeline's
+    /// [`ColorSpace`]: every message to this stage serializes.
+    Serial,
+    /// Same color as the emitting event (or an explicit
+    /// [`StageCtx::to_colored`] / [`PipelineBuilder::seed_colored`]).
+    Inherit,
+    /// Hashed per message into [`ColorRange::STAGE_KEYED`] (disjoint
+    /// from the serial-allocation plane): messages with equal keys
+    /// serialize, different keys parallelize (up to hash collisions,
+    /// which also only serialize).
+    Keyed(fn(&M) -> u64),
+    /// The serial color of another stage (e.g. the paper's
+    /// `RegisterFdInEpoll` colored like `Epoll`).
+    SameAs(TypeId, &'static str),
+}
+
+/// Static description of a [`Stage`]: the handler annotation the
+/// runtime schedules by, plus the coloring discipline.
+///
+/// # Examples
+///
+/// ```
+/// use mely_core::stage::StageSpec;
+///
+/// struct Msg {
+///     conn: u64,
+/// }
+/// // A per-connection handler: 22 Kcycles, mild steal penalty, colored
+/// // by connection id.
+/// let spec: StageSpec<Msg> = StageSpec::new("ReadRequest")
+///     .cost(22_000)
+///     .penalty(4)
+///     .keyed(|m| m.conn);
+/// assert_eq!(spec.handler().avg_cost, 22_000);
+/// ```
+pub struct StageSpec<M> {
+    handler: HandlerSpec,
+    coloring: Coloring<M>,
+}
+
+impl<M> StageSpec<M> {
+    /// A serial stage named `name` with cost 0, penalty 1 and annotated
+    /// costs — serial is the default because it is always safe; opt
+    /// into parallelism with [`StageSpec::keyed`] or
+    /// [`StageSpec::inherit_color`].
+    pub fn new(name: impl Into<String>) -> Self {
+        StageSpec {
+            handler: HandlerSpec::new(name),
+            coloring: Coloring::Serial,
+        }
+    }
+
+    /// Sets the annotated average cost in cycles.
+    pub fn cost(mut self, cycles: u64) -> Self {
+        self.handler = self.handler.cost(cycles);
+        self
+    }
+
+    /// Sets the workstealing penalty (values below 1 clamp to 1).
+    pub fn penalty(mut self, penalty: u32) -> Self {
+        self.handler = self.handler.penalty(penalty);
+        self
+    }
+
+    /// Switches the handler to measured (EWMA) cost estimation.
+    pub fn measured(mut self) -> Self {
+        self.handler = self.handler.measured();
+        self
+    }
+
+    /// Events to this stage keep the color of the emitting event.
+    pub fn inherit_color(mut self) -> Self {
+        self.coloring = Coloring::Inherit;
+        self
+    }
+
+    /// Events to this stage are colored by hashing `key(&msg)` into
+    /// [`ColorRange::STAGE_KEYED`] — the keyed plane, disjoint from
+    /// the serial allocator's plane: equal keys serialize, distinct
+    /// keys parallelize, and a keyed color can never land on another
+    /// stage's allocated serial color.
+    pub fn keyed(mut self, key: fn(&M) -> u64) -> Self {
+        self.coloring = Coloring::Keyed(key);
+        self
+    }
+
+    /// Events to this stage use stage `S`'s serial color (`S` must be a
+    /// serial stage registered in the same pipeline) — the paper's
+    /// "colored like Epoll in order to manage concurrency" idiom.
+    pub fn share_color_with<S: Stage>(mut self) -> Self {
+        self.coloring = Coloring::SameAs(TypeId::of::<S>(), std::any::type_name::<S>());
+        self
+    }
+
+    /// The handler annotation this spec registers.
+    pub fn handler(&self) -> &HandlerSpec {
+        &self.handler
+    }
+}
+
+impl<M> fmt::Debug for StageSpec<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageSpec")
+            .field("handler", &self.handler)
+            .field(
+                "coloring",
+                &match self.coloring {
+                    Coloring::Serial => "serial",
+                    Coloring::Inherit => "inherit",
+                    Coloring::Keyed(_) => "keyed",
+                    Coloring::SameAs(_, name) => name,
+                },
+            )
+            .finish()
+    }
+}
+
+/// The per-request token threaded through a stage chain: the cycle
+/// stamp of the request's first dispatch (`UNSET` until then).
+#[derive(Clone, Copy)]
+struct ReqToken {
+    t0: u64,
+}
+
+impl ReqToken {
+    const UNSET: u64 = u64::MAX;
+
+    fn fresh() -> Self {
+        ReqToken { t0: Self::UNSET }
+    }
+
+    fn stamped(self, now: u64) -> Self {
+        if self.t0 == Self::UNSET {
+            ReqToken { t0: now }
+        } else {
+            self
+        }
+    }
+}
+
+/// The typed per-stage data behind an [`Entry`]: the stage instance and
+/// its coloring, recovered by a `TypeId`-checked downcast at emit time.
+struct Meta<S: Stage> {
+    stage: S,
+    coloring: Coloring<S::In>,
+}
+
+/// One stage's routing entry.
+struct Entry {
+    handler: HandlerId,
+    /// Resolved serial color (`Serial` and `SameAs` stages).
+    color: Option<Color>,
+    /// `Arc<Meta<S>>`, keyed by `TypeId::of::<S>()`.
+    meta: Arc<dyn Any + Send + Sync>,
+    type_name: &'static str,
+}
+
+/// The installed pipeline's dispatch table, shared by every in-flight
+/// event closure.
+///
+/// Entries are a linear-scanned `Vec`: pipelines have a handful of
+/// stages, and comparing a few `TypeId`s beats hashing one on the
+/// per-event emit path (the `micro_stage` bench gates this path at
+/// ≤10 % over raw closure chains).
+struct Router {
+    /// Stage `TypeId`s, scanned densely (16-byte stride) ...
+    ids: Vec<TypeId>,
+    /// ... indexing into the parallel entry table.
+    entries: Vec<Entry>,
+    /// `TypeId::of::<O>() -> Arc<Mutex<Vec<O>>>` completion sinks.
+    sinks: FxHashMap<TypeId, Arc<dyn Any + Send + Sync>>,
+}
+
+impl Router {
+    #[inline]
+    fn entry<N: Stage>(&self) -> &Entry {
+        let t = TypeId::of::<N>();
+        self.ids
+            .iter()
+            .position(|id| *id == t)
+            .map(|i| &self.entries[i])
+            .unwrap_or_else(|| {
+                panic!(
+                    "stage `{}` is not registered in this pipeline",
+                    std::any::type_name::<N>()
+                )
+            })
+    }
+
+    /// The typed per-stage data of `N`'s entry. Borrow-based: the emit
+    /// and execute paths never clone the meta `Arc` (refcount traffic
+    /// is measurable at per-event rates).
+    #[inline]
+    fn meta<'r, N: Stage>(&self, entry: &'r Entry) -> &'r Meta<N> {
+        debug_assert!(
+            (*entry.meta).is::<Meta<N>>(),
+            "entry/meta type pairing broken for `{}`",
+            entry.type_name
+        );
+        // SAFETY: entries are created exclusively by
+        // `PipelineBuilder::stage`, which stores `Arc<Meta<S>>` under
+        // `TypeId::of::<S>()`; every caller obtained `entry` by looking
+        // up `TypeId::of::<N>()`, so the stored value is `Meta<N>`.
+        // The checked `downcast_ref` would re-derive the same fact
+        // through a virtual `type_id` call on every emitted event.
+        unsafe { &*(Arc::as_ptr(&entry.meta) as *const Meta<N>) }
+    }
+}
+
+/// Builds the typed event delivering `msg` to stage `N`.
+///
+/// `explicit` overrides the color outright; otherwise the target
+/// stage's coloring decides, with `inherited` feeding `Inherit` stages.
+#[inline]
+fn emit<N: Stage>(
+    router: &'static Router,
+    explicit: Option<Color>,
+    inherited: Option<Color>,
+    req: ReqToken,
+    msg: N::In,
+) -> Event {
+    let entry = router.entry::<N>();
+    let meta = router.meta::<N>(entry);
+    let color = explicit.unwrap_or_else(|| match meta.coloring {
+        Coloring::Serial | Coloring::SameAs(..) => {
+            entry.color.expect("serial color resolved at build")
+        }
+        Coloring::Inherit => inherited.unwrap_or_else(|| {
+            panic!(
+                "stage `{}` inherits its color: emit from another stage, \
+                 or use to_colored/seed_colored/submit_colored",
+                entry.type_name
+            )
+        }),
+        Coloring::Keyed(key) => ColorRange::STAGE_KEYED.keyed(key(&msg)),
+    });
+    let handler = entry.handler;
+    Event::for_handler(color, handler).with_action(move |ctx| {
+        // `meta` and `router` are `Copy` `&'static` references into the
+        // interned routing table: constructing this closure moves no
+        // `Arc`, touches no refcount, and execution needs no second
+        // lookup — the typed hop is one static call away from the raw
+        // boxed closure it replaces (gated by `micro_stage`).
+        let req = req.stamped(ctx.now());
+        let mut sctx = StageCtx {
+            ctx,
+            router,
+            req,
+            color,
+        };
+        meta.stage.handle(&mut sctx, msg);
+    })
+}
+
+/// The execution context handed to [`Stage::handle`]: the raw [`Ctx`]
+/// plus typed routing and the request token.
+pub struct StageCtx<'a, 'b> {
+    ctx: &'a mut Ctx<'b>,
+    router: &'static Router,
+    req: ReqToken,
+    color: Color,
+}
+
+impl<'a, 'b> StageCtx<'a, 'b> {
+    /// The core executing this handler.
+    pub fn core(&self) -> usize {
+        self.ctx.core()
+    }
+
+    /// Current time in cycles (virtual under simulation, cycle counter
+    /// under threads).
+    pub fn now(&self) -> u64 {
+        self.ctx.now()
+    }
+
+    /// The color this stage execution is serialized under.
+    pub fn color(&self) -> Color {
+        self.color
+    }
+
+    /// Cycles elapsed since this request's first stage was dispatched.
+    pub fn elapsed(&self) -> u64 {
+        self.now().saturating_sub(self.req.t0.min(self.now()))
+    }
+
+    /// Accounts extra CPU work to this handler execution (see
+    /// [`Ctx::charge`]).
+    pub fn charge(&mut self, cycles: u64) {
+        self.ctx.charge(cycles);
+    }
+
+    /// The raw low-level context, for facilities the typed layer does
+    /// not wrap (data-set touches, raw event registration, timers with
+    /// hand-built events). Effects buffered through it apply exactly as
+    /// from a raw handler.
+    pub fn raw(&mut self) -> &mut Ctx<'b> {
+        self.ctx
+    }
+
+    /// Emits `msg` to stage `N`, forwarding the current request: the
+    /// event's cost and penalty come from `N`'s spec, its color from
+    /// `N`'s coloring (an `Inherit` target keeps this event's color).
+    #[inline]
+    pub fn to<N: Stage>(&mut self, msg: N::In) {
+        let ev = emit::<N>(self.router, None, Some(self.color), self.req, msg);
+        self.ctx.register(ev);
+    }
+
+    /// Emits `msg` to stage `N` under an explicit color, forwarding the
+    /// current request — the escape hatch for re-coloring mid-chain.
+    #[inline]
+    pub fn to_colored<N: Stage>(&mut self, color: Color, msg: N::In) {
+        let ev = emit::<N>(self.router, Some(color), None, self.req, msg);
+        self.ctx.register(ev);
+    }
+
+    /// Emits `msg` to stage `N` after `delay` cycles, forwarding the
+    /// current request — the typed form of [`Ctx::register_after`]
+    /// (poll-loop re-arms, timeouts).
+    #[inline]
+    pub fn to_after<N: Stage>(&mut self, delay: u64, msg: N::In) {
+        let ev = emit::<N>(self.router, None, Some(self.color), self.req, msg);
+        self.ctx.register_after(delay, ev);
+    }
+
+    /// Emits `msg` to stage `N` as the first stage of a *new* request,
+    /// stamped with **this handler's clock**: the new request's latency
+    /// covers everything from the spawning handler onward — including
+    /// the queueing delay before `N` executes, which is exactly the
+    /// signal a latency histogram exists to expose. The idiom for
+    /// demultiplexing stages (a poll loop spawning one request per
+    /// readiness event).
+    #[inline]
+    pub fn spawn<N: Stage>(&mut self, msg: N::In) {
+        let req = ReqToken { t0: self.ctx.now() };
+        let ev = emit::<N>(self.router, None, Some(self.color), req, msg);
+        self.ctx.register(ev);
+    }
+
+    /// Finishes the current request: records its end-to-end latency
+    /// (the request's start stamp to now — see the module-level
+    /// *Request latency semantics*) into the executing core's
+    /// histogram and `completed_requests` counter, and delivers `out`
+    /// to the pipeline's collector for `O` ([`PipelineBuilder::collect`])
+    /// if one was registered — otherwise `out` is dropped.
+    ///
+    /// A seeded/submitted request completed inside its very first
+    /// handler spans no dispatch-to-dispatch time and records a
+    /// (near-)zero latency; real pipelines complete in a later stage,
+    /// where the sample covers every hop's queueing and execution
+    /// (and spawned requests count from their spawner's clock).
+    #[inline]
+    pub fn complete<O: Send + 'static>(&mut self, out: O) {
+        self.ctx.complete_request(self.elapsed());
+        // Sink-less pipelines (servers whose results leave through the
+        // network, benchmarks) skip the hash lookup entirely.
+        if self.router.sinks.is_empty() {
+            return;
+        }
+        if let Some(sink) = self.router.sinks.get(&TypeId::of::<O>()) {
+            let sink = sink
+                .downcast_ref::<Mutex<Vec<O>>>()
+                .expect("sink is keyed by the output's TypeId");
+            sink.lock().push(out);
+        }
+    }
+
+    /// Asks the runtime to stop once this handler returns (see
+    /// [`Ctx::stop_runtime`]).
+    pub fn stop_runtime(&mut self) {
+        self.ctx.stop_runtime();
+    }
+}
+
+impl fmt::Debug for StageCtx<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageCtx")
+            .field("core", &self.core())
+            .field("now", &self.now())
+            .field("color", &self.color)
+            .finish()
+    }
+}
+
+/// A typed handle to the outputs completed with a given type `O`
+/// ([`StageCtx::complete`]); obtained from [`PipelineBuilder::collect`].
+pub struct Collected<O> {
+    inner: Arc<Mutex<Vec<O>>>,
+}
+
+impl<O> Clone for Collected<O> {
+    fn clone(&self) -> Self {
+        Collected {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<O> Collected<O> {
+    /// Takes every output collected so far (in completion order, which
+    /// is deterministic under simulation).
+    pub fn take(&self) -> Vec<O> {
+        std::mem::take(&mut *self.inner.lock())
+    }
+
+    /// Number of outputs collected and not yet taken.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether no output is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<O> fmt::Debug for Collected<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Collected")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// One registered-but-not-yet-installed stage.
+struct PendingStage {
+    type_id: TypeId,
+    type_name: &'static str,
+    handler: HandlerSpec,
+    /// Erased coloring kind for build-time resolution (the typed
+    /// version lives in `meta`).
+    kind: PendingKind,
+    meta: Arc<dyn Any + Send + Sync>,
+}
+
+enum PendingKind {
+    Serial,
+    Inherit,
+    Keyed,
+    SameAs(TypeId, &'static str),
+}
+
+type SeedFn = Box<dyn FnOnce(&'static Router) -> Event + Send>;
+
+/// One queued seed: the event maker plus an optional core pin.
+struct Seed {
+    make: SeedFn,
+    pin_core: Option<usize>,
+}
+
+/// Assembles [`Stage`]s into an installable [`Pipeline`].
+///
+/// Builder methods consume and return `self` so graphs read as one
+/// expression; [`PipelineBuilder::collect`] borrows instead (it returns
+/// the collector handle).
+pub struct PipelineBuilder {
+    name: String,
+    space: ColorSpace,
+    stages: Vec<PendingStage>,
+    sinks: FxHashMap<TypeId, Arc<dyn Any + Send + Sync>>,
+    seeds: Vec<Seed>,
+}
+
+impl PipelineBuilder {
+    /// An empty pipeline named `name`, allocating colors from
+    /// [`ColorSpace::for_stages`] (default color and listener range
+    /// reserved).
+    pub fn new(name: impl Into<String>) -> Self {
+        PipelineBuilder {
+            name: name.into(),
+            space: ColorSpace::for_stages(),
+            stages: Vec::new(),
+            sinks: FxHashMap::default(),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Replaces the color allocator — for applications that coexist
+    /// with other services on one executor and need to reserve their
+    /// neighbours' colors first.
+    pub fn with_colors(mut self, space: ColorSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Registers `stage` under its [`Stage::spec`]. The handler spec is
+    /// registered with the executor at install; serial colors are
+    /// allocated at [`PipelineBuilder::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage of the same type is already registered.
+    pub fn stage<S: Stage>(mut self, stage: S) -> Self {
+        let spec = stage.spec();
+        let type_id = TypeId::of::<S>();
+        assert!(
+            !self.stages.iter().any(|s| s.type_id == type_id),
+            "stage `{}` registered twice",
+            std::any::type_name::<S>()
+        );
+        let kind = match spec.coloring {
+            Coloring::Serial => PendingKind::Serial,
+            Coloring::Inherit => PendingKind::Inherit,
+            Coloring::Keyed(_) => PendingKind::Keyed,
+            Coloring::SameAs(t, n) => PendingKind::SameAs(t, n),
+        };
+        self.stages.push(PendingStage {
+            type_id,
+            type_name: std::any::type_name::<S>(),
+            handler: spec.handler,
+            kind,
+            meta: Arc::new(Meta {
+                stage,
+                coloring: spec.coloring,
+            }),
+        });
+        self
+    }
+
+    /// Registers a completion sink for outputs of type `O` and returns
+    /// its handle: every [`StageCtx::complete`] with an `O` lands
+    /// there.
+    pub fn collect<O: Send + 'static>(&mut self) -> Collected<O> {
+        let inner: Arc<Mutex<Vec<O>>> = Arc::new(Mutex::new(Vec::new()));
+        self.sinks.insert(
+            TypeId::of::<O>(),
+            Arc::clone(&inner) as Arc<dyn Any + Send + Sync>,
+        );
+        Collected { inner }
+    }
+
+    /// Queues an initial message for stage `S`, registered (and its
+    /// request opened) when the pipeline is installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics **at install** if `S` inherits its color (seeds have no
+    /// emitter to inherit from — use [`PipelineBuilder::seed_colored`]).
+    pub fn seed<S: Stage>(mut self, msg: S::In) -> Self {
+        self.seeds.push(Seed {
+            make: Box::new(move |router| emit::<S>(router, None, None, ReqToken::fresh(), msg)),
+            pin_core: None,
+        });
+        self
+    }
+
+    /// Queues an initial message for stage `S` under an explicit color.
+    pub fn seed_colored<S: Stage>(mut self, color: Color, msg: S::In) -> Self {
+        self.seeds.push(Seed {
+            make: Box::new(move |router| {
+                emit::<S>(router, Some(color), None, ReqToken::fresh(), msg)
+            }),
+            pin_core: None,
+        });
+        self
+    }
+
+    /// Queues an initial message for stage `S` and pins its color to
+    /// `core`, overriding the hash dispatch — the typed form of
+    /// [`Executor::register_pinned`], used by workloads that start
+    /// deliberately imbalanced so workstealing has something to fix.
+    ///
+    /// # Panics
+    ///
+    /// Panics **at install** if `core` is out of range for the
+    /// executor, or if `S` inherits its color.
+    pub fn seed_pinned<S: Stage>(mut self, core: usize, msg: S::In) -> Self {
+        self.seeds.push(Seed {
+            make: Box::new(move |router| emit::<S>(router, None, None, ReqToken::fresh(), msg)),
+            pin_core: Some(core),
+        });
+        self
+    }
+
+    /// Resolves colors (collision-checked) and returns the installable
+    /// [`Pipeline`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`StageSpec::share_color_with`] target is not a
+    /// serial stage of this pipeline, or the color space is exhausted.
+    pub fn build(mut self) -> Pipeline {
+        // First pass: allocate serial colors.
+        let mut colors: FxHashMap<TypeId, Color> = FxHashMap::default();
+        for s in &self.stages {
+            if matches!(s.kind, PendingKind::Serial) {
+                colors.insert(s.type_id, self.space.alloc());
+            }
+        }
+        // Second pass: resolve shared colors against the serial ones.
+        let mut resolved: Vec<Option<Color>> = Vec::with_capacity(self.stages.len());
+        for s in &self.stages {
+            resolved.push(match &s.kind {
+                PendingKind::Serial => Some(colors[&s.type_id]),
+                PendingKind::Inherit | PendingKind::Keyed => None,
+                PendingKind::SameAs(target, target_name) => {
+                    Some(*colors.get(target).unwrap_or_else(|| {
+                        panic!(
+                            "stage `{}` shares its color with `{target_name}`, which is \
+                             not a serial stage of this pipeline",
+                            s.type_name
+                        )
+                    }))
+                }
+            });
+        }
+        let stages = self
+            .stages
+            .drain(..)
+            .zip(resolved)
+            .map(|(s, color)| ReadyStage {
+                type_id: s.type_id,
+                type_name: s.type_name,
+                handler: s.handler,
+                color,
+                meta: s.meta,
+            })
+            .collect();
+        Pipeline {
+            name: self.name,
+            stages,
+            sinks: self.sinks,
+            seeds: self.seeds,
+            router: None,
+        }
+    }
+}
+
+impl fmt::Debug for PipelineBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelineBuilder")
+            .field("name", &self.name)
+            .field("stages", &self.stages.len())
+            .field("seeds", &self.seeds.len())
+            .finish()
+    }
+}
+
+struct ReadyStage {
+    type_id: TypeId,
+    type_name: &'static str,
+    handler: HandlerSpec,
+    color: Option<Color>,
+    meta: Arc<dyn Any + Send + Sync>,
+}
+
+/// An installable stage graph ([`PipelineBuilder::build`]): a
+/// [`Service`] that registers every stage's handler spec, claims its
+/// colors, and seeds its initial requests on whichever executor it is
+/// installed on.
+pub struct Pipeline {
+    name: String,
+    stages: Vec<ReadyStage>,
+    sinks: FxHashMap<TypeId, Arc<dyn Any + Send + Sync>>,
+    seeds: Vec<Seed>,
+    router: Option<&'static Router>,
+}
+
+impl Pipeline {
+    /// Whether [`Service::install`] has run.
+    pub fn is_installed(&self) -> bool {
+        self.router.is_some()
+    }
+
+    /// A cloneable, `Send` submission handle over `injector` — the
+    /// typed analogue of injecting raw events from outside the
+    /// executor. Each submission opens a new request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline has not been installed yet.
+    pub fn sender(&self, injector: Injector) -> StageSender {
+        StageSender {
+            router: self.router.expect("pipeline not installed"),
+            injector,
+        }
+    }
+}
+
+impl Service for Pipeline {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the pipeline is installed twice (handler ids and seeds
+    /// are per-installation).
+    fn install(&mut self, exec: &mut dyn Executor) {
+        assert!(
+            self.router.is_none(),
+            "pipeline `{}` is already installed",
+            self.name
+        );
+        let mut ids = Vec::with_capacity(self.stages.len());
+        let mut entries = Vec::with_capacity(self.stages.len());
+        for s in &self.stages {
+            let handler = exec.register_handler(s.handler.clone());
+            ids.push(s.type_id);
+            entries.push(Entry {
+                handler,
+                color: s.color,
+                meta: Arc::clone(&s.meta),
+                type_name: s.type_name,
+            });
+        }
+        // The routing table is interned for the process lifetime: every
+        // emitted event's closure carries a `Copy` `&'static` reference
+        // instead of an `Arc`, keeping refcount traffic off the
+        // per-event dispatch path (the `micro_stage` gate). A pipeline
+        // is installed once and its stages live as long as events can
+        // reference them, so the leak is one routing table per
+        // installed pipeline — static configuration, not per-request
+        // state.
+        let router: &'static Router = Box::leak(Box::new(Router {
+            ids,
+            entries,
+            sinks: self.sinks.clone(),
+        }));
+        for seed in self.seeds.drain(..) {
+            let ev = (seed.make)(router);
+            match seed.pin_core {
+                Some(core) => exec.register_pinned(ev, core),
+                None => exec.register(ev),
+            }
+        }
+        self.router = Some(router);
+    }
+}
+
+impl fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("name", &self.name)
+            .field("stages", &self.stages.len())
+            .field("installed", &self.is_installed())
+            .finish()
+    }
+}
+
+/// A cloneable, `Send` handle submitting typed messages into an
+/// installed [`Pipeline`] from outside the executor (load generators,
+/// poll threads). Rides the same injection path as raw events: the
+/// lock-free inboxes on threads, the run-loop mailbox on sim.
+#[derive(Clone)]
+pub struct StageSender {
+    router: &'static Router,
+    injector: Injector,
+}
+
+impl StageSender {
+    /// Submits `msg` to stage `S`, opening a new request (latency
+    /// measured from its first dispatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `S` is not registered, or inherits its color (use
+    /// [`StageSender::submit_colored`]).
+    pub fn submit<S: Stage>(&self, msg: S::In) {
+        self.injector
+            .inject(emit::<S>(self.router, None, None, ReqToken::fresh(), msg));
+    }
+
+    /// Submits `msg` to stage `S` under an explicit color.
+    pub fn submit_colored<S: Stage>(&self, color: Color, msg: S::In) {
+        self.injector.inject(emit::<S>(
+            self.router,
+            Some(color),
+            None,
+            ReqToken::fresh(),
+            msg,
+        ));
+    }
+
+    /// The underlying injector (stop/keepalive/outstanding controls).
+    pub fn injector(&self) -> &Injector {
+        &self.injector
+    }
+}
+
+impl fmt::Debug for StageSender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageSender")
+            .field("injector", &self.injector)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecKind;
+    use crate::runtime::RuntimeBuilder;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct First {
+        hops: u32,
+    }
+    struct Middle;
+    struct Last {
+        seen: Arc<AtomicU64>,
+    }
+
+    #[derive(Clone, Copy)]
+    struct Token(u64);
+
+    impl Stage for First {
+        type In = Token;
+        fn spec(&self) -> StageSpec<Token> {
+            StageSpec::new("first").cost(1_000).keyed(|t| t.0)
+        }
+        fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: Token) {
+            for _ in 0..self.hops {
+                ctx.to::<Middle>(msg);
+            }
+        }
+    }
+
+    impl Stage for Middle {
+        type In = Token;
+        fn spec(&self) -> StageSpec<Token> {
+            StageSpec::new("middle").cost(500).inherit_color()
+        }
+        fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: Token) {
+            ctx.to::<Last>(msg);
+        }
+    }
+
+    impl Stage for Last {
+        type In = Token;
+        fn spec(&self) -> StageSpec<Token> {
+            StageSpec::new("last").cost(200)
+        }
+        fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: Token) {
+            self.seen.fetch_add(1, Ordering::Relaxed);
+            ctx.complete(msg.0);
+        }
+    }
+
+    fn three_stage(hops: u32, seeds: u64) -> (PipelineBuilder, Arc<AtomicU64>) {
+        let seen = Arc::new(AtomicU64::new(0));
+        let mut b = PipelineBuilder::new("test")
+            .stage(First { hops })
+            .stage(Middle)
+            .stage(Last {
+                seen: Arc::clone(&seen),
+            });
+        for s in 0..seeds {
+            b = b.seed::<First>(Token(s));
+        }
+        (b, seen)
+    }
+
+    #[test]
+    fn chain_runs_identically_on_both_executors() {
+        let mut counts = Vec::new();
+        for kind in [ExecKind::Sim, ExecKind::Threaded] {
+            let (mut b, seen) = three_stage(2, 5);
+            let outs = b.collect::<u64>();
+            let mut rt = RuntimeBuilder::new().cores(2).build(kind);
+            rt.install(b.build());
+            let report = rt.run();
+            // 5 seeds, each fanning into 2 middle+last pairs.
+            assert_eq!(report.events_processed(), 5 + 5 * 2 * 2);
+            assert_eq!(seen.load(Ordering::Relaxed), 10);
+            assert_eq!(report.completed_requests(), 10);
+            assert!(report.latency_p50() > 0, "stages have nonzero cost");
+            assert!(report.latency_p50() <= report.latency_p99());
+            let mut got = outs.take();
+            got.sort_unstable();
+            assert_eq!(got.len(), 10);
+            counts.push(report.events_processed());
+        }
+        assert_eq!(counts[0], counts[1]);
+    }
+
+    #[test]
+    fn keyed_and_inherited_colors_follow_the_emitter() {
+        struct Probe {
+            colors: Arc<Mutex<Vec<(u64, Color)>>>,
+        }
+        impl Stage for Probe {
+            type In = Token;
+            fn spec(&self) -> StageSpec<Token> {
+                StageSpec::new("probe").inherit_color()
+            }
+            fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: Token) {
+                self.colors.lock().push((msg.0, ctx.color()));
+            }
+        }
+        struct Root;
+        impl Stage for Root {
+            type In = Token;
+            fn spec(&self) -> StageSpec<Token> {
+                StageSpec::new("root").keyed(|t| t.0)
+            }
+            fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: Token) {
+                ctx.to::<Probe>(msg);
+            }
+        }
+        let colors: Arc<Mutex<Vec<(u64, Color)>>> = Arc::new(Mutex::new(Vec::new()));
+        let b = PipelineBuilder::new("colors")
+            .stage(Root)
+            .stage(Probe {
+                colors: Arc::clone(&colors),
+            })
+            .seed::<Root>(Token(3))
+            .seed::<Root>(Token(3))
+            .seed::<Root>(Token(4));
+        let mut rt = RuntimeBuilder::new().cores(2).build(ExecKind::Sim);
+        rt.install(b.build());
+        rt.run();
+        let got = colors.lock().clone();
+        assert_eq!(got.len(), 3);
+        let of = |k: u64| {
+            got.iter()
+                .filter(|(key, _)| *key == k)
+                .map(|(_, c)| *c)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(of(3)[0], of(3)[1], "same key, same inherited color");
+        assert_ne!(of(3)[0], of(4)[0], "distinct keys, distinct colors");
+        assert_eq!(of(3)[0], ColorRange::STAGE_KEYED.keyed(3));
+        // Keyed colors live in the keyed plane, never on a serial
+        // allocation.
+        assert!(ColorRange::STAGE_KEYED.contains(of(3)[0]));
+        assert!(!ColorRange::STAGE_SERIAL.contains(of(4)[0]));
+    }
+
+    #[test]
+    fn shared_colors_resolve_to_the_target_stage() {
+        struct Loop;
+        struct Helper {
+            colors: Arc<Mutex<Vec<Color>>>,
+        }
+        impl Stage for Loop {
+            type In = ();
+            fn spec(&self) -> StageSpec<()> {
+                StageSpec::new("loop")
+            }
+            fn handle(&self, ctx: &mut StageCtx<'_, '_>, _msg: ()) {
+                ctx.to::<Helper>(());
+            }
+        }
+        impl Stage for Helper {
+            type In = ();
+            fn spec(&self) -> StageSpec<()> {
+                StageSpec::new("helper").share_color_with::<Loop>()
+            }
+            fn handle(&self, ctx: &mut StageCtx<'_, '_>, _msg: ()) {
+                self.colors.lock().push(ctx.color());
+            }
+        }
+        let colors: Arc<Mutex<Vec<Color>>> = Arc::new(Mutex::new(Vec::new()));
+        let b = PipelineBuilder::new("shared")
+            .stage(Loop)
+            .stage(Helper {
+                colors: Arc::clone(&colors),
+            })
+            .seed::<Loop>(());
+        let mut rt = RuntimeBuilder::new().cores(2).build(ExecKind::Sim);
+        rt.install(b.build());
+        rt.run();
+        let got = colors.lock().clone();
+        // The pipeline's ColorSpace reserves color 0, the listener
+        // range and the keyed plane, so Loop (the only serial stage)
+        // gets the serial plane's first color — 1 — and Helper shares
+        // it.
+        assert_eq!(got, vec![Color::new(1)]);
+    }
+
+    #[test]
+    fn partitioned_color_spaces_keep_co_installed_pipelines_disjoint() {
+        // Two pipelines on ONE executor: each gets an allocator that
+        // reserves the other's territory, so their serial stages can
+        // never silently share a color (the failure `ColorSpace`
+        // exists to prevent). Services expose this through their
+        // `with_colors` builders.
+        struct Probe {
+            colors: Arc<Mutex<Vec<Color>>>,
+        }
+        impl Stage for Probe {
+            type In = ();
+            fn spec(&self) -> StageSpec<()> {
+                StageSpec::new("probe")
+            }
+            fn handle(&self, ctx: &mut StageCtx<'_, '_>, _msg: ()) {
+                self.colors.lock().push(ctx.color());
+            }
+        }
+        let a_territory = ColorRange::new(0x001, 0x0FF);
+        let b_territory = ColorRange::new(0x100, 0x1FF);
+        let mut a_space = ColorSpace::for_stages();
+        a_space.reserve_range(b_territory);
+        let mut b_space = ColorSpace::for_stages();
+        b_space.reserve_range(a_territory);
+        b_space.reserve_range(ColorRange::new(0x200, 0x7FFF));
+
+        let a_colors: Arc<Mutex<Vec<Color>>> = Arc::new(Mutex::new(Vec::new()));
+        let b_colors: Arc<Mutex<Vec<Color>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut rt = RuntimeBuilder::new().cores(2).build(ExecKind::Sim);
+        rt.install(
+            PipelineBuilder::new("a")
+                .with_colors(a_space)
+                .stage(Probe {
+                    colors: Arc::clone(&a_colors),
+                })
+                .seed::<Probe>(())
+                .build(),
+        );
+        rt.install(
+            PipelineBuilder::new("b")
+                .with_colors(b_space)
+                .stage(Probe {
+                    colors: Arc::clone(&b_colors),
+                })
+                .seed::<Probe>(())
+                .build(),
+        );
+        rt.run();
+        let a = a_colors.lock()[0];
+        let b = b_colors.lock()[0];
+        assert!(a_territory.contains(a), "a got {a}");
+        assert!(b_territory.contains(b), "b got {b}");
+        assert_ne!(a, b, "co-installed serial stages must not collide");
+    }
+
+    #[test]
+    fn spawn_opens_a_new_request_per_message() {
+        struct Mux;
+        struct Work;
+        impl Stage for Mux {
+            type In = u32;
+            fn spec(&self) -> StageSpec<u32> {
+                StageSpec::new("mux").cost(50_000)
+            }
+            fn handle(&self, ctx: &mut StageCtx<'_, '_>, n: u32) {
+                for _ in 0..n {
+                    ctx.spawn::<Work>(());
+                }
+            }
+        }
+        impl Stage for Work {
+            type In = ();
+            fn spec(&self) -> StageSpec<()> {
+                StageSpec::new("work").cost(1_000).inherit_color()
+            }
+            fn handle(&self, ctx: &mut StageCtx<'_, '_>, _msg: ()) {
+                // Spawned requests are stamped with the SPAWNER's
+                // clock: the mux's 50 Kcycles of execution (i.e. this
+                // request's queueing delay) must show in its latency.
+                assert!(ctx.elapsed() >= 50_000, "elapsed {}", ctx.elapsed());
+                ctx.complete(());
+            }
+        }
+        let b = PipelineBuilder::new("mux")
+            .stage(Mux)
+            .stage(Work)
+            .seed::<Mux>(4);
+        let mut rt = RuntimeBuilder::new().cores(1).build(ExecKind::Sim);
+        rt.install(b.build());
+        let report = rt.run();
+        assert_eq!(report.completed_requests(), 4);
+        assert_eq!(report.events_processed(), 5);
+    }
+
+    #[test]
+    fn sender_submits_typed_messages_from_outside() {
+        for kind in [ExecKind::Sim, ExecKind::Threaded] {
+            let (mut b, seen) = three_stage(1, 0);
+            let outs = b.collect::<u64>();
+            let mut rt = RuntimeBuilder::new().cores(2).build(kind);
+            let pipeline = rt.install(b.build());
+            let sender = pipeline.sender(rt.injector());
+            let keepalive = sender.injector().keepalive();
+            let producer = std::thread::spawn(move || {
+                for i in 0..20u64 {
+                    sender.submit::<First>(Token(i));
+                }
+                sender.injector().stop_when_idle();
+                drop(keepalive);
+            });
+            let report = rt.run();
+            producer.join().unwrap();
+            assert_eq!(seen.load(Ordering::Relaxed), 20, "{kind}");
+            assert_eq!(report.completed_requests(), 20, "{kind}");
+            assert_eq!(outs.len(), 20, "{kind}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered in this pipeline")]
+    fn emitting_to_an_unregistered_stage_panics() {
+        struct Orphan;
+        impl Stage for Orphan {
+            type In = ();
+            fn spec(&self) -> StageSpec<()> {
+                StageSpec::new("orphan")
+            }
+            fn handle(&self, _ctx: &mut StageCtx<'_, '_>, _msg: ()) {}
+        }
+        struct Bad;
+        impl Stage for Bad {
+            type In = ();
+            fn spec(&self) -> StageSpec<()> {
+                StageSpec::new("bad")
+            }
+            fn handle(&self, ctx: &mut StageCtx<'_, '_>, _msg: ()) {
+                ctx.to::<Orphan>(());
+            }
+        }
+        let b = PipelineBuilder::new("bad").stage(Bad).seed::<Bad>(());
+        let mut rt = RuntimeBuilder::new().cores(1).build(ExecKind::Sim);
+        rt.install(b.build());
+        rt.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_stage_registration_panics() {
+        let _ = PipelineBuilder::new("dup").stage(Middle).stage(Middle);
+    }
+
+    #[test]
+    #[should_panic(expected = "inherits its color")]
+    fn seeding_an_inherit_stage_without_color_panics() {
+        let b = PipelineBuilder::new("inherit-seed")
+            .stage(Middle)
+            .stage(Last {
+                seen: Arc::new(AtomicU64::new(0)),
+            })
+            .seed::<Middle>(Token(1));
+        let mut rt = RuntimeBuilder::new().cores(1).build(ExecKind::Sim);
+        rt.install(b.build());
+    }
+
+    #[test]
+    fn seed_colored_feeds_inherit_stages() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let b = PipelineBuilder::new("inherit-seed-colored")
+            .stage(Middle)
+            .stage(Last {
+                seen: Arc::clone(&seen),
+            })
+            .seed_colored::<Middle>(Color::new(42), Token(1));
+        let mut rt = RuntimeBuilder::new().cores(1).build(ExecKind::Sim);
+        rt.install(b.build());
+        let report = rt.run();
+        assert_eq!(report.events_processed(), 2);
+        assert_eq!(seen.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a serial stage")]
+    fn sharing_a_color_with_a_missing_stage_panics() {
+        struct Bad;
+        impl Stage for Bad {
+            type In = ();
+            fn spec(&self) -> StageSpec<()> {
+                StageSpec::new("bad").share_color_with::<Middle>()
+            }
+            fn handle(&self, _ctx: &mut StageCtx<'_, '_>, _msg: ()) {}
+        }
+        let _ = PipelineBuilder::new("bad-share").stage(Bad).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "already installed")]
+    fn double_install_panics() {
+        let (b, _) = three_stage(1, 1);
+        let mut rt = RuntimeBuilder::new().cores(1).build(ExecKind::Sim);
+        let mut p = b.build();
+        p.install(&mut rt);
+        p.install(&mut rt);
+    }
+
+    #[test]
+    fn specs_register_real_handler_annotations() {
+        // The cost/penalty of the stage spec must reach the runtime's
+        // handler registry (they drive the workstealing heuristics).
+        struct Heavy;
+        impl Stage for Heavy {
+            type In = ();
+            fn spec(&self) -> StageSpec<()> {
+                StageSpec::new("heavy").cost(123_456).penalty(77)
+            }
+            fn handle(&self, ctx: &mut StageCtx<'_, '_>, _msg: ()) {
+                ctx.complete(());
+            }
+        }
+        let b = PipelineBuilder::new("heavy").stage(Heavy).seed::<Heavy>(());
+        let mut rt = RuntimeBuilder::new().cores(1).build(ExecKind::Sim);
+        rt.install(b.build());
+        let report = rt.run();
+        assert_eq!(report.events_processed(), 1);
+        // The declared cost drove the virtual clock.
+        assert!(report.wall_cycles() >= 123_456);
+        assert_eq!(report.completed_requests(), 1);
+        // A request completed inside its very first handler spans no
+        // dispatch-to-dispatch time: its latency is (near) zero.
+        assert_eq!(report.latency_p50(), report.latency_p99());
+    }
+}

@@ -16,6 +16,15 @@
 //! plus a per-byte charge for streaming the response, mirroring how the
 //! paper attributes SWS handler time between protocol work and data
 //! movement.
+//!
+//! This is the **raw-event** bridge: callers pick the color (normally
+//! `mely_net::inject::conn_color`, i.e. the connection keyed into
+//! `ColorRange::CONNECTIONS`) and attach the handler closure by hand.
+//! Applications built on the typed stage layer (`mely_core::stage`)
+//! usually submit a typed message to a keyed stage through a
+//! `StageSender` instead and let the stage's spec supply cost and
+//! color; [`service_cost`] remains the right annotation source either
+//! way.
 
 use mely_core::color::Color;
 use mely_core::ctx::Ctx;

@@ -128,32 +128,56 @@ impl InjectorPool {
             "producers x colors must fit the 16-bit color space for the \
              per-producer ranges to stay disjoint"
         );
-        let barrier = Arc::new(Barrier::new(cfg.producers));
+        // One pool mechanism: the synthetic-event shape delegates to
+        // the generic producer pool below.
+        Self::spawn_with(cfg.producers, cfg.events_per_producer, move |p, i| {
+            // Disjoint color range per producer: producer p uses colors
+            // [1 + p*colors, 1 + (p+1)*colors) (in-bounds by the assert
+            // in `spawn`; colors start at 1 to avoid the
+            // fully-serializing default color 0).
+            let base = 1 + p as u64 * u64::from(cfg.colors);
+            let color = Color::new((base + i % u64::from(cfg.colors)) as u16);
+            let ev = Event::new(color, cfg.cost);
+            match cfg.mode {
+                InjectMode::Inbox => injector.inject(ev),
+                InjectMode::DirectLock => injector.inject_locked(ev),
+            }
+        })
+    }
+
+    /// The generic form of [`InjectorPool::spawn`]: `producers` threads
+    /// start behind one barrier and each calls `produce(p, i)` for
+    /// `events_per_producer` values of `i`. The closure does the actual
+    /// submission, so the same pool machinery drives raw events *or*
+    /// the typed stage layer (a cloned
+    /// [`StageSender`](mely_core::stage::StageSender) submitting
+    /// pipeline messages), with [`InjectorPool::join`] still returning
+    /// the total count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producers` is zero.
+    pub fn spawn_with<F>(producers: usize, events_per_producer: u64, produce: F) -> Self
+    where
+        F: Fn(usize, u64) + Send + Sync + 'static,
+    {
+        assert!(producers > 0, "need at least one producer");
+        let produce = Arc::new(produce);
+        let barrier = Arc::new(Barrier::new(producers));
         let injected = Arc::new(AtomicU64::new(0));
-        let threads = (0..cfg.producers)
+        let threads = (0..producers)
             .map(|p| {
-                let injector = injector.clone();
+                let produce = Arc::clone(&produce);
                 let barrier = Arc::clone(&barrier);
                 let injected = Arc::clone(&injected);
                 std::thread::Builder::new()
                     .name(format!("mely-inject-{p}"))
                     .spawn(move || {
-                        // Disjoint color range per producer: producer p
-                        // uses colors [1 + p*colors, 1 + (p+1)*colors)
-                        // (in-bounds by the assert in `spawn`; colors
-                        // start at 1 to avoid the fully-serializing
-                        // default color 0).
-                        let base = 1 + p as u64 * u64::from(cfg.colors);
                         barrier.wait();
-                        for i in 0..cfg.events_per_producer {
-                            let color = Color::new((base + i % u64::from(cfg.colors)) as u16);
-                            let ev = Event::new(color, cfg.cost);
-                            match cfg.mode {
-                                InjectMode::Inbox => injector.inject(ev),
-                                InjectMode::DirectLock => injector.inject_locked(ev),
-                            }
+                        for i in 0..events_per_producer {
+                            produce(p, i);
                         }
-                        injected.fetch_add(cfg.events_per_producer, Ordering::Relaxed);
+                        injected.fetch_add(events_per_producer, Ordering::Relaxed);
                     })
                     .expect("spawn producer")
             })
@@ -219,6 +243,55 @@ mod tests {
     fn the_same_pool_drives_the_simulator() {
         let r = run_with_pool(ExecKind::Sim, InjectMode::Inbox);
         assert!(r.events_processed() >= 1_500);
+    }
+
+    #[test]
+    fn generic_pool_drives_a_typed_pipeline() {
+        use std::sync::atomic::AtomicU64;
+
+        struct Work {
+            done: Arc<AtomicU64>,
+        }
+        impl Stage for Work {
+            type In = u64;
+            fn spec(&self) -> StageSpec<u64> {
+                StageSpec::new("work").cost(100).keyed(|&k| k)
+            }
+            fn handle(&self, ctx: &mut StageCtx<'_, '_>, _k: u64) {
+                self.done.fetch_add(1, Ordering::Relaxed);
+                ctx.complete(());
+            }
+        }
+
+        for kind in [ExecKind::Threaded, ExecKind::Sim] {
+            let done = Arc::new(AtomicU64::new(0));
+            let mut rt = RuntimeBuilder::new()
+                .cores(2)
+                .flavor(Flavor::Mely)
+                .build(kind);
+            let pipeline = rt.install(
+                PipelineBuilder::new("pool-typed")
+                    .stage(Work {
+                        done: Arc::clone(&done),
+                    })
+                    .build(),
+            );
+            let keepalive = rt.injector().keepalive();
+            let sender = pipeline.sender(rt.injector());
+            let pool = InjectorPool::spawn_with(3, 200, move |p, i| {
+                sender.submit::<Work>(p as u64 * 1_000 + i);
+            });
+            let stopper = rt.injector();
+            let waiter = std::thread::spawn(move || {
+                assert_eq!(pool.join(), 600);
+                stopper.stop_when_idle();
+                drop(keepalive);
+            });
+            let report = rt.run();
+            waiter.join().unwrap();
+            assert_eq!(done.load(Ordering::Relaxed), 600, "{kind}");
+            assert_eq!(report.completed_requests(), 600, "{kind}");
+        }
     }
 
     #[test]

@@ -15,31 +15,36 @@
 //! a legacy [`RuntimeHandle`](mely_core::threaded::RuntimeHandle),
 //! which converts `Into<Injector>`).
 //!
-//! Color discipline:
+//! Color discipline — the canonical ranges now live in
+//! [`mely_core::color::ColorRange`], where the stage layer's
+//! [`ColorSpace`](mely_core::color::ColorSpace) allocator reserves
+//! them; this module just applies them to network entities:
 //!
-//! - connections hash into colors `1..=0x7FFF` ([`conn_color`]); `Fd`s
-//!   are never reused, so two live connections share a color only on a
-//!   hash collision, which merely serializes them (never unsafe);
-//! - listeners map to colors `0x8000..=0xFFFF` ([`listener_color`]),
-//!   disjoint from connection colors, so accept storms cannot serialize
-//!   behind request processing.
+//! - connections hash into [`ColorRange::CONNECTIONS`] (`1..=0x7FFF`,
+//!   [`conn_color`]); `Fd`s are never reused, so two live connections
+//!   share a color only on a hash collision, which merely serializes
+//!   them (never unsafe);
+//! - listeners map into [`ColorRange::LISTENERS`] (`0x8000..=0xFFFF`,
+//!   [`listener_color`]), disjoint from connection colors, so accept
+//!   storms cannot serialize behind request processing.
 
-use mely_core::color::Color;
+use mely_core::color::{Color, ColorRange};
 use mely_core::ctx::Ctx;
 use mely_core::event::Event;
 use mely_core::exec::Injector;
 
 use crate::{Fd, NetEvent};
 
-/// The color serializing all events of connection `fd`.
+/// The color serializing all events of connection `fd`: `fd` keyed
+/// into [`ColorRange::CONNECTIONS`].
 pub fn conn_color(fd: Fd) -> Color {
-    Color::new(1 + (fd % 0x7FFF) as u16)
+    ColorRange::CONNECTIONS.keyed(fd)
 }
 
 /// The color serializing accepts on listener `port` (disjoint from every
-/// [`conn_color`]).
+/// [`conn_color`]): `port` keyed into [`ColorRange::LISTENERS`].
 pub fn listener_color(port: u16) -> Color {
-    Color::new(0x8000 | (port & 0x7FFF))
+    ColorRange::LISTENERS.keyed(u64::from(port))
 }
 
 /// Declared processing-cost estimates for injected events, in cycles

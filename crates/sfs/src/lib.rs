@@ -20,16 +20,25 @@
 //! every response ([`SfsProtocol`]), so the crypto work is real on both
 //! sides. Like the paper's `multio` benchmark, the requested file stays
 //! in the server's in-memory buffer cache ([`FileStore`]).
+//!
+//! Two implementations share this module: [`SfsService`], the canonical
+//! server as a typed stage pipeline (`mely_core::stage`; every
+//! encrypted reply closes a request of the per-request latency
+//! pipeline), and [`Sfs`], the same handlers on the raw [`Event`] API —
+//! the low-level layer the typed one compiles down to. The
+//! network-free, structurally countable variant is
+//! [`service::FileServerService`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use mely_core::color::Color;
+use mely_core::color::{Color, ColorSpace};
 use mely_core::event::Event;
 use mely_core::exec::{Executor, Service};
 use mely_core::handler::{HandlerId, HandlerSpec};
+use mely_core::stage::{PipelineBuilder, Stage, StageCtx, StageSpec};
 use mely_crypto::{crypto_cost_cycles, Mac, SessionKey, StreamCipher};
 use mely_loadgen::ClientProtocol;
 use mely_net::driver::Driver;
@@ -330,15 +339,309 @@ impl Sfs {
     }
 }
 
-/// SFS as an installable [`Service`]: bundle the network, the driver
-/// and the configuration, then `rt.install(SfsService::new(..))` on
-/// either executor. After the run, [`SfsService::stats`] reads the
-/// server counters.
+/// State shared by the typed SFS stages ([`SfsService`]).
+struct SfsShared<D> {
+    state: Mutex<SfsState>,
+    net: Arc<Mutex<SimNet>>,
+    driver: Arc<Mutex<D>>,
+    cfg: SfsConfig,
+}
+
+/// The poll loop's self-message.
+struct SfsPollTick;
+
+/// One bounded accept batch.
+struct SfsAcceptTick;
+
+/// Plaintext chunk on its way to the per-session `Encrypt` stage.
+struct SfsEncryptMsg {
+    fd: Fd,
+    req: ReadReq,
+    plain: Vec<u8>,
+}
+
+/// Encrypted payload awaiting framing and delivery.
+struct SfsReplyMsg {
+    fd: Fd,
+    payload: Vec<u8>,
+    tag: u64,
+}
+
+/// The paper's penalty annotation for the serialized protocol stages.
+const SFS_LOOP_PENALTY: u32 = 100;
+
+struct SfsEpollStage<D>(Arc<SfsShared<D>>);
+struct SfsAcceptStage<D>(Arc<SfsShared<D>>);
+struct SfsReadRequestStage<D>(Arc<SfsShared<D>>);
+struct SfsProcessReadStage<D>(Arc<SfsShared<D>>);
+struct SfsEncryptStage<D>(Arc<SfsShared<D>>);
+struct SfsSendReplyStage<D>(Arc<SfsShared<D>>);
+struct SfsCloseStage<D>(Arc<SfsShared<D>>);
+
+impl<D: Driver + 'static> Stage for SfsEpollStage<D> {
+    type In = SfsPollTick;
+
+    fn spec(&self) -> StageSpec<SfsPollTick> {
+        // The serial protocol color: every protocol stage below shares
+        // it, so protocol work is serialized exactly like the paper's
+        // default-color scheme — only `Encrypt` parallelizes.
+        StageSpec::new("Epoll")
+            .cost(self.0.cfg.costs.epoll)
+            .penalty(SFS_LOOP_PENALTY)
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, _msg: SfsPollTick) {
+        let now = ctx.now();
+        let s = &self.0;
+        let mut net = s.net.lock();
+        let done = s.driver.lock().advance(&mut net, now);
+        let events = net.poll(now);
+        ctx.charge(s.cfg.costs.epoll_per_event * events.len() as u64);
+        {
+            let mut st = s.state.lock();
+            for e in events {
+                match e {
+                    NetEvent::Acceptable(_) => {
+                        if !st.accept_pending {
+                            st.accept_pending = true;
+                            ctx.spawn::<SfsAcceptStage<D>>(SfsAcceptTick);
+                        }
+                    }
+                    NetEvent::Readable(fd) | NetEvent::PeerClosed(fd) => {
+                        if let Some(conn) = st.conns.get_mut(&fd) {
+                            if !conn.read_pending {
+                                conn.read_pending = true;
+                                // One readiness notification = one new
+                                // request of the latency pipeline.
+                                ctx.spawn::<SfsReadRequestStage<D>>(fd);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let next = [net.next_activity(now), s.driver.lock().next_due(now)]
+            .into_iter()
+            .flatten()
+            .min();
+        drop(net);
+        match next {
+            Some(t) => ctx.to_after::<SfsEpollStage<D>>(
+                t.saturating_sub(now).max(s.cfg.min_poll),
+                SfsPollTick,
+            ),
+            None if !done => ctx.to_after::<SfsEpollStage<D>>(s.cfg.poll_interval, SfsPollTick),
+            None => {}
+        }
+    }
+}
+
+impl<D: Driver + 'static> Stage for SfsAcceptStage<D> {
+    type In = SfsAcceptTick;
+
+    fn spec(&self) -> StageSpec<SfsAcceptTick> {
+        StageSpec::new("Accept")
+            .cost(self.0.cfg.costs.accept)
+            .penalty(SFS_LOOP_PENALTY)
+            .share_color_with::<SfsEpollStage<D>>()
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, _msg: SfsAcceptTick) {
+        let s = &self.0;
+        let now = ctx.now();
+        let mut net = s.net.lock();
+        let mut st = s.state.lock();
+        // Bounded accept batch (see the SWS accept handler).
+        let mut first = true;
+        let mut batch = 0;
+        while batch < 8 {
+            let Some(fd) = net.accept(s.cfg.port, now) else {
+                break;
+            };
+            if !first {
+                ctx.charge(s.cfg.costs.accept);
+            }
+            first = false;
+            batch += 1;
+            st.stats.sessions += 1;
+            st.conns.insert(fd, ConnState::default());
+        }
+        if batch == 8 {
+            ctx.to::<SfsAcceptStage<D>>(SfsAcceptTick);
+        } else {
+            st.accept_pending = false;
+        }
+    }
+}
+
+impl<D: Driver + 'static> Stage for SfsReadRequestStage<D> {
+    type In = Fd;
+
+    fn spec(&self) -> StageSpec<Fd> {
+        StageSpec::new("ReadRequest")
+            .cost(self.0.cfg.costs.read_request)
+            .penalty(SFS_LOOP_PENALTY)
+            .share_color_with::<SfsEpollStage<D>>()
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, fd: Fd) {
+        let s = &self.0;
+        let now = ctx.now();
+        let mut net = s.net.lock();
+        let data = net.read(fd, now);
+        let hup = data.is_empty() && net.peer_closed(fd, now);
+        drop(net);
+        let mut st = s.state.lock();
+        let Some(conn) = st.conns.get_mut(&fd) else {
+            return;
+        };
+        conn.read_pending = false;
+        if hup {
+            ctx.to::<SfsCloseStage<D>>(fd);
+            return;
+        }
+        conn.buf.extend_from_slice(&data);
+        // Extract complete request lines; each carries the running
+        // request forward (they all arrived in this read).
+        while let Some(pos) = conn.buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = conn.buf.drain(..=pos).collect();
+            let parsed = std::str::from_utf8(&line[..line.len() - 1])
+                .ok()
+                .and_then(parse_read_line);
+            match parsed {
+                Some(req) => ctx.to::<SfsProcessReadStage<D>>((fd, req)),
+                None => {
+                    st.stats.rejected += 1;
+                    ctx.to::<SfsCloseStage<D>>(fd);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl<D: Driver + 'static> Stage for SfsProcessReadStage<D> {
+    type In = (Fd, ReadReq);
+
+    fn spec(&self) -> StageSpec<(Fd, ReadReq)> {
+        StageSpec::new("ProcessRead")
+            .cost(self.0.cfg.costs.process_read)
+            .penalty(SFS_LOOP_PENALTY)
+            .share_color_with::<SfsEpollStage<D>>()
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, (fd, req): (Fd, ReadReq)) {
+        let s = &self.0;
+        let mut st = s.state.lock();
+        let Some(file) = st.store.get(&s.cfg.path) else {
+            return;
+        };
+        let start = req.offset.min(file.len() as u64) as usize;
+        let end = (req.offset + req.len).min(file.len() as u64) as usize;
+        if start >= end {
+            st.stats.rejected += 1;
+            ctx.to::<SfsCloseStage<D>>(fd);
+            return;
+        }
+        let plain = file[start..end].to_vec();
+        drop(st);
+        ctx.to::<SfsEncryptStage<D>>(SfsEncryptMsg { fd, req, plain });
+    }
+}
+
+impl<D: Driver + 'static> Stage for SfsEncryptStage<D> {
+    type In = SfsEncryptMsg;
+
+    fn spec(&self) -> StageSpec<SfsEncryptMsg> {
+        // The one colored stage: per-session parallelism, keyed (into
+        // the keyed plane, disjoint from the protocol color) with the
+        // same deliberately imperfect 13-way spread as `session_color`
+        // (collisions feed the workstealing study).
+        StageSpec::new("Encrypt")
+            .cost(crypto_cost_cycles(self.0.cfg.chunk))
+            .keyed(|m| 16 + (m.fd * 5) % 13)
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: SfsEncryptMsg) {
+        let key = SessionKey::from_seed(msg.req.client);
+        let mut payload = msg.plain;
+        StreamCipher::new(&key, msg.req.offset).apply(&mut payload);
+        let tag = Mac::new(&key).compute(&payload);
+        ctx.to::<SfsSendReplyStage<D>>(SfsReplyMsg {
+            fd: msg.fd,
+            payload,
+            tag,
+        });
+    }
+}
+
+impl<D: Driver + 'static> Stage for SfsSendReplyStage<D> {
+    type In = SfsReplyMsg;
+
+    fn spec(&self) -> StageSpec<SfsReplyMsg> {
+        StageSpec::new("SendReply")
+            .cost(self.0.cfg.costs.send_reply)
+            .penalty(SFS_LOOP_PENALTY)
+            .share_color_with::<SfsEpollStage<D>>()
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: SfsReplyMsg) {
+        let s = &self.0;
+        let now = ctx.now();
+        ctx.charge(msg.payload.len() as u64 * s.cfg.costs.send_per_byte_milli / 1_000);
+        let mut frame = Vec::with_capacity(16 + msg.payload.len());
+        frame.extend_from_slice(&(msg.payload.len() as u64).to_le_bytes());
+        frame.extend_from_slice(&msg.tag.to_le_bytes());
+        frame.extend_from_slice(&msg.payload);
+        let n = msg.payload.len() as u64;
+        s.net.lock().write(msg.fd, now, frame);
+        let mut st = s.state.lock();
+        st.stats.reads += 1;
+        st.stats.bytes += n;
+        // The encrypted reply left the server: request complete.
+        ctx.complete(());
+    }
+}
+
+impl<D: Driver + 'static> Stage for SfsCloseStage<D> {
+    type In = Fd;
+
+    fn spec(&self) -> StageSpec<Fd> {
+        StageSpec::new("Close")
+            .cost(self.0.cfg.costs.close)
+            .penalty(SFS_LOOP_PENALTY)
+            .share_color_with::<SfsEpollStage<D>>()
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, fd: Fd) {
+        let s = &self.0;
+        let now = ctx.now();
+        let mut net = s.net.lock();
+        net.close(fd, now);
+        net.reap(fd);
+        drop(net);
+        s.state.lock().conns.remove(&fd);
+    }
+}
+
+/// SFS as a typed stage [`Pipeline`](mely_core::stage::Pipeline):
+/// bundle the network, the driver and the configuration, then
+/// `rt.install(SfsService::new(..))` on either executor. After the run,
+/// [`SfsService::stats`] reads the server counters, and the report's
+/// `completed_requests` / latency percentiles cover every encrypted
+/// reply (one request per readiness-to-reply chain).
+///
+/// Coloring follows the paper's scheme: every protocol stage shares the
+/// `Epoll` stage's serial color (the stage-layer formalization of "all
+/// protocol handlers share the default color"), and only the
+/// CPU-intensive `Encrypt` stage is keyed per session. The raw
+/// event-API implementation survives as [`Sfs`] (the low-level layer).
 pub struct SfsService<D> {
     net: Arc<Mutex<SimNet>>,
     driver: Arc<Mutex<D>>,
     cfg: SfsConfig,
-    installed: Option<Sfs>,
+    colors: Option<ColorSpace>,
+    installed: Option<Arc<SfsShared<D>>>,
 }
 
 impl<D: Driver + 'static> SfsService<D> {
@@ -348,17 +651,19 @@ impl<D: Driver + 'static> SfsService<D> {
             net,
             driver,
             cfg,
+            colors: None,
             installed: None,
         }
     }
 
-    /// The installed server handle.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the service has not been installed yet.
-    pub fn server(&self) -> &Sfs {
-        self.installed.as_ref().expect("service not installed")
+    /// Replaces the pipeline's color allocator (default
+    /// [`ColorSpace::for_stages`]) — when co-installing with other
+    /// stage services, give each an allocator that
+    /// [`ColorSpace::reserve_range`]s the others' territory so serial
+    /// stages can never silently share a color.
+    pub fn with_colors(mut self, colors: ColorSpace) -> Self {
+        self.colors = Some(colors);
+        self
     }
 
     /// Current server-side counters.
@@ -367,7 +672,12 @@ impl<D: Driver + 'static> SfsService<D> {
     ///
     /// Panics if the service has not been installed yet.
     pub fn stats(&self) -> SfsStats {
-        self.server().stats()
+        self.installed
+            .as_ref()
+            .expect("service not installed")
+            .state
+            .lock()
+            .stats
     }
 }
 
@@ -377,13 +687,36 @@ impl<D: Driver + 'static> Service for SfsService<D> {
     }
 
     fn install(&mut self, exec: &mut dyn Executor) {
-        let sfs = Sfs::install(
-            exec,
-            Arc::clone(&self.net),
-            Arc::clone(&self.driver),
-            self.cfg.clone(),
-        );
-        self.installed = Some(sfs);
+        let mut store = FileStore::new();
+        store.put_generated(&self.cfg.path, self.cfg.file_len);
+        self.net.lock().listen(self.cfg.port);
+        let shared = Arc::new(SfsShared {
+            state: Mutex::new(SfsState {
+                store,
+                conns: HashMap::new(),
+                accept_pending: false,
+                stats: SfsStats::default(),
+            }),
+            net: Arc::clone(&self.net),
+            driver: Arc::clone(&self.driver),
+            cfg: self.cfg.clone(),
+        });
+        let mut builder = PipelineBuilder::new("sfs");
+        if let Some(colors) = self.colors.take() {
+            builder = builder.with_colors(colors);
+        }
+        builder
+            .stage(SfsEpollStage(Arc::clone(&shared)))
+            .stage(SfsAcceptStage(Arc::clone(&shared)))
+            .stage(SfsReadRequestStage(Arc::clone(&shared)))
+            .stage(SfsProcessReadStage(Arc::clone(&shared)))
+            .stage(SfsEncryptStage(Arc::clone(&shared)))
+            .stage(SfsSendReplyStage(Arc::clone(&shared)))
+            .stage(SfsCloseStage(Arc::clone(&shared)))
+            .seed::<SfsEpollStage<D>>(SfsPollTick)
+            .build()
+            .install(exec);
+        self.installed = Some(shared);
     }
 }
 
@@ -707,6 +1040,40 @@ mod tests {
         assert_eq!(verified, cli.responses);
         assert_eq!(srv.rejected, 0);
         assert!(srv.sessions >= 4);
+    }
+
+    #[test]
+    fn stage_service_serves_verified_reads_and_reports_latency() {
+        let mut rt = RuntimeBuilder::new()
+            .cores(8)
+            .flavor(Flavor::Mely)
+            .workstealing(WsPolicy::improved())
+            .build(ExecKind::Sim);
+        let net = Arc::new(Mutex::new(SimNet::new(NetConfig::default())));
+        let cfg = small_cfg();
+        let load = ClosedLoopLoad::new(
+            SfsProtocol::new(8, cfg.file_len, cfg.chunk),
+            LoadConfig {
+                clients: 8,
+                ports: vec![cfg.port],
+                requests_per_conn: u64::MAX,
+                duration: 60_000_000,
+                ..LoadConfig::default()
+            },
+        );
+        let driver = Arc::new(Mutex::new(load));
+        let svc = rt.install(SfsService::new(net, Arc::clone(&driver), cfg));
+        let report = rt.run();
+        let srv = svc.stats();
+        let d = driver.lock();
+        assert!(srv.reads > 8, "served {}", srv.reads);
+        assert_eq!(d.protocol().corrupt(), 0, "every response must verify");
+        assert_eq!(d.protocol().verified(), d.stats().responses);
+        // Every encrypted reply closed one request of the latency
+        // pipeline.
+        assert_eq!(report.completed_requests(), srv.reads);
+        assert!(report.latency_p50() > 0);
+        assert!(report.latency_p50() <= report.latency_p99());
     }
 
     #[test]

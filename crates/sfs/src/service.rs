@@ -1,32 +1,44 @@
-//! The file-server application as a portable [`Service`].
+//! The file-server application as a portable typed stage pipeline
+//! ([`mely_core::stage::Pipeline`]).
 //!
 //! [`FileServerService`] is the SFS processing pipeline — request parse,
 //! buffer-cache read, *real* encrypt + MAC, reply with client-side
-//! verification — expressed purely as colored events against the
-//! executor-agnostic [`Executor`] API, with the network boundary
-//! replaced by a fixed, structural request schedule: each session is a
-//! closed loop of `requests_per_session` chunked reads, and every
-//! request is exactly the four-event chain
+//! verification — expressed as four typed [`Stage`]s against the
+//! executor-agnostic API, with the network boundary replaced by a
+//! fixed, structural request schedule: each session is a closed loop of
+//! `requests_per_session` chunked reads, and every request is exactly
+//! the four-stage chain
 //!
 //! ```text
-//! ReadRequest(0) ─► ProcessRead(0) ─► Encrypt(session) ─► SendReply(0)
+//! ReadRequest ─► ProcessRead ─► Encrypt(session) ─► SendReply
 //! ```
 //!
-//! following the paper's SFS coloring (protocol handlers serialized on
-//! the default color, the CPU-intensive `Encrypt` colored per session,
-//! Section V-C2). Because the event count is structural —
+//! following the paper's SFS coloring (protocol stages share one serial
+//! color, the CPU-intensive `Encrypt` stage is keyed per session,
+//! Section V-C2) — but no stage names a `u16` color or a `HandlerId`:
+//! the [`PipelineBuilder`] allocates the serial color through the
+//! collision-checked `ColorSpace` and fills every event's cost and
+//! penalty from the stage specs. Each read is one *request* of the
+//! latency pipeline: `SendReply` completes it, so
+//! [`completed_requests`](mely_core::metrics::RunReport::completed_requests)
+//! equals the reads served and
+//! [`latency_p50`](mely_core::metrics::RunReport::latency_p50) /
+//! [`latency_p99`](mely_core::metrics::RunReport::latency_p99) measure
+//! the four-hop end-to-end time.
+//!
+//! Because the event count is structural —
 //! `sessions × requests_per_session × 4` — the *same unmodified
 //! service* processes the *same number of events* on the simulator and
-//! on the threaded executor; the cross-executor conformance suite
-//! pins that equality. The full network-driven SFS (poll loop, SimNet,
+//! on the threaded executor; the cross-executor conformance suite pins
+//! that equality. The full network-driven SFS (poll loop, SimNet,
 //! closed-loop clients) lives in [`crate::Sfs`] / [`crate::SfsService`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use mely_core::event::Event;
+use mely_core::color::ColorSpace;
 use mely_core::exec::{Executor, Service};
-use mely_core::handler::{HandlerId, HandlerSpec};
+use mely_core::stage::{PipelineBuilder, Stage, StageCtx, StageSpec};
 use mely_crypto::{crypto_cost_cycles, Mac, SessionKey, StreamCipher};
 
 use crate::{gen_byte, FileStore, SfsCosts};
@@ -85,107 +97,184 @@ pub struct FileServerStats {
     pub corrupt: u64,
 }
 
-#[derive(Clone, Copy)]
-struct Handlers {
-    read_request: HandlerId,
-    process_read: HandlerId,
-    encrypt: HandlerId,
-    send_reply: HandlerId,
-}
-
-struct FsApp {
+/// State shared by all four stages.
+struct FsShared {
     store: FileStore,
     cfg: FileServerConfig,
-    h: Handlers,
     counters: Arc<Counters>,
 }
 
-impl FsApp {
+impl FsShared {
     fn offset_for(&self, session: u64, seq: u64) -> u64 {
         // Staggered like `SfsProtocol::offset_for`, so sessions do not
         // hit the same offsets in lockstep.
         ((session + seq) * self.cfg.chunk) % self.cfg.file_len.max(1)
     }
+}
 
-    fn read_request_event(self: &Arc<Self>, session: u64, seq: u64) -> Event {
-        let app = Arc::clone(self);
-        Event::for_handler(crate::PROTO_COLOR, self.h.read_request).with_action(move |ctx| {
-            let offset = app.offset_for(session, seq);
-            ctx.register(app.process_read_event(session, seq, offset));
-        })
+/// A session's next chunked read.
+struct ReadMsg {
+    session: u64,
+    seq: u64,
+}
+
+/// The resolved read: which offset to serve.
+struct ProcessMsg {
+    session: u64,
+    seq: u64,
+    offset: u64,
+}
+
+/// Plaintext chunk awaiting encryption.
+struct EncryptMsg {
+    session: u64,
+    seq: u64,
+    offset: u64,
+    plain: Vec<u8>,
+}
+
+/// Encrypted, MAC'd payload awaiting delivery + verification.
+struct ReplyMsg {
+    session: u64,
+    seq: u64,
+    offset: u64,
+    payload: Vec<u8>,
+    tag: u64,
+}
+
+/// The paper's penalty annotation for event-loop-like protocol stages.
+const LOOP_PENALTY: u32 = 100;
+
+struct ReadRequest(Arc<FsShared>);
+struct ProcessRead(Arc<FsShared>);
+struct Encrypt(Arc<FsShared>);
+struct SendReply(Arc<FsShared>);
+
+impl Stage for ReadRequest {
+    type In = ReadMsg;
+
+    fn spec(&self) -> StageSpec<ReadMsg> {
+        // The serial protocol color every other protocol stage shares.
+        StageSpec::new("ReadRequest")
+            .cost(self.0.cfg.costs.read_request)
+            .penalty(LOOP_PENALTY)
     }
 
-    fn process_read_event(self: &Arc<Self>, session: u64, seq: u64, offset: u64) -> Event {
-        let app = Arc::clone(self);
-        Event::for_handler(crate::PROTO_COLOR, self.h.process_read).with_action(move |ctx| {
-            let file = app
-                .store
-                .get(&app.cfg.path)
-                .expect("file generated at install");
-            let start = offset.min(file.len() as u64) as usize;
-            let end = (offset + app.cfg.chunk).min(file.len() as u64) as usize;
-            let plain = file[start..end].to_vec();
-            ctx.register(app.encrypt_event(session, seq, offset, plain));
-        })
-    }
-
-    fn encrypt_event(
-        self: &Arc<Self>,
-        session: u64,
-        seq: u64,
-        offset: u64,
-        plain: Vec<u8>,
-    ) -> Event {
-        let app = Arc::clone(self);
-        // The one colored handler: per-session parallelism, exactly the
-        // paper's SFS coloring.
-        Event::for_handler(crate::session_color(session), self.h.encrypt).with_action(move |ctx| {
-            let key = SessionKey::from_seed(session);
-            let mut payload = plain;
-            StreamCipher::new(&key, offset).apply(&mut payload);
-            let tag = Mac::new(&key).compute(&payload);
-            ctx.register(app.send_reply_event(session, seq, offset, payload, tag));
-        })
-    }
-
-    fn send_reply_event(
-        self: &Arc<Self>,
-        session: u64,
-        seq: u64,
-        offset: u64,
-        payload: Vec<u8>,
-        tag: u64,
-    ) -> Event {
-        let app = Arc::clone(self);
-        Event::for_handler(crate::PROTO_COLOR, self.h.send_reply).with_action(move |ctx| {
-            // "Client-side" verification of the wire payload: MAC, then
-            // decrypt, then compare against the content generator.
-            let key = SessionKey::from_seed(session);
-            let mac_ok = Mac::new(&key).verify(&payload, tag);
-            let mut plain = payload;
-            StreamCipher::new(&key, offset).apply(&mut plain);
-            let data_ok = plain
-                .iter()
-                .enumerate()
-                .all(|(i, &b)| b == gen_byte(offset + i as u64));
-            let c = &app.counters;
-            c.reads.fetch_add(1, Ordering::Relaxed);
-            c.bytes.fetch_add(plain.len() as u64, Ordering::Relaxed);
-            if mac_ok && data_ok {
-                c.verified.fetch_add(1, Ordering::Relaxed);
-            } else {
-                c.corrupt.fetch_add(1, Ordering::Relaxed);
-            }
-            // Closed loop: the session issues its next read.
-            if seq + 1 < app.cfg.requests_per_session {
-                ctx.register(app.read_request_event(session, seq + 1));
-            }
-        })
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: ReadMsg) {
+        let offset = self.0.offset_for(msg.session, msg.seq);
+        ctx.to::<ProcessRead>(ProcessMsg {
+            session: msg.session,
+            seq: msg.seq,
+            offset,
+        });
     }
 }
 
-/// The deterministic file-server [`Service`]: install on any executor,
-/// run, read [`FileServerService::stats`].
+impl Stage for ProcessRead {
+    type In = ProcessMsg;
+
+    fn spec(&self) -> StageSpec<ProcessMsg> {
+        StageSpec::new("ProcessRead")
+            .cost(self.0.cfg.costs.process_read)
+            .penalty(LOOP_PENALTY)
+            .share_color_with::<ReadRequest>()
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: ProcessMsg) {
+        let file = self
+            .0
+            .store
+            .get(&self.0.cfg.path)
+            .expect("file generated at install");
+        let start = msg.offset.min(file.len() as u64) as usize;
+        let end = (msg.offset + self.0.cfg.chunk).min(file.len() as u64) as usize;
+        let plain = file[start..end].to_vec();
+        ctx.to::<Encrypt>(EncryptMsg {
+            session: msg.session,
+            seq: msg.seq,
+            offset: msg.offset,
+            plain,
+        });
+    }
+}
+
+impl Stage for Encrypt {
+    type In = EncryptMsg;
+
+    fn spec(&self) -> StageSpec<EncryptMsg> {
+        // The one parallel stage, keyed per session — exactly the
+        // paper's SFS coloring. The key keeps the deliberately
+        // imperfect 13-way spread of the raw implementation's
+        // `session_color`, so static dispatch produces the load
+        // imbalance that workstealing then corrects (keyed colors hash
+        // into the keyed plane, disjoint from the allocated protocol
+        // color by construction). The cost annotation derives from the
+        // configured chunk size — this is why `spec` takes `&self`.
+        StageSpec::new("Encrypt")
+            .cost(crypto_cost_cycles(self.0.cfg.chunk))
+            .keyed(|m| 16 + (m.session * 5) % 13)
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: EncryptMsg) {
+        let key = SessionKey::from_seed(msg.session);
+        let mut payload = msg.plain;
+        StreamCipher::new(&key, msg.offset).apply(&mut payload);
+        let tag = Mac::new(&key).compute(&payload);
+        ctx.to::<SendReply>(ReplyMsg {
+            session: msg.session,
+            seq: msg.seq,
+            offset: msg.offset,
+            payload,
+            tag,
+        });
+    }
+}
+
+impl Stage for SendReply {
+    type In = ReplyMsg;
+
+    fn spec(&self) -> StageSpec<ReplyMsg> {
+        StageSpec::new("SendReply")
+            .cost(self.0.cfg.costs.send_reply)
+            .penalty(LOOP_PENALTY)
+            .share_color_with::<ReadRequest>()
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: ReplyMsg) {
+        // "Client-side" verification of the wire payload: MAC, then
+        // decrypt, then compare against the content generator.
+        let key = SessionKey::from_seed(msg.session);
+        let mac_ok = Mac::new(&key).verify(&msg.payload, msg.tag);
+        let mut plain = msg.payload;
+        StreamCipher::new(&key, msg.offset).apply(&mut plain);
+        let data_ok = plain
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| b == gen_byte(msg.offset + i as u64));
+        let c = &self.0.counters;
+        c.reads.fetch_add(1, Ordering::Relaxed);
+        c.bytes.fetch_add(plain.len() as u64, Ordering::Relaxed);
+        if mac_ok && data_ok {
+            c.verified.fetch_add(1, Ordering::Relaxed);
+        } else {
+            c.corrupt.fetch_add(1, Ordering::Relaxed);
+        }
+        // One chunked read = one request of the latency pipeline.
+        ctx.complete(());
+        // Closed loop: the session issues its next read as a new
+        // request.
+        if msg.seq + 1 < self.0.cfg.requests_per_session {
+            ctx.spawn::<ReadRequest>(ReadMsg {
+                session: msg.session,
+                seq: msg.seq + 1,
+            });
+        }
+    }
+}
+
+/// The deterministic file-server service: a typed four-stage pipeline
+/// installed on any executor; run, then read
+/// [`FileServerService::stats`] and the report's latency percentiles.
 ///
 /// # Examples
 ///
@@ -206,6 +295,8 @@ impl FsApp {
 ///     }));
 ///     let report = rt.run();
 ///     assert_eq!(report.events_processed(), svc.expected_events());
+///     assert_eq!(report.completed_requests(), svc.stats().reads);
+///     assert!(report.latency_p50() <= report.latency_p99());
 ///     assert_eq!(svc.stats().corrupt, 0);
 ///     counts.push(report.events_processed());
 /// }
@@ -215,6 +306,7 @@ impl FsApp {
 /// ```
 pub struct FileServerService {
     cfg: FileServerConfig,
+    colors: Option<ColorSpace>,
     counters: Arc<Counters>,
 }
 
@@ -231,8 +323,19 @@ impl FileServerService {
         assert!(cfg.chunk > 0 && cfg.file_len > 0, "need a non-empty file");
         FileServerService {
             cfg,
+            colors: None,
             counters: Arc::new(Counters::default()),
         }
+    }
+
+    /// Replaces the pipeline's color allocator (default
+    /// [`ColorSpace::for_stages`]) — when co-installing with other
+    /// stage services, give each an allocator that
+    /// [`ColorSpace::reserve_range`]s the others' territory so serial
+    /// stages can never silently share a color.
+    pub fn with_colors(mut self, colors: ColorSpace) -> Self {
+        self.colors = Some(colors);
+        self
     }
 
     /// The configuration this service runs.
@@ -240,11 +343,17 @@ impl FileServerService {
         &self.cfg
     }
 
-    /// The structural event count of one full run: four events per
-    /// request (`ReadRequest`, `ProcessRead`, `Encrypt`, `SendReply`) —
-    /// identical on every executor.
+    /// The structural event count of one full run: four stage events
+    /// per request (`ReadRequest`, `ProcessRead`, `Encrypt`,
+    /// `SendReply`) — identical on every executor.
     pub fn expected_events(&self) -> u64 {
         self.cfg.sessions * self.cfg.requests_per_session * 4
+    }
+
+    /// Requests the latency pipeline must report for a complete run
+    /// (`SendReply` completes one request per read).
+    pub fn expected_requests(&self) -> u64 {
+        self.cfg.sessions * self.cfg.requests_per_session
     }
 
     /// Current counters.
@@ -264,39 +373,26 @@ impl Service for FileServerService {
     }
 
     fn install(&mut self, exec: &mut dyn Executor) {
-        let c = &self.cfg.costs;
-        const LOOP_PENALTY: u32 = 100;
-        let h = Handlers {
-            read_request: exec.register_handler(
-                HandlerSpec::new("ReadRequest")
-                    .cost(c.read_request)
-                    .penalty(LOOP_PENALTY),
-            ),
-            process_read: exec.register_handler(
-                HandlerSpec::new("ProcessRead")
-                    .cost(c.process_read)
-                    .penalty(LOOP_PENALTY),
-            ),
-            encrypt: exec.register_handler(
-                HandlerSpec::new("Encrypt").cost(crypto_cost_cycles(self.cfg.chunk)),
-            ),
-            send_reply: exec.register_handler(
-                HandlerSpec::new("SendReply")
-                    .cost(c.send_reply)
-                    .penalty(LOOP_PENALTY),
-            ),
-        };
         let mut store = FileStore::new();
         store.put_generated(&self.cfg.path, self.cfg.file_len);
-        let app = Arc::new(FsApp {
+        let shared = Arc::new(FsShared {
             store,
             cfg: self.cfg.clone(),
-            h,
             counters: Arc::clone(&self.counters),
         });
-        for session in 0..self.cfg.sessions {
-            exec.register(app.read_request_event(session, 0));
+        let mut builder = PipelineBuilder::new("file-server");
+        if let Some(colors) = self.colors.take() {
+            builder = builder.with_colors(colors);
         }
+        let mut builder = builder
+            .stage(ReadRequest(Arc::clone(&shared)))
+            .stage(ProcessRead(Arc::clone(&shared)))
+            .stage(Encrypt(Arc::clone(&shared)))
+            .stage(SendReply(Arc::clone(&shared)));
+        for session in 0..self.cfg.sessions {
+            builder = builder.seed::<ReadRequest>(ReadMsg { session, seq: 0 });
+        }
+        builder.build().install(exec);
     }
 }
 
@@ -332,6 +428,16 @@ mod tests {
     }
 
     #[test]
+    fn latency_pipeline_counts_every_read() {
+        let cfg = FileServerConfig::default();
+        let reads = cfg.sessions * cfg.requests_per_session;
+        let (_, _, report) = run(ExecKind::Sim, WsPolicy::improved(), cfg);
+        assert_eq!(report.completed_requests(), reads);
+        assert!(report.latency_p50() > 0, "four-hop chains take time");
+        assert!(report.latency_p50() <= report.latency_p99());
+    }
+
+    #[test]
     fn same_event_count_on_both_executors() {
         let cfg = FileServerConfig {
             sessions: 6,
@@ -345,6 +451,11 @@ mod tests {
         assert_eq!(thr_report.events_processed(), expected);
         assert_eq!(sim_stats, thr_stats, "identical counters on both executors");
         assert_eq!(thr_stats.corrupt, 0);
+        assert_eq!(
+            sim_report.completed_requests(),
+            thr_report.completed_requests(),
+            "identical request counts on both executors"
+        );
     }
 
     #[test]

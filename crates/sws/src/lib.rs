@@ -14,25 +14,36 @@
 //! ```
 //!
 //! Coloring follows the paper exactly: `Epoll` and `RegisterFdInEpoll`
-//! share color 0, `Accept` and `DecClientAccepted` share color 1, and the
-//! per-request handlers (`ReadRequest`, `ParseRequest`, `GetFromCache`,
-//! `WriteResponse`, `Close`) are colored by the connection's descriptor
-//! so distinct clients are served concurrently.
+//! share one color, `Accept` and `DecClientAccepted` share another, and
+//! the per-request handlers (`ReadRequest`, `ParseRequest`,
+//! `GetFromCache`, `WriteResponse`, `Close`) are colored by the
+//! connection's descriptor so distinct clients are served concurrently.
 //!
-//! The server installs onto any executor through the unified
-//! [`Executor`] API (`rt.install(SwsService::new(..))`) and serves load
-//! produced by any [`mely_net::driver::Driver`] (normally
-//! `mely_loadgen::ClosedLoopLoad` with [`HttpProtocol`]).
+//! Two implementations share this module:
+//!
+//! - [`SwsService`] — the canonical server, written as a typed stage
+//!   pipeline (`mely_core::stage`): colors come from the pipeline's
+//!   collision-checked allocator, every response closes a request of
+//!   the per-request latency pipeline, and
+//!   `rt.install(SwsService::new(..))` runs it on either executor;
+//! - [`Sws`] — the same nine handlers on the raw [`Event`] API (the
+//!   low-level layer), kept because the N-copy comparator needs its
+//!   hand-built [`ColorPlane`]s, and as the reference for what the
+//!   typed layer abstracts away.
+//!
+//! Both serve load produced by any [`mely_net::driver::Driver`]
+//! (normally `mely_loadgen::ClosedLoopLoad` with [`HttpProtocol`]).
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use mely_core::color::Color;
+use mely_core::color::{Color, ColorSpace};
 use mely_core::event::Event;
 use mely_core::exec::{Executor, Service};
 use mely_core::handler::{HandlerId, HandlerSpec};
+use mely_core::stage::{PipelineBuilder, Stage, StageCtx, StageSpec};
 use mely_http::{parse_request, ParseOutcome, Request, Response, ResponseCache};
 use mely_loadgen::ClientProtocol;
 use mely_net::driver::Driver;
@@ -357,16 +368,358 @@ impl Sws {
     }
 }
 
-/// SWS as an installable [`Service`]: bundle the network, the driver
-/// and the configuration, then `rt.install(SwsService::new(..))` on
-/// either executor. After the run, [`SwsService::stats`] reads the
-/// server counters.
+/// State shared by the typed SWS stages ([`SwsService`]).
+struct SwsShared<D> {
+    state: Mutex<SwsState>,
+    net: Arc<Mutex<SimNet>>,
+    driver: Arc<Mutex<D>>,
+    cfg: SwsConfig,
+}
+
+/// The poll loop's self-message.
+struct PollTick;
+
+/// One bounded accept batch.
+struct AcceptTick;
+
+/// The paper's penalty for the event-loop stages: their colors carry
+/// global, long-lived state (interest set, accepted-clients counter);
+/// stealing them migrates that state for no benefit (Section III-C).
+const SWS_LOOP_PENALTY: u32 = 100;
+
+struct EpollStage<D>(Arc<SwsShared<D>>);
+struct AcceptStage<D>(Arc<SwsShared<D>>);
+struct RegisterFdStage<D>(Arc<SwsShared<D>>);
+struct ReadRequestStage<D>(Arc<SwsShared<D>>);
+struct ParseRequestStage<D>(Arc<SwsShared<D>>);
+struct GetFromCacheStage<D>(Arc<SwsShared<D>>);
+struct WriteResponseStage<D>(Arc<SwsShared<D>>);
+struct CloseStage<D>(Arc<SwsShared<D>>);
+struct DecAcceptedStage<D>(Arc<SwsShared<D>>);
+
+impl<D: Driver + 'static> Stage for EpollStage<D> {
+    type In = PollTick;
+
+    fn spec(&self) -> StageSpec<PollTick> {
+        StageSpec::new("Epoll")
+            .cost(self.0.cfg.costs.epoll)
+            .penalty(SWS_LOOP_PENALTY)
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, _msg: PollTick) {
+        let now = ctx.now();
+        let s = &self.0;
+        let mut net = s.net.lock();
+        let done = s.driver.lock().advance(&mut net, now);
+        let events = net.poll(now);
+        ctx.charge(s.cfg.costs.epoll_per_event * events.len() as u64);
+        {
+            let mut st = s.state.lock();
+            for e in events {
+                match e {
+                    NetEvent::Acceptable(_) => {
+                        if !st.accept_pending && st.accepted < s.cfg.max_clients {
+                            st.accept_pending = true;
+                            ctx.spawn::<AcceptStage<D>>(AcceptTick);
+                        }
+                    }
+                    NetEvent::Readable(fd) | NetEvent::PeerClosed(fd) => {
+                        if let Some(conn) = st.conns.get_mut(&fd) {
+                            if conn.registered && !conn.read_pending {
+                                conn.read_pending = true;
+                                // Each readiness notification opens a
+                                // new request: its latency runs from the
+                                // ReadRequest dispatch to the response.
+                                ctx.spawn::<ReadRequestStage<D>>(fd);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Re-arm: wake exactly when the network or the clients next
+        // have something for us.
+        let next = [net.next_activity(now), s.driver.lock().next_due(now)]
+            .into_iter()
+            .flatten()
+            .min();
+        drop(net);
+        match next {
+            Some(t) => {
+                ctx.to_after::<EpollStage<D>>(t.saturating_sub(now).max(s.cfg.min_poll), PollTick)
+            }
+            None if !done => ctx.to_after::<EpollStage<D>>(s.cfg.poll_interval, PollTick),
+            None => {
+                // Load finished and the network is silent: stop
+                // re-arming so the simulation can drain and return.
+            }
+        }
+    }
+}
+
+impl<D: Driver + 'static> Stage for AcceptStage<D> {
+    type In = AcceptTick;
+
+    fn spec(&self) -> StageSpec<AcceptTick> {
+        StageSpec::new("Accept")
+            .cost(self.0.cfg.costs.accept)
+            .penalty(SWS_LOOP_PENALTY)
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, _msg: AcceptTick) {
+        let s = &self.0;
+        let now = ctx.now();
+        let mut net = s.net.lock();
+        let mut st = s.state.lock();
+        // Accept a bounded batch per event (the accept-batching factor
+        // of Brecht et al., which the paper cites), then yield and
+        // re-register so one connection storm cannot monopolize the
+        // core.
+        let mut first = true;
+        let mut batch = 0;
+        while st.accepted < s.cfg.max_clients && batch < ACCEPT_BATCH {
+            let Some(fd) = net.accept(s.cfg.port, now) else {
+                break;
+            };
+            if !first {
+                ctx.charge(s.cfg.costs.accept);
+            }
+            first = false;
+            batch += 1;
+            st.accepted += 1;
+            st.stats.accepted += 1;
+            st.conns.insert(fd, ConnState::default());
+            ctx.to::<RegisterFdStage<D>>(fd);
+        }
+        if batch == ACCEPT_BATCH && st.accepted < s.cfg.max_clients {
+            // More connections may be pending: keep accepting.
+            ctx.to::<AcceptStage<D>>(AcceptTick);
+        } else {
+            st.accept_pending = false;
+        }
+    }
+}
+
+impl<D: Driver + 'static> Stage for RegisterFdStage<D> {
+    type In = Fd;
+
+    fn spec(&self) -> StageSpec<Fd> {
+        // Colored like Epoll "in order to manage concurrency" (paper).
+        StageSpec::new("RegisterFdInEpoll")
+            .cost(self.0.cfg.costs.register_fd)
+            .penalty(SWS_LOOP_PENALTY)
+            .share_color_with::<EpollStage<D>>()
+    }
+
+    fn handle(&self, _ctx: &mut StageCtx<'_, '_>, fd: Fd) {
+        let mut st = self.0.state.lock();
+        if let Some(conn) = st.conns.get_mut(&fd) {
+            conn.registered = true;
+        }
+    }
+}
+
+impl<D: Driver + 'static> Stage for ReadRequestStage<D> {
+    type In = Fd;
+
+    fn spec(&self) -> StageSpec<Fd> {
+        StageSpec::new("ReadRequest")
+            .cost(self.0.cfg.costs.read_request)
+            .penalty(self.0.cfg.conn_penalty)
+            .keyed(|&fd| fd)
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, fd: Fd) {
+        let s = &self.0;
+        let now = ctx.now();
+        let mut net = s.net.lock();
+        let data = net.read(fd, now);
+        // EOF only counts once all data has been consumed.
+        let hup = data.is_empty() && net.peer_closed(fd, now);
+        drop(net);
+        let mut st = s.state.lock();
+        let Some(conn) = st.conns.get_mut(&fd) else {
+            return;
+        };
+        conn.read_pending = false;
+        if hup {
+            ctx.to::<CloseStage<D>>(fd);
+            return;
+        }
+        if !data.is_empty() {
+            conn.buf.extend_from_slice(&data);
+            ctx.to::<ParseRequestStage<D>>(fd);
+        }
+    }
+}
+
+impl<D: Driver + 'static> Stage for ParseRequestStage<D> {
+    type In = Fd;
+
+    fn spec(&self) -> StageSpec<Fd> {
+        StageSpec::new("ParseRequest")
+            .cost(self.0.cfg.costs.parse_request)
+            .penalty(self.0.cfg.conn_penalty)
+            .keyed(|&fd| fd)
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, fd: Fd) {
+        let mut st = self.0.state.lock();
+        let Some(conn) = st.conns.get_mut(&fd) else {
+            return;
+        };
+        match parse_request(&conn.buf) {
+            ParseOutcome::Complete(req, n) => {
+                conn.buf.drain(..n);
+                conn.close_after = !req.keep_alive;
+                conn.cur = Some(req);
+                ctx.to::<GetFromCacheStage<D>>(fd);
+            }
+            ParseOutcome::Partial => {
+                // Wait for more bytes; Epoll will re-trigger a read.
+            }
+            ParseOutcome::Bad(_) => {
+                conn.resp = Some(Response::bad_request());
+                conn.close_after = true;
+                st.stats.bad_request += 1;
+                ctx.to::<WriteResponseStage<D>>(fd);
+            }
+        }
+    }
+}
+
+impl<D: Driver + 'static> Stage for GetFromCacheStage<D> {
+    type In = Fd;
+
+    fn spec(&self) -> StageSpec<Fd> {
+        StageSpec::new("GetFromCache")
+            .cost(self.0.cfg.costs.get_from_cache)
+            .keyed(|&fd| fd)
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, fd: Fd) {
+        let mut st = self.0.state.lock();
+        let Some(conn) = st.conns.get_mut(&fd) else {
+            return;
+        };
+        let Some(req) = conn.cur.take() else {
+            return;
+        };
+        let resp = match st.cache.lookup(&req.path) {
+            Some(r) => r.clone(),
+            None => Response::not_found(),
+        };
+        let conn = st.conns.get_mut(&fd).expect("checked above");
+        conn.resp = Some(resp);
+        ctx.to::<WriteResponseStage<D>>(fd);
+    }
+}
+
+impl<D: Driver + 'static> Stage for WriteResponseStage<D> {
+    type In = Fd;
+
+    fn spec(&self) -> StageSpec<Fd> {
+        StageSpec::new("WriteResponse")
+            .cost(self.0.cfg.costs.write_response)
+            .penalty(self.0.cfg.conn_penalty)
+            .keyed(|&fd| fd)
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, fd: Fd) {
+        let s = &self.0;
+        let now = ctx.now();
+        let mut st = s.state.lock();
+        let Some(conn) = st.conns.get_mut(&fd) else {
+            return;
+        };
+        let Some(resp) = conn.resp.take() else {
+            return;
+        };
+        ctx.charge(resp.wire_len() as u64 * s.cfg.costs.write_per_byte_milli / 1_000);
+        st.stats.responses += 1;
+        match resp.status() {
+            200 => st.stats.ok += 1,
+            404 => st.stats.not_found += 1,
+            _ => {} // 400s are counted at parse time
+        }
+        let conn = st.conns.get_mut(&fd).expect("checked above");
+        let close_after = conn.close_after;
+        let more = !conn.buf.is_empty();
+        drop(st);
+        s.net.lock().write(fd, now, resp.to_vec());
+        // The response left the server: the request is complete.
+        ctx.complete(());
+        if close_after {
+            ctx.to::<CloseStage<D>>(fd);
+        } else if more {
+            // Pipelined request already buffered: a new request begins
+            // at its parse.
+            ctx.spawn::<ParseRequestStage<D>>(fd);
+        }
+    }
+}
+
+impl<D: Driver + 'static> Stage for CloseStage<D> {
+    type In = Fd;
+
+    fn spec(&self) -> StageSpec<Fd> {
+        StageSpec::new("Close")
+            .cost(self.0.cfg.costs.close)
+            .keyed(|&fd| fd)
+    }
+
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, fd: Fd) {
+        let s = &self.0;
+        let now = ctx.now();
+        let mut net = s.net.lock();
+        net.close(fd, now);
+        net.reap(fd);
+        drop(net);
+        let mut st = s.state.lock();
+        if st.conns.remove(&fd).is_some() {
+            st.stats.closed += 1;
+            ctx.to::<DecAcceptedStage<D>>(());
+        }
+    }
+}
+
+impl<D: Driver + 'static> Stage for DecAcceptedStage<D> {
+    type In = ();
+
+    fn spec(&self) -> StageSpec<()> {
+        // Colored like Accept "to manage concurrency" (paper).
+        StageSpec::new("DecClientAccepted")
+            .cost(self.0.cfg.costs.dec_accepted)
+            .penalty(SWS_LOOP_PENALTY)
+            .share_color_with::<AcceptStage<D>>()
+    }
+
+    fn handle(&self, _ctx: &mut StageCtx<'_, '_>, _msg: ()) {
+        let mut st = self.0.state.lock();
+        st.accepted = st.accepted.saturating_sub(1);
+    }
+}
+
+/// SWS as a typed stage [`Pipeline`](mely_core::stage::Pipeline):
+/// bundle the network, the driver and the configuration, then
+/// `rt.install(SwsService::new(..))` on either executor. After the run,
+/// [`SwsService::stats`] reads the server counters, and the report's
+/// `completed_requests` / `latency_p50` / `latency_p99` cover every
+/// response served (one request per readiness-to-response chain).
+///
+/// The nine stages and their coloring follow the paper exactly —
+/// `Epoll` + `RegisterFdInEpoll` share a serial color, `Accept` +
+/// `DecClientAccepted` another, the per-request stages are keyed by
+/// descriptor — but the colors themselves come from the pipeline's
+/// collision-checked allocator, not hand-picked constants. The raw
+/// event-API implementation survives as [`Sws`] (the low-level layer;
+/// the N-copy comparator builds its color planes on it).
 pub struct SwsService<D> {
     net: Arc<Mutex<SimNet>>,
     driver: Arc<Mutex<D>>,
     cfg: SwsConfig,
-    colors: ColorPlane,
-    installed: Option<Sws>,
+    colors: Option<ColorSpace>,
+    installed: Option<Arc<SwsShared<D>>>,
 }
 
 impl<D: Driver + 'static> SwsService<D> {
@@ -376,24 +729,26 @@ impl<D: Driver + 'static> SwsService<D> {
             net,
             driver,
             cfg,
-            colors: ColorPlane::single(),
+            colors: None,
             installed: None,
         }
     }
 
-    /// Overrides the color plane (N-copy deployments).
-    pub fn with_colors(mut self, colors: ColorPlane) -> Self {
-        self.colors = colors;
+    /// Replaces the pipeline's color allocator (default
+    /// [`ColorSpace::for_stages`]). Co-installing several stage
+    /// services on one executor? Give each an allocator whose
+    /// [`ColorSpace::reserve_range`] blocks out the others' territory,
+    /// so no two services' serial stages can silently share a color:
+    ///
+    /// ```ignore
+    /// let mut sws_colors = ColorSpace::for_stages();
+    /// sws_colors.reserve_range(ColorRange::new(0x100, 0x1FF)); // SFS's
+    /// let mut sfs_colors = ColorSpace::for_stages();
+    /// sfs_colors.reserve_range(ColorRange::new(0x001, 0x0FF)); // SWS's
+    /// ```
+    pub fn with_colors(mut self, colors: ColorSpace) -> Self {
+        self.colors = Some(colors);
         self
-    }
-
-    /// The installed server handle.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the service has not been installed yet.
-    pub fn server(&self) -> &Sws {
-        self.installed.as_ref().expect("service not installed")
     }
 
     /// Current server-side counters.
@@ -402,7 +757,12 @@ impl<D: Driver + 'static> SwsService<D> {
     ///
     /// Panics if the service has not been installed yet.
     pub fn stats(&self) -> SwsStats {
-        self.server().stats()
+        self.installed
+            .as_ref()
+            .expect("service not installed")
+            .state
+            .lock()
+            .stats
     }
 }
 
@@ -412,14 +772,39 @@ impl<D: Driver + 'static> Service for SwsService<D> {
     }
 
     fn install(&mut self, exec: &mut dyn Executor) {
-        let sws = Sws::install_with_colors(
-            exec,
-            Arc::clone(&self.net),
-            Arc::clone(&self.driver),
-            self.cfg.clone(),
-            self.colors,
-        );
-        self.installed = Some(sws);
+        let mut cache = ResponseCache::new();
+        cache.populate_uniform(self.cfg.files, self.cfg.file_size);
+        self.net.lock().listen(self.cfg.port);
+        let shared = Arc::new(SwsShared {
+            state: Mutex::new(SwsState {
+                conns: HashMap::new(),
+                cache,
+                accepted: 0,
+                accept_pending: false,
+                stats: SwsStats::default(),
+            }),
+            net: Arc::clone(&self.net),
+            driver: Arc::clone(&self.driver),
+            cfg: self.cfg.clone(),
+        });
+        let mut builder = PipelineBuilder::new("sws");
+        if let Some(colors) = self.colors.take() {
+            builder = builder.with_colors(colors);
+        }
+        builder
+            .stage(EpollStage(Arc::clone(&shared)))
+            .stage(AcceptStage(Arc::clone(&shared)))
+            .stage(RegisterFdStage(Arc::clone(&shared)))
+            .stage(ReadRequestStage(Arc::clone(&shared)))
+            .stage(ParseRequestStage(Arc::clone(&shared)))
+            .stage(GetFromCacheStage(Arc::clone(&shared)))
+            .stage(WriteResponseStage(Arc::clone(&shared)))
+            .stage(CloseStage(Arc::clone(&shared)))
+            .stage(DecAcceptedStage(Arc::clone(&shared)))
+            .seed::<EpollStage<D>>(PollTick)
+            .build()
+            .install(exec);
+        self.installed = Some(shared);
     }
 }
 
@@ -886,6 +1271,90 @@ mod tests {
         let mut two = full.to_vec();
         two.extend_from_slice(b"HTTP");
         assert_eq!(p.response_len(&two), Some(full.len()));
+    }
+
+    #[test]
+    fn stage_service_serves_requests_and_reports_latency() {
+        let mut rt = RuntimeBuilder::new()
+            .cores(8)
+            .flavor(Flavor::Mely)
+            .workstealing(WsPolicy::improved())
+            .build(ExecKind::Sim);
+        let net = Arc::new(Mutex::new(SimNet::new(mely_net::NetConfig::default())));
+        let cfg = SwsConfig::default();
+        let load = ClosedLoopLoad::new(
+            HttpProtocol::new(cfg.files),
+            LoadConfig {
+                clients: 16,
+                ports: vec![cfg.port],
+                requests_per_conn: 10,
+                duration: 30_000_000,
+                ..LoadConfig::default()
+            },
+        );
+        let driver = Arc::new(Mutex::new(load));
+        let svc = rt.install(SwsService::new(net, Arc::clone(&driver), cfg));
+        let report = rt.run();
+        let srv = svc.stats();
+        assert!(srv.responses > 20, "served {}", srv.responses);
+        assert_eq!(srv.responses, srv.ok, "all 200s");
+        // Every response closed one request of the latency pipeline.
+        assert_eq!(report.completed_requests(), srv.responses);
+        assert!(report.latency_p50() > 0, "multi-hop requests take time");
+        assert!(report.latency_p50() <= report.latency_p99());
+        let d = driver.lock();
+        assert!(d.protocol().ok_responses() > 0);
+        assert_eq!(d.protocol().error_responses(), 0);
+    }
+
+    #[test]
+    fn stage_service_is_deterministic_on_the_simulator() {
+        // The network-driven SWS is time-driven (poll loops, closed-loop
+        // clients), so event counts are not structural across executors —
+        // but on the deterministic simulator the STAGE port must serve
+        // every request the clients issue, identically run to run,
+        // including its request accounting.
+        let run_stage = || {
+            let mut rt = RuntimeBuilder::new()
+                .cores(8)
+                .flavor(Flavor::Mely)
+                .workstealing(WsPolicy::improved())
+                .build(ExecKind::Sim);
+            let net = Arc::new(Mutex::new(SimNet::new(mely_net::NetConfig::default())));
+            let cfg = SwsConfig::default();
+            let load = ClosedLoopLoad::new(
+                HttpProtocol::new(cfg.files),
+                LoadConfig {
+                    clients: 16,
+                    ports: vec![cfg.port],
+                    requests_per_conn: 10,
+                    duration: 20_000_000,
+                    ..LoadConfig::default()
+                },
+            );
+            let driver = Arc::new(Mutex::new(load));
+            let svc = rt.install(SwsService::new(net, driver, cfg));
+            let report = rt.run();
+            (
+                svc.stats().responses,
+                report.events_processed(),
+                report.completed_requests(),
+                report.latency_p99(),
+            )
+        };
+        let a = run_stage();
+        let b = run_stage();
+        assert!(a.0 > 0, "must actually serve requests");
+        assert_eq!(a, b, "deterministic replay of the stage pipeline");
+
+        // The raw low-level Sws, by contrast, never opens requests: the
+        // latency pipeline is a stage-layer feature.
+        let (_, _, report) = run_sws(Flavor::Mely, WsPolicy::improved(), 16, 20_000_000);
+        assert_eq!(
+            report.completed_requests(),
+            0,
+            "raw Sws records no requests"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use mely_repro::bench::PaperConfig;
 use mely_repro::core::prelude::*;
 use mely_repro::sfs::{FileServerConfig, FileServerService};
 
-fn run_service(kind: ExecKind) -> (u64, mely_repro::sfs::FileServerStats) {
+fn run_service(kind: ExecKind) -> (u64, mely_repro::sfs::FileServerStats, RunReport) {
     let mut rt = RuntimeBuilder::new()
         .cores(8)
         .flavor(Flavor::Mely)
@@ -32,7 +32,11 @@ fn run_service(kind: ExecKind) -> (u64, mely_repro::sfs::FileServerStats) {
     assert_eq!(report.events_processed(), svc.expected_events());
     assert_eq!(stats.corrupt, 0, "verification must never fail");
     assert_eq!(stats.verified, stats.reads);
-    (report.events_processed(), stats)
+    // The typed stage pipeline accounts one request per read, with
+    // end-to-end latency percentiles, on both executors.
+    assert_eq!(report.completed_requests(), svc.expected_requests());
+    assert!(report.latency_p50() <= report.latency_p99());
+    (report.events_processed(), stats, report)
 }
 
 fn main() {
@@ -43,22 +47,24 @@ fn main() {
 
     println!("One service, two executors (16 sessions x 32 encrypted 8 KB reads):\n");
     println!(
-        "{:<10} {:>10} {:>8} {:>10} {:>9}",
-        "executor", "events", "reads", "MB moved", "verified"
+        "{:<10} {:>10} {:>8} {:>10} {:>9} {:>14} {:>14}",
+        "executor", "events", "reads", "MB moved", "verified", "lat p50 ≤", "lat p99 ≤"
     );
     let mut counts = Vec::new();
     for kind in [ExecKind::Sim, ExecKind::Threaded] {
         if only.is_some_and(|k| k != kind) {
             continue;
         }
-        let (events, stats) = run_service(kind);
+        let (events, stats, report) = run_service(kind);
         println!(
-            "{:<10} {:>10} {:>8} {:>10.1} {:>9}",
+            "{:<10} {:>10} {:>8} {:>10.1} {:>9} {:>11} cy {:>11} cy",
             kind.to_string(),
             events,
             stats.reads,
             stats.bytes as f64 / 1e6,
-            stats.verified
+            stats.verified,
+            report.latency_p50(),
+            report.latency_p99()
         );
         counts.push(events);
     }

@@ -12,8 +12,8 @@ fn main() {
 
     println!("SWS: {clients} closed-loop clients requesting 1 KB files\n");
     println!(
-        "{:<22} {:>12} {:>10} {:>8}",
-        "configuration", "KReq/s", "steals", "200s"
+        "{:<22} {:>12} {:>10} {:>8} {:>14} {:>14}",
+        "configuration", "KReq/s", "steals", "200s", "lat p50 ≤", "lat p99 ≤"
     );
     for cfg in [
         PaperConfig::MelyImprovedWs,
@@ -21,12 +21,17 @@ fn main() {
         PaperConfig::LibasyncWs,
     ] {
         let r = sws_run(cfg, clients, duration);
+        // The stage-based SWS closes one latency-pipeline request per
+        // response it writes.
+        assert_eq!(r.report.completed_requests(), r.server.responses);
         println!(
-            "{:<22} {:>12.1} {:>10} {:>8}",
+            "{:<22} {:>12.1} {:>10} {:>8} {:>11} cy {:>11} cy",
             r.label,
             r.kreq_per_sec(),
             r.report.total().steals,
-            r.server.ok
+            r.server.ok,
+            r.report.latency_p50(),
+            r.report.latency_p99()
         );
     }
     let n = sws_ncopy_run(clients, duration);

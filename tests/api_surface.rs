@@ -16,7 +16,10 @@
 
 /// The snapshot: every name `mely_core::prelude` re-exports, sorted.
 const PRELUDE_EXPORTS: &[&str] = &[
+    "Collected",
     "Color",
+    "ColorRange",
+    "ColorSpace",
     "CoreMetrics",
     "CostParams",
     "Ctx",
@@ -29,13 +32,20 @@ const PRELUDE_EXPORTS: &[&str] = &[
     "HandlerSpec",
     "Injector",
     "KeepAlive",
+    "LatencyHistogram",
     "MachineModel",
+    "Pipeline",
+    "PipelineBuilder",
     "RunReport",
     "Runtime",
     "RuntimeBuilder",
     "RuntimeHandle",
     "Service",
     "SimRuntime",
+    "Stage",
+    "StageCtx",
+    "StageSender",
+    "StageSpec",
     "ThreadedRuntime",
     "WsPolicy",
 ];
@@ -46,7 +56,11 @@ const PRELUDE_EXPORTS: &[&str] = &[
 fn every_export_resolves() {
     use mely_repro::core::prelude as p;
     fn ty<T: ?Sized>() {}
+    fn tr<T: p::Stage>() {}
+    ty::<p::Collected<u64>>();
     ty::<p::Color>();
+    ty::<p::ColorRange>();
+    ty::<p::ColorSpace>();
     ty::<p::CoreMetrics>();
     ty::<p::CostParams>();
     ty::<p::Ctx<'_>>();
@@ -59,19 +73,38 @@ fn every_export_resolves() {
     ty::<p::HandlerSpec>();
     ty::<p::Injector>();
     ty::<p::KeepAlive>();
+    ty::<p::LatencyHistogram>();
     ty::<p::MachineModel>();
+    ty::<p::Pipeline>();
+    ty::<p::PipelineBuilder>();
     ty::<p::RunReport>();
     ty::<p::Runtime>();
     ty::<p::RuntimeBuilder>();
     ty::<p::RuntimeHandle>();
     ty::<dyn p::Service>();
     ty::<p::SimRuntime>();
+    ty::<p::StageCtx<'_, '_>>();
+    ty::<p::StageSender>();
+    ty::<p::StageSpec<u64>>();
     ty::<p::ThreadedRuntime>();
     ty::<p::WsPolicy>();
+    // `Stage` is a non-object-safe trait (associated types, Sized):
+    // resolve it through a bound instead of a `dyn` type.
+    struct Nop;
+    impl p::Stage for Nop {
+        type In = ();
+        fn spec(&self) -> p::StageSpec<()> {
+            p::StageSpec::new("nop")
+        }
+        fn handle(&self, _ctx: &mut p::StageCtx<'_, '_>, _msg: ()) {}
+    }
+    tr::<Nop>();
 }
 
 /// Extracts the names re-exported by the `pub mod prelude { .. }` block
-/// of mely-core's lib.rs.
+/// of mely-core's lib.rs. Statement-oriented (split on `;` with
+/// whitespace flattened), so rustfmt wrapping a long grouped import
+/// across lines does not hide its names.
 fn parse_prelude_exports(src: &str) -> Vec<String> {
     let start = src
         .find("pub mod prelude {")
@@ -79,12 +112,12 @@ fn parse_prelude_exports(src: &str) -> Vec<String> {
     let block = &src[start..];
     let end = block.find("\n}").expect("prelude block must close");
     let mut names = Vec::new();
-    for line in block[..end].lines() {
-        let line = line.trim();
-        let Some(rest) = line.strip_prefix("pub use ") else {
+    for stmt in block[..end].split(';') {
+        let flat = stmt.split_whitespace().collect::<Vec<_>>().join(" ");
+        let Some(pos) = flat.find("pub use ") else {
             continue;
         };
-        let rest = rest.trim_end_matches(';');
+        let rest = &flat[pos + "pub use ".len()..];
         // `path::to::{A, B}` or `path::to::Name`.
         if let Some(brace) = rest.find('{') {
             let inner = rest[brace + 1..].trim_end_matches('}');
@@ -120,7 +153,12 @@ fn prelude_surface_matches_the_snapshot() {
 }
 
 #[test]
-fn parser_handles_grouped_and_single_imports() {
+fn parser_handles_grouped_single_and_wrapped_imports() {
     let src = "pub mod prelude {\n    pub use a::b::{Z, Y};\n    pub use c::X;\n}\n";
     assert_eq!(parse_prelude_exports(src), vec!["X", "Y", "Z"]);
+    // rustfmt wraps long grouped imports across lines; the names must
+    // still be seen.
+    let wrapped =
+        "pub mod prelude {\n    pub use a::b::{\n        Q, P,\n    };\n    pub use c::X;\n}\n";
+    assert_eq!(parse_prelude_exports(wrapped), vec!["P", "Q", "X"]);
 }

@@ -11,7 +11,12 @@
 //!   structural counts on both sides;
 //! - **per-color exclusion** — no color is ever in flight on two cores
 //!   on either executor (trivial on the single-threaded sim, a real
-//!   guarantee under threads + stealing).
+//!   guarantee under threads + stealing);
+//! - **structural request accounting** — the typed stage pipeline's
+//!   `completed_requests` and latency percentiles are populated
+//!   identically on both executors (the Cascade service runs as a
+//!   three-stage typed pipeline; the raw-`Event` `ExclusionProbe`
+//!   stays on the low-level API on purpose, covering both layers).
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -38,17 +43,76 @@ fn run_on<S: Service>(
     (svc, report)
 }
 
-/// A fork/join cascade with a structural event count: `seeds` seed
-/// events each fork `width` children, and every child chains one leaf —
-/// `seeds * (1 + 2 * width)` events total, on any executor.
+/// A fork/join cascade with a structural event count, expressed as a
+/// typed three-stage pipeline: `seeds` seed messages each fork `width`
+/// children, and every child chains one leaf — `seeds * (1 + 2 *
+/// width)` events total, on any executor. Every seed is pinned to core
+/// 0 so workstealing has an imbalance to fix; each child chain is one
+/// request of the latency pipeline, completed at the leaf.
 struct Cascade {
     seeds: u16,
     width: u16,
 }
 
+/// Fork stage message: which seed this is.
+struct SeedMsg {
+    s: u16,
+}
+
+/// Child/leaf message: the chain's id (colors derive from it).
+#[derive(Clone, Copy)]
+struct ChainMsg {
+    id: u64,
+}
+
+struct ForkStage {
+    width: u16,
+}
+struct ChildStage;
+struct LeafStage;
+
+impl Stage for ForkStage {
+    type In = SeedMsg;
+    fn spec(&self) -> StageSpec<SeedMsg> {
+        StageSpec::new("fork").cost(5_000).keyed(|m| u64::from(m.s))
+    }
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: SeedMsg) {
+        for w in 0..self.width {
+            let id = u64::from(msg.s) * u64::from(self.width) + u64::from(w);
+            // Each child chain is its own request.
+            ctx.spawn::<ChildStage>(ChainMsg { id: 1_000 + id });
+        }
+    }
+}
+
+impl Stage for ChildStage {
+    type In = ChainMsg;
+    fn spec(&self) -> StageSpec<ChainMsg> {
+        StageSpec::new("child").cost(2_000).keyed(|m| m.id)
+    }
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: ChainMsg) {
+        // The leaf inherits the child's color, like the raw cascade.
+        ctx.to::<LeafStage>(msg);
+    }
+}
+
+impl Stage for LeafStage {
+    type In = ChainMsg;
+    fn spec(&self) -> StageSpec<ChainMsg> {
+        StageSpec::new("leaf").cost(1_000).inherit_color()
+    }
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, _msg: ChainMsg) {
+        ctx.complete(());
+    }
+}
+
 impl Cascade {
     fn expected_events(&self) -> u64 {
         u64::from(self.seeds) * (1 + 2 * u64::from(self.width))
+    }
+
+    fn expected_requests(&self) -> u64 {
+        u64::from(self.seeds) * u64::from(self.width)
     }
 }
 
@@ -58,20 +122,14 @@ impl Service for Cascade {
     }
 
     fn install(&mut self, exec: &mut dyn Executor) {
-        let width = self.width;
+        let mut b = PipelineBuilder::new("cascade")
+            .stage(ForkStage { width: self.width })
+            .stage(ChildStage)
+            .stage(LeafStage);
         for s in 0..self.seeds {
-            exec.register_pinned(
-                Event::new(Color::new(s + 1), 5_000).with_action(move |ctx| {
-                    for w in 0..width {
-                        let child_color = Color::new(1_000 + s * width + w);
-                        ctx.register(Event::new(child_color, 2_000).with_action(move |ctx| {
-                            ctx.register(Event::new(child_color, 1_000));
-                        }));
-                    }
-                }),
-                0,
-            );
+            b = b.seed_pinned::<ForkStage>(0, SeedMsg { s });
         }
+        b.build().install(exec);
     }
 }
 
@@ -145,12 +203,25 @@ fn cascade_processes_identical_event_counts_on_both_executors() {
                     width: 3,
                 };
                 let expected = svc.expected_events();
+                let expected_requests = svc.expected_requests();
                 let (_, report) = run_on(kind, 4, flavor, ws, svc);
                 assert_eq!(
                     report.events_processed(),
                     expected,
                     "{kind}/{flavor}/{ws}: lost or duplicated events"
                 );
+                // The typed pipeline's request accounting is structural
+                // too: one completion per child chain, on any executor.
+                assert_eq!(
+                    report.completed_requests(),
+                    expected_requests,
+                    "{kind}/{flavor}/{ws}: lost or duplicated requests"
+                );
+                assert!(
+                    report.latency_p50() > 0,
+                    "{kind}/{flavor}/{ws}: two-hop chains take time"
+                );
+                assert!(report.latency_p50() <= report.latency_p99());
                 counts.push(report.events_processed());
             }
             assert_eq!(counts[0], counts[1], "{flavor}/{ws}: executors disagree");
@@ -190,6 +261,15 @@ fn file_server_service_runs_unmodified_on_both_executors() {
             cfg.sessions * cfg.requests_per_session,
             "{kind}: wrong read count"
         );
+        // The latency pipeline closes exactly one request per read on
+        // both executors, and its percentiles are ordered.
+        assert_eq!(
+            report.completed_requests(),
+            svc.expected_requests(),
+            "{kind}: request accounting disagrees with the reads"
+        );
+        assert!(report.latency_p50() > 0, "{kind}: four-hop reads take time");
+        assert!(report.latency_p50() <= report.latency_p99(), "{kind}");
         results.push((report.events_processed(), stats));
     }
     assert_eq!(

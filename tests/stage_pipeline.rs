@@ -1,0 +1,211 @@
+//! Property tests of the typed stage layer, cross-executor.
+//!
+//! A randomized pipeline (key count, messages per key, core count,
+//! middle-stage coloring, workstealing policy) runs on BOTH executors,
+//! asserting the two guarantees the typed layer adds on top of the
+//! event substrate:
+//!
+//! - **typed delivery** — a message is never handled by a stage other
+//!   than the one it was emitted to (every message carries its intended
+//!   stage's tag, checked at delivery — a routing-table bug that
+//!   crossed wires between `TypeId`s would trip it);
+//! - **per-color FIFO** — messages emitted in sequence to one color are
+//!   handled in sequence, through queues, batching and steals (each
+//!   message carries a per-key sequence number; each stage checks
+//!   monotonicity per key).
+//!
+//! Request accounting rides along: every leaf completion is counted, so
+//! `completed_requests` must equal the structural message count and the
+//! latency percentiles must be ordered.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mely_repro::core::prelude::*;
+
+/// Stage tags carried by every message (typed-delivery check).
+const TAG_MID: u8 = 1;
+const TAG_TAIL: u8 = 2;
+
+#[derive(Clone, Copy)]
+struct Msg {
+    key: u64,
+    seq: u64,
+    tag: u8,
+}
+
+/// Shared assertion state: per-key next-expected sequence per stage,
+/// plus violation counters (panicking inside worker threads would just
+/// poison the executor; counters keep failures attributable).
+struct Checks {
+    mid_next: Vec<AtomicU64>,
+    tail_next: Vec<AtomicU64>,
+    fifo_violations: AtomicU64,
+    tag_violations: AtomicU64,
+    delivered_mid: AtomicU64,
+    delivered_tail: AtomicU64,
+}
+
+impl Checks {
+    fn new(keys: usize) -> Self {
+        Checks {
+            mid_next: std::iter::repeat_with(|| AtomicU64::new(0))
+                .take(keys)
+                .collect(),
+            tail_next: std::iter::repeat_with(|| AtomicU64::new(0))
+                .take(keys)
+                .collect(),
+            fifo_violations: AtomicU64::new(0),
+            tag_violations: AtomicU64::new(0),
+            delivered_mid: AtomicU64::new(0),
+            delivered_tail: AtomicU64::new(0),
+        }
+    }
+
+    fn check(&self, slot: &[AtomicU64], msg: &Msg, want_tag: u8) {
+        if msg.tag != want_tag {
+            self.tag_violations.fetch_add(1, Ordering::SeqCst);
+        }
+        // Exactly-in-order delivery per key: compare-and-bump.
+        if slot[msg.key as usize]
+            .compare_exchange(msg.seq, msg.seq + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            self.fifo_violations.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Seeds the whole workload: emits `msgs` sequenced messages per key.
+struct Root {
+    keys: u64,
+    msgs: u64,
+}
+
+/// The randomized middle stage (keyed or serial).
+struct Mid {
+    checks: Arc<Checks>,
+    serial: bool,
+}
+
+/// The terminal stage (inherits the middle stage's color).
+struct Tail {
+    checks: Arc<Checks>,
+}
+
+impl Stage for Root {
+    type In = ();
+    fn spec(&self) -> StageSpec<()> {
+        StageSpec::new("root").cost(500)
+    }
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, _msg: ()) {
+        for key in 0..self.keys {
+            for seq in 0..self.msgs {
+                ctx.to::<Mid>(Msg {
+                    key,
+                    seq,
+                    tag: TAG_MID,
+                });
+            }
+        }
+    }
+}
+
+impl Stage for Mid {
+    type In = Msg;
+    fn spec(&self) -> StageSpec<Msg> {
+        let spec = StageSpec::new("mid").cost(800);
+        if self.serial {
+            spec
+        } else {
+            spec.keyed(|m| m.key)
+        }
+    }
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: Msg) {
+        self.checks.check(&self.checks.mid_next, &msg, TAG_MID);
+        self.checks.delivered_mid.fetch_add(1, Ordering::SeqCst);
+        ctx.to::<Tail>(Msg {
+            tag: TAG_TAIL,
+            ..msg
+        });
+    }
+}
+
+impl Stage for Tail {
+    type In = Msg;
+    fn spec(&self) -> StageSpec<Msg> {
+        StageSpec::new("tail").cost(300).inherit_color()
+    }
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: Msg) {
+        self.checks.check(&self.checks.tail_next, &msg, TAG_TAIL);
+        self.checks.delivered_tail.fetch_add(1, Ordering::SeqCst);
+        ctx.complete(());
+    }
+}
+
+fn ws_of(idx: u8) -> WsPolicy {
+    match idx % 3 {
+        0 => WsPolicy::off(),
+        1 => WsPolicy::base(),
+        _ => WsPolicy::improved(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The randomized pipeline delivers every message to the right
+    /// stage, in per-key order, on both executors, with exact request
+    /// accounting.
+    #[test]
+    fn typed_pipeline_preserves_fifo_and_stage_typing(
+        keys in 1u64..6,
+        msgs in 1u64..12,
+        cores in 1usize..4,
+        serial_mid in any::<bool>(),
+        ws_idx in 0u8..3,
+    ) {
+        for kind in [ExecKind::Sim, ExecKind::Threaded] {
+            let checks = Arc::new(Checks::new(keys as usize));
+            let mut rt = RuntimeBuilder::new()
+                .cores(cores)
+                .flavor(Flavor::Mely)
+                .workstealing(ws_of(ws_idx))
+                .build(kind);
+            rt.install(
+                PipelineBuilder::new("prop")
+                    .stage(Root { keys, msgs })
+                    .stage(Mid {
+                        checks: Arc::clone(&checks),
+                        serial: serial_mid,
+                    })
+                    .stage(Tail {
+                        checks: Arc::clone(&checks),
+                    })
+                    // Pinned to core 0: maximal initial imbalance, so
+                    // the threaded arm actually steals.
+                    .seed_pinned::<Root>(0, ())
+                    .build(),
+            );
+            let report = rt.run();
+            let total = keys * msgs;
+            prop_assert!(
+                checks.tag_violations.load(Ordering::SeqCst) == 0,
+                "{}: message delivered to the wrong stage type",
+                kind
+            );
+            prop_assert!(
+                checks.fifo_violations.load(Ordering::SeqCst) == 0,
+                "{}: per-color FIFO violated",
+                kind
+            );
+            prop_assert_eq!(checks.delivered_mid.load(Ordering::SeqCst), total);
+            prop_assert_eq!(checks.delivered_tail.load(Ordering::SeqCst), total);
+            prop_assert_eq!(report.events_processed(), 1 + 2 * total);
+            prop_assert_eq!(report.completed_requests(), total);
+            prop_assert!(report.latency_p50() <= report.latency_p99());
+        }
+    }
+}
