@@ -13,9 +13,13 @@
 //!
 //! Exit status is nonzero when any baseline benchmark regressed by more
 //! than the threshold, disappeared from the current run, or a
-//! `--min-speedup` / `--max-ratio` check failed (`--min-speedup a,b,f`
-//! asserts `a ≥ f × b`; `--max-ratio a,b,f` asserts `a ≤ f × b` — the
-//! overhead gate, e.g. `stage/typed_chain,stage/raw_chain,1.10`).
+//! `--min-speedup` / `--max-ratio` / `--min-goodput-ratio` check failed
+//! (`--min-speedup a,b,f` asserts `a ≥ f × b`; `--max-ratio a,b,f`
+//! asserts `a ≤ f × b` — the overhead gate, e.g.
+//! `stage/typed_chain,stage/raw_chain,1.10`; `--min-goodput-ratio
+//! a,b,f` asserts `a ≥ f × b` over higher-is-better rates — the
+//! overload gate, e.g.
+//! `overload/goodput_4x,overload/goodput_1x,0.9`).
 //! `--update-baseline <path>` rewrites the baseline from the current
 //! run instead of gating (the documented local workflow for refreshing
 //! `benches/baseline.json`).
@@ -139,6 +143,17 @@ struct RatioCheck {
     factor: f64,
 }
 
+/// One `--min-goodput-ratio a,b,factor` assertion: `a` must be at least
+/// `factor ×` `b`, where both ids are higher-is-better rates (the
+/// overload gate, e.g. goodput at 4x offered load ≥ 0.9× goodput at
+/// 1x). The math matches `--min-speedup`, but the ids are rates, not
+/// times — a separate flag so the CI line reads in the right units.
+struct GoodputCheck {
+    high: String,
+    base: String,
+    factor: f64,
+}
+
 /// Compares `current` to `baseline`; returns human-readable failures.
 fn gate(
     current: &Summary,
@@ -146,6 +161,7 @@ fn gate(
     max_regress_pct: f64,
     speedups: &[SpeedupCheck],
     ratios: &[RatioCheck],
+    goodputs: &[GoodputCheck],
 ) -> Vec<String> {
     let mut failures = Vec::new();
     for (id, &base_ns) in baseline {
@@ -178,6 +194,22 @@ fn gate(
             ));
         }
     }
+    for c in goodputs {
+        let (Some(&high), Some(&base)) = (current.get(&c.high), current.get(&c.base)) else {
+            failures.push(format!(
+                "goodput {} / {}: one of the ids was not measured",
+                c.high, c.base
+            ));
+            continue;
+        };
+        let ratio = high / base.max(1e-12);
+        if ratio < c.factor {
+            failures.push(format!(
+                "goodput {} / {}: {ratio:.3}x < required {:.3}x",
+                c.high, c.base, c.factor
+            ));
+        }
+    }
     for c in ratios {
         let (Some(&numer), Some(&denom)) = (current.get(&c.numer), current.get(&c.denom)) else {
             failures.push(format!(
@@ -201,7 +233,8 @@ fn usage() -> String {
     "usage: bench_gate --raw <jsonl>... [--out <summary.json>] \
      [--baseline <summary.json>] [--max-regress-pct <pct>] \
      [--min-speedup slow_id,fast_id,factor]... \
-     [--max-ratio id,base_id,factor]... [--update-baseline <path>]"
+     [--max-ratio id,base_id,factor]... \
+     [--min-goodput-ratio id,base_id,factor]... [--update-baseline <path>]"
         .to_string()
 }
 
@@ -213,6 +246,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
     let mut max_regress_pct = 25.0;
     let mut speedups = Vec::new();
     let mut ratios = Vec::new();
+    let mut goodputs = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| {
@@ -242,6 +276,22 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
                     factor: parts[2]
                         .parse()
                         .map_err(|_| format!("bad factor in --min-speedup {v}"))?,
+                });
+            }
+            "--min-goodput-ratio" => {
+                let v = val("--min-goodput-ratio")?;
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 3 {
+                    return Err(format!(
+                        "--min-goodput-ratio wants id,base_id,factor; got {v}"
+                    ));
+                }
+                goodputs.push(GoodputCheck {
+                    high: parts[0].to_string(),
+                    base: parts[1].to_string(),
+                    factor: parts[2]
+                        .parse()
+                        .map_err(|_| format!("bad factor in --min-goodput-ratio {v}"))?,
                 });
             }
             "--max-ratio" => {
@@ -301,14 +351,22 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
         for id in current.keys().filter(|id| !base.contains_key(*id)) {
             println!("note: {id} is new (not in baseline)");
         }
-        failures = gate(&current, &base, max_regress_pct, &speedups, &ratios);
-    } else if !speedups.is_empty() || !ratios.is_empty() {
+        failures = gate(
+            &current,
+            &base,
+            max_regress_pct,
+            &speedups,
+            &ratios,
+            &goodputs,
+        );
+    } else if !speedups.is_empty() || !ratios.is_empty() || !goodputs.is_empty() {
         failures = gate(
             &current,
             &Summary::new(),
             max_regress_pct,
             &speedups,
             &ratios,
+            &goodputs,
         );
     }
     Ok(failures)
@@ -375,14 +433,14 @@ mod tests {
     fn gate_passes_within_threshold_and_on_improvement() {
         let base = summary(&[("a", 100.0), ("b", 100.0)]);
         let cur = summary(&[("a", 124.0), ("b", 10.0), ("new", 1.0)]);
-        assert!(gate(&cur, &base, 25.0, &[], &[]).is_empty());
+        assert!(gate(&cur, &base, 25.0, &[], &[], &[]).is_empty());
     }
 
     #[test]
     fn gate_fails_on_regression_and_missing() {
         let base = summary(&[("a", 100.0), ("gone", 50.0)]);
         let cur = summary(&[("a", 130.0)]);
-        let failures = gate(&cur, &base, 25.0, &[], &[]);
+        let failures = gate(&cur, &base, 25.0, &[], &[], &[]);
         assert_eq!(failures.len(), 2);
         assert!(failures.iter().any(|f| f.contains("a:")));
         assert!(failures.iter().any(|f| f.contains("gone")));
@@ -396,13 +454,13 @@ mod tests {
             fast: "fast".into(),
             factor: 2.0,
         };
-        assert!(gate(&cur, &Summary::new(), 25.0, &[ok], &[]).is_empty());
+        assert!(gate(&cur, &Summary::new(), 25.0, &[ok], &[], &[]).is_empty());
         let too_much = SpeedupCheck {
             slow: "slow".into(),
             fast: "fast".into(),
             factor: 4.0,
         };
-        let failures = gate(&cur, &Summary::new(), 25.0, &[too_much], &[]);
+        let failures = gate(&cur, &Summary::new(), 25.0, &[too_much], &[], &[]);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("3.00x < required 4.00x"));
     }
@@ -415,13 +473,13 @@ mod tests {
             denom: "raw".into(),
             factor: 1.10,
         };
-        assert!(gate(&cur, &Summary::new(), 25.0, &[], &[ok]).is_empty());
+        assert!(gate(&cur, &Summary::new(), 25.0, &[], &[ok], &[]).is_empty());
         let tight = RatioCheck {
             numer: "typed".into(),
             denom: "raw".into(),
             factor: 1.05,
         };
-        let failures = gate(&cur, &Summary::new(), 25.0, &[], &[tight]);
+        let failures = gate(&cur, &Summary::new(), 25.0, &[], &[tight], &[]);
         assert_eq!(failures.len(), 1);
         assert!(
             failures[0].contains("1.080x > allowed 1.050x"),
@@ -432,7 +490,44 @@ mod tests {
             denom: "absent".into(),
             factor: 2.0,
         };
-        let failures = gate(&cur, &Summary::new(), 25.0, &[], &[missing]);
+        let failures = gate(&cur, &Summary::new(), 25.0, &[], &[missing], &[]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("not measured"));
+    }
+
+    #[test]
+    fn gate_checks_goodput_ratios() {
+        let cur = summary(&[
+            ("overload/goodput_4x", 95_000.0),
+            ("overload/goodput_1x", 100_000.0),
+        ]);
+        let ok = GoodputCheck {
+            high: "overload/goodput_4x".into(),
+            base: "overload/goodput_1x".into(),
+            factor: 0.9,
+        };
+        assert!(gate(&cur, &Summary::new(), 25.0, &[], &[], &[ok]).is_empty());
+        let collapse = summary(&[
+            ("overload/goodput_4x", 40_000.0),
+            ("overload/goodput_1x", 100_000.0),
+        ]);
+        let tight = GoodputCheck {
+            high: "overload/goodput_4x".into(),
+            base: "overload/goodput_1x".into(),
+            factor: 0.9,
+        };
+        let failures = gate(&collapse, &Summary::new(), 25.0, &[], &[], &[tight]);
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("0.400x < required 0.900x"),
+            "{failures:?}"
+        );
+        let missing = GoodputCheck {
+            high: "overload/goodput_4x".into(),
+            base: "absent".into(),
+            factor: 0.9,
+        };
+        let failures = gate(&cur, &Summary::new(), 25.0, &[], &[], &[missing]);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("not measured"));
     }

@@ -1,0 +1,572 @@
+//! Admission control: bounded queues, backpressure, and shed-by-color.
+//!
+//! Every queue in the runtime is unbounded by default — the lock-free
+//! injection inboxes, the per-core color-queues, and the simulator's
+//! run-loop mailbox all grow without limit, so a producer that outruns
+//! the cores can blow memory while tail latency collapses. This module
+//! adds the overload-engineering layer: configurable occupancy limits
+//! ([`QueueLimits`]), a fallible admission API
+//! ([`crate::exec::Injector::try_inject`] returning [`Overload`]), and a
+//! pluggable [`AdmissionPolicy`] deciding what the *infallible* injection
+//! path does when a limit is hit.
+//!
+//! # Where limits are enforced
+//!
+//! Admission is checked exactly at the external-producer boundary — the
+//! lock-free inbox push on the threaded executor and the mailbox enqueue
+//! on the simulator — and **never mid-pipeline**. Events registered by a
+//! running handler ([`crate::ctx::Ctx::register`], the stage layer's
+//! forwarding) always enter their queue, so an in-flight request chain
+//! completes once its seeding event was admitted. Because the stage
+//! layer submits exactly one seeding event per request through the
+//! injector, a shed always drops a *whole request at its boundary* —
+//! never a half-processed one. That is shed-by-color: under heavy-tailed
+//! key popularity the per-color limit rejects new requests for the hot
+//! color while other colors keep flowing.
+//!
+//! # The three limits
+//!
+//! | limit | occupancy it bounds | reject reason |
+//! |---|---|---|
+//! | `per_core_events` | events resident on the owning core (queue + undrained inbox) | [`OverloadReason::PerCoreFull`] |
+//! | `per_color_events` | injector-admitted events of the color not yet executed | [`OverloadReason::ColorHot`] |
+//! | `inbox_backlog` | events pushed to the owning core's inbox (threaded) or the run-loop mailbox (sim) and not yet drained | [`OverloadReason::InboxBacklog`] |
+//!
+//! Checks are evaluated in the order `per_core_events`, `inbox_backlog`,
+//! `per_color_events`; the first limit hit names the
+//! [`OverloadReason`]. On the simulator the per-core occupancy is the
+//! queue length the run loop last published (exact between iterations;
+//! an approximation while the loop is mid-step) and the owning core is
+//! the color's home core (exact unless workstealing moved the color).
+//!
+//! # Accounting
+//!
+//! Every rejected admission attempt increments
+//! `CoreMetrics::admission_rejects`. An event *dropped* by the
+//! [`AdmissionPolicy::Shed`] policy additionally counts in
+//! `CoreMetrics::shed_requests` (and `shed_by_color` when the reason was
+//! [`OverloadReason::ColorHot`]). [`crate::metrics::RunReport::goodput`]
+//! is the completed-request count;
+//! [`crate::metrics::RunReport::offered_requests`] adds the sheds back,
+//! so `goodput / offered` is the fraction of offered load that survived
+//! admission and completed.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::color::COLOR_SPACE;
+
+/// Occupancy limits enforced at the injection admission boundary.
+///
+/// The default is unbounded everywhere — a runtime built without
+/// explicit limits behaves exactly as before this module existed. Set
+/// limits through [`crate::runtime::RuntimeBuilder::queue_limits`]:
+///
+/// ```
+/// use mely_core::prelude::*;
+///
+/// let rt = RuntimeBuilder::new()
+///     .cores(2)
+///     .queue_limits(QueueLimits::default().per_color_events(64).inbox_backlog(4_096))
+///     .admission(AdmissionPolicy::Shed)
+///     .build(ExecKind::Threaded);
+/// let injector = rt.injector();
+/// assert!(injector.try_inject(Event::new(Color::new(1), 0)).is_ok());
+/// # drop(rt);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct QueueLimits {
+    /// Max events resident on one core (its queue plus its undrained
+    /// inbox backlog); `None` = unbounded.
+    pub per_core_events: Option<u32>,
+    /// Max injector-admitted, not-yet-executed events per color; `None`
+    /// = unbounded. Mid-pipeline registrations are never counted against
+    /// this limit (they cannot be rejected), only events entering
+    /// through an injector.
+    pub per_color_events: Option<u32>,
+    /// Max events buffered in the admission inbox — the owning core's
+    /// lock-free inbox (threaded) or the run-loop mailbox (sim); `None`
+    /// = unbounded.
+    pub inbox_backlog: Option<u32>,
+}
+
+impl QueueLimits {
+    /// No limits anywhere (the default).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-core resident-event limit.
+    #[must_use]
+    pub fn per_core_events(mut self, n: u32) -> Self {
+        self.per_core_events = Some(n);
+        self
+    }
+
+    /// Sets the per-color in-flight limit.
+    #[must_use]
+    pub fn per_color_events(mut self, n: u32) -> Self {
+        self.per_color_events = Some(n);
+        self
+    }
+
+    /// Sets the admission-inbox backlog limit.
+    #[must_use]
+    pub fn inbox_backlog(mut self, n: u32) -> Self {
+        self.inbox_backlog = Some(n);
+        self
+    }
+
+    /// Whether no limit is set (admission checks compile down to one
+    /// branch on the hot path).
+    pub fn is_unbounded(&self) -> bool {
+        self.per_core_events.is_none()
+            && self.per_color_events.is_none()
+            && self.inbox_backlog.is_none()
+    }
+}
+
+impl fmt::Display for QueueLimits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unbounded() {
+            return f.write_str("unbounded");
+        }
+        let part = |v: Option<u32>| match v {
+            Some(n) => n.to_string(),
+            None => "unbounded".to_string(),
+        };
+        write!(
+            f,
+            "per_core={}, per_color={}, inbox={}",
+            part(self.per_core_events),
+            part(self.per_color_events),
+            part(self.inbox_backlog)
+        )
+    }
+}
+
+/// What the *infallible* injection path ([`crate::exec::Injector::inject`])
+/// does when admission fails. The fallible path
+/// ([`crate::exec::Injector::try_inject`]) never consults the policy — it
+/// always returns the [`Overload`] immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AdmissionPolicy {
+    /// Wait (spinning with yields) until the event is admitted — classic
+    /// producer backpressure. The default: with unbounded limits it
+    /// never engages, so pre-existing behavior is unchanged.
+    #[default]
+    Block,
+    /// Drop the event and count it in `shed_requests` /
+    /// `admission_rejects` (and `shed_by_color` for
+    /// [`OverloadReason::ColorHot`]). Load-shedding for open-loop
+    /// producers that must never stall.
+    Shed,
+    /// Wait like [`AdmissionPolicy::Block`], but pace the retries by the
+    /// rejection's `retry_after_hint` instead of re-checking as fast as
+    /// possible.
+    RetryAfter,
+}
+
+impl fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AdmissionPolicy::Block => "block",
+            AdmissionPolicy::Shed => "shed",
+            AdmissionPolicy::RetryAfter => "retry-after",
+        })
+    }
+}
+
+/// Which limit rejected an admission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverloadReason {
+    /// The owning core's resident-event limit
+    /// ([`QueueLimits::per_core_events`]) is reached.
+    PerCoreFull,
+    /// The color's in-flight limit ([`QueueLimits::per_color_events`])
+    /// is reached — the signature signal of a heavy-tailed workload's
+    /// hot key.
+    ColorHot,
+    /// The admission inbox ([`QueueLimits::inbox_backlog`]) is full —
+    /// or, on the simulator, the run loop has been stopped and will
+    /// never drain its mailbox again.
+    InboxBacklog,
+}
+
+impl fmt::Display for OverloadReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OverloadReason::PerCoreFull => "per-core queue full",
+            OverloadReason::ColorHot => "color hot",
+            OverloadReason::InboxBacklog => "inbox backlog",
+        })
+    }
+}
+
+/// A rejected admission attempt: why, and a pacing hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Overload {
+    /// The first limit the attempt hit (checks run in the order
+    /// per-core, inbox, per-color).
+    pub reason: OverloadReason,
+    /// Rough cycles until the congested queue may have drained enough to
+    /// retry: the observed backlog times a nominal per-event dispatch
+    /// cost. A pacing hint for [`AdmissionPolicy::RetryAfter`]-style
+    /// producers, not a guarantee.
+    pub retry_after_hint: u64,
+}
+
+impl fmt::Display for Overload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "overload: {} (retry after ~{} cycles)",
+            self.reason, self.retry_after_hint
+        )
+    }
+}
+
+impl std::error::Error for Overload {}
+
+/// Receipt for a successful fallible admission
+/// ([`crate::exec::Injector::try_inject`]). Currently carries no data;
+/// it exists so the `Result` is self-describing and the type can grow
+/// fields (admitted core, queue depth) without changing signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub struct Admitted;
+
+impl fmt::Display for Admitted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("admitted")
+    }
+}
+
+/// Nominal per-event drain cost used to scale `retry_after_hint` from an
+/// observed backlog (a dispatch is a couple hundred cycles on the
+/// paper's testbed).
+const RETRY_HINT_PER_EVENT_CYCLES: u64 = 200;
+
+/// Shared admission state of one runtime: the configured limits and
+/// policy, the per-color in-flight occupancy (allocated only when a
+/// per-color limit is set), and the producer-side reject/shed counters
+/// attributed into the [`crate::metrics::RunReport`] after a run.
+pub(crate) struct AdmissionCtl {
+    pub(crate) limits: QueueLimits,
+    pub(crate) policy: AdmissionPolicy,
+    /// Injector-admitted, not-yet-executed events per color. `None`
+    /// unless `limits.per_color_events` is set, so unbounded runtimes
+    /// pay neither the 256 KiB allocation nor the counter maintenance.
+    per_color: Option<Box<[AtomicU32]>>,
+    pub(crate) rejects: AtomicU64,
+    pub(crate) shed_requests: AtomicU64,
+    pub(crate) shed_by_color: AtomicU64,
+}
+
+impl AdmissionCtl {
+    pub(crate) fn new(limits: QueueLimits, policy: AdmissionPolicy) -> Self {
+        let per_color = limits.per_color_events.map(|_| {
+            let mut v = Vec::with_capacity(COLOR_SPACE);
+            v.resize_with(COLOR_SPACE, || AtomicU32::new(0));
+            v.into_boxed_slice()
+        });
+        AdmissionCtl {
+            limits,
+            policy,
+            per_color,
+            rejects: AtomicU64::new(0),
+            shed_requests: AtomicU64::new(0),
+            shed_by_color: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn unbounded() -> Self {
+        Self::new(QueueLimits::default(), AdmissionPolicy::default())
+    }
+
+    /// Fast-path predicate: no limit configured, admission always
+    /// succeeds.
+    #[inline]
+    pub(crate) fn is_unbounded(&self) -> bool {
+        self.per_color.is_none()
+            && self.limits.per_core_events.is_none()
+            && self.limits.inbox_backlog.is_none()
+    }
+
+    /// Claims one in-flight slot for `slot`'s color if the per-color cap
+    /// allows it. Exact under concurrent producers: the increment is the
+    /// reservation, rolled back when it overshoots, so occupancy never
+    /// exceeds `cap` and repeated rejected attempts do not creep it up.
+    pub(crate) fn try_claim_color(&self, slot: usize, cap: u32) -> bool {
+        let Some(pc) = &self.per_color else {
+            return true;
+        };
+        let prev = pc[slot].fetch_add(1, Ordering::AcqRel);
+        if prev >= cap {
+            pc[slot].fetch_sub(1, Ordering::AcqRel);
+            return false;
+        }
+        true
+    }
+
+    /// Releases a slot claimed by [`AdmissionCtl::try_claim_color`] —
+    /// called when the admitted event executes.
+    pub(crate) fn release_color(&self, slot: usize) {
+        if let Some(pc) = &self.per_color {
+            pc[slot].fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Current in-flight occupancy of a color (0 when no per-color limit
+    /// is configured).
+    #[cfg(test)]
+    pub(crate) fn color_occupancy(&self, slot: usize) -> u32 {
+        self.per_color
+            .as_ref()
+            .map_or(0, |pc| pc[slot].load(Ordering::Acquire))
+    }
+
+    /// Builds the [`Overload`] for a rejection, deriving the retry hint
+    /// from the observed backlog.
+    pub(crate) fn overload(&self, reason: OverloadReason, backlog: u64) -> Overload {
+        Overload {
+            reason,
+            retry_after_hint: backlog.saturating_mul(RETRY_HINT_PER_EVENT_CYCLES),
+        }
+    }
+
+    /// Counts one rejected admission attempt.
+    pub(crate) fn note_reject(&self) {
+        self.rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one event dropped by the shed path.
+    pub(crate) fn note_shed(&self, reason: OverloadReason) {
+        self.shed_requests.fetch_add(1, Ordering::Relaxed);
+        if reason == OverloadReason::ColorHot {
+            self.shed_by_color.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl fmt::Debug for AdmissionCtl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdmissionCtl")
+            .field("limits", &self.limits)
+            .field("policy", &self.policy)
+            .field("rejects", &self.rejects.load(Ordering::Relaxed))
+            .field("shed_requests", &self.shed_requests.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Color;
+    use crate::event::Event;
+    use crate::exec::{ExecKind, Executor};
+    use crate::runtime::RuntimeBuilder;
+
+    #[test]
+    fn defaults_are_unbounded_and_block() {
+        let l = QueueLimits::default();
+        assert!(l.is_unbounded());
+        assert_eq!(l, QueueLimits::unbounded());
+        assert_eq!(AdmissionPolicy::default(), AdmissionPolicy::Block);
+        assert_eq!(l.to_string(), "unbounded");
+    }
+
+    #[test]
+    fn display_names_each_limit() {
+        let l = QueueLimits::default().per_color_events(64).inbox_backlog(9);
+        assert!(!l.is_unbounded());
+        assert_eq!(l.to_string(), "per_core=unbounded, per_color=64, inbox=9");
+        assert_eq!(AdmissionPolicy::Shed.to_string(), "shed");
+        assert_eq!(AdmissionPolicy::RetryAfter.to_string(), "retry-after");
+        assert_eq!(OverloadReason::ColorHot.to_string(), "color hot");
+        let ov = Overload {
+            reason: OverloadReason::PerCoreFull,
+            retry_after_hint: 400,
+        };
+        assert!(ov.to_string().contains("per-core queue full"));
+        assert!(ov.to_string().contains("400"));
+        assert_eq!(Admitted.to_string(), "admitted");
+    }
+
+    #[test]
+    fn config_types_hash_and_copy() {
+        // The derive conventions the builder API relies on.
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(QueueLimits::default());
+        set.insert(QueueLimits::default().per_core_events(1));
+        assert_eq!(set.len(), 2);
+        let p = AdmissionPolicy::Shed;
+        let q = p; // Copy
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn claim_rolls_back_on_overshoot() {
+        let ctl = AdmissionCtl::new(
+            QueueLimits::default().per_color_events(2),
+            AdmissionPolicy::Shed,
+        );
+        assert!(ctl.try_claim_color(7, 2));
+        assert!(ctl.try_claim_color(7, 2));
+        // Saturating: rejected attempts leave the occupancy untouched.
+        for _ in 0..10 {
+            assert!(!ctl.try_claim_color(7, 2));
+            assert_eq!(ctl.color_occupancy(7), 2);
+        }
+        ctl.release_color(7);
+        assert!(ctl.try_claim_color(7, 2));
+    }
+
+    #[test]
+    fn retry_hint_scales_with_backlog() {
+        let ctl = AdmissionCtl::unbounded();
+        let small = ctl.overload(OverloadReason::InboxBacklog, 2);
+        let large = ctl.overload(OverloadReason::InboxBacklog, 2_000);
+        assert!(small.retry_after_hint < large.retry_after_hint);
+        assert_eq!(small.reason, OverloadReason::InboxBacklog);
+    }
+
+    /// Reason selection at the per-color boundary on the threaded
+    /// executor: one-below admits, full rejects with `ColorHot`, and the
+    /// rejection saturates (repeats do not corrupt the occupancy).
+    #[test]
+    fn threaded_color_boundary_full_one_below_saturating() {
+        let rt = RuntimeBuilder::new()
+            .cores(1)
+            .queue_limits(QueueLimits::default().per_color_events(2))
+            .build(ExecKind::Threaded);
+        let inj = rt.injector();
+        // One below the cap: admitted.
+        assert!(inj.try_inject(Event::new(Color::new(3), 0)).is_ok());
+        assert!(inj.try_inject(Event::new(Color::new(3), 0)).is_ok());
+        // Full: rejected with the color reason; other colors still flow.
+        for _ in 0..5 {
+            let err = inj
+                .try_inject(Event::new(Color::new(3), 0))
+                .expect_err("cap reached");
+            assert_eq!(err.reason, OverloadReason::ColorHot);
+        }
+        assert!(inj.try_inject(Event::new(Color::new(4), 0)).is_ok());
+        // Draining the admitted events releases the occupancy.
+        let mut rt = rt.into_threaded();
+        assert_eq!(rt.run().events_processed(), 3);
+        let inj = rt.handle();
+        assert!(inj.try_inject(Event::new(Color::new(3), 0)).is_ok());
+    }
+
+    #[test]
+    fn threaded_per_core_boundary_reports_per_core_full() {
+        let rt = RuntimeBuilder::new()
+            .cores(1)
+            .queue_limits(QueueLimits::default().per_core_events(3))
+            .build(ExecKind::Threaded);
+        let inj = rt.injector();
+        for i in 0..3u16 {
+            assert!(inj.try_inject(Event::new(Color::new(i + 1), 0)).is_ok());
+        }
+        let err = inj
+            .try_inject(Event::new(Color::new(9), 0))
+            .expect_err("core full");
+        assert_eq!(err.reason, OverloadReason::PerCoreFull);
+        assert!(err.retry_after_hint > 0);
+    }
+
+    #[test]
+    fn threaded_inbox_boundary_reports_backlog() {
+        let rt = RuntimeBuilder::new()
+            .cores(1)
+            .queue_limits(QueueLimits::default().inbox_backlog(2))
+            .build(ExecKind::Threaded);
+        let inj = rt.injector();
+        assert!(inj.try_inject(Event::new(Color::new(1), 0)).is_ok());
+        assert!(inj.try_inject(Event::new(Color::new(2), 0)).is_ok());
+        let err = inj
+            .try_inject(Event::new(Color::new(3), 0))
+            .expect_err("inbox full");
+        assert_eq!(err.reason, OverloadReason::InboxBacklog);
+    }
+
+    #[test]
+    fn sim_color_and_backlog_boundaries() {
+        let rt = RuntimeBuilder::new()
+            .cores(1)
+            .queue_limits(QueueLimits::default().per_color_events(1))
+            .build(ExecKind::Sim);
+        let inj = rt.injector();
+        assert!(inj.try_inject(Event::new(Color::new(5), 10)).is_ok());
+        let err = inj
+            .try_inject(Event::new(Color::new(5), 10))
+            .expect_err("color cap");
+        assert_eq!(err.reason, OverloadReason::ColorHot);
+        assert!(inj.try_inject(Event::new(Color::new(6), 10)).is_ok());
+        let mut rt = rt.into_sim();
+        assert_eq!(rt.run().events_processed(), 2);
+        // Execution released the color slot.
+        assert!(rt
+            .injector()
+            .try_inject(Event::new(Color::new(5), 10))
+            .is_ok());
+
+        let rt = RuntimeBuilder::new()
+            .cores(1)
+            .queue_limits(QueueLimits::default().inbox_backlog(2))
+            .build(ExecKind::Sim);
+        let inj = rt.injector();
+        assert!(inj.try_inject(Event::new(Color::new(1), 0)).is_ok());
+        assert!(inj.try_inject(Event::new(Color::new(2), 0)).is_ok());
+        let err = inj
+            .try_inject(Event::new(Color::new(3), 0))
+            .expect_err("mailbox full");
+        assert_eq!(err.reason, OverloadReason::InboxBacklog);
+    }
+
+    /// The SimMailbox footgun fix: enqueueing into a stopped simulator
+    /// no longer buffers forever — it rejects and counts.
+    #[test]
+    fn stopped_sim_rejects_instead_of_buffering() {
+        let mut rt = RuntimeBuilder::new().cores(1).build(ExecKind::Sim);
+        let inj = rt.injector();
+        inj.stop();
+        let err = inj
+            .try_inject(Event::new(Color::new(1), 0))
+            .expect_err("stopped");
+        assert_eq!(err.reason, OverloadReason::InboxBacklog);
+        // The infallible path drops (even under the default Block
+        // policy: blocking on a stopped run loop would deadlock).
+        inj.inject(Event::new(Color::new(2), 0));
+        assert_eq!(inj.outstanding(), 0, "nothing buffered while stopped");
+        let r = rt.run(); // consumes the stop, executes nothing
+        assert_eq!(r.events_processed(), 0);
+        assert!(r.admission_rejects() >= 2);
+        // After the stop is consumed, admission works again.
+        let inj = rt.injector();
+        assert!(inj.try_inject(Event::new(Color::new(3), 0)).is_ok());
+        assert_eq!(rt.run().events_processed(), 1);
+    }
+
+    #[test]
+    fn shed_policy_drops_and_counts_by_color() {
+        let mut rt = RuntimeBuilder::new()
+            .cores(1)
+            .queue_limits(QueueLimits::default().per_color_events(2))
+            .admission(AdmissionPolicy::Shed)
+            .build(ExecKind::Threaded);
+        let inj = rt.injector();
+        for _ in 0..10 {
+            inj.inject(Event::new(Color::new(7), 0));
+        }
+        let r = rt.run();
+        assert_eq!(r.events_processed(), 2, "cap admits two");
+        assert_eq!(r.shed_requests(), 8);
+        assert_eq!(r.total().shed_by_color, 8);
+        assert_eq!(r.admission_rejects(), 8);
+        assert_eq!(r.offered_requests(), r.goodput() + 8);
+    }
+}

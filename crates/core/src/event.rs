@@ -50,6 +50,9 @@ pub struct Event {
     /// Simulation: the earliest virtual time at which the event can
     /// execute (its registration completion time).
     pub(crate) visible_at: u64,
+    /// Whether admission control claimed a per-color in-flight slot for
+    /// this event; the executor releases the slot when it executes.
+    pub(crate) color_counted: bool,
 }
 
 impl Event {
@@ -66,6 +69,7 @@ impl Event {
             name: "",
             seq: 0,
             visible_at: 0,
+            color_counted: false,
         }
     }
 

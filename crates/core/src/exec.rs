@@ -30,16 +30,15 @@
 //!
 //! # Injection semantics (the unified naming)
 //!
-//! Exactly three ways events enter a running executor from outside, with
-//! one canonical name each (the former `register`/`register_direct`/
-//! `register_after` trio on [`RuntimeHandle`] survives as deprecated
-//! aliases):
-//!
-//! | method | semantics |
-//! |---|---|
-//! | [`Injector::inject`] | enqueue to the color's owning core through its lock-free inbox (threaded) or the run-loop mailbox (sim). The default path: producers never contend on a dispatch lock. |
-//! | [`Injector::inject_locked`] | enqueue by taking the owning core's dispatch spinlock (threaded). The pre-inbox path, kept for measuring what the inbox buys; on the simulator it is identical to `inject`. |
-//! | [`Injector::inject_after`] | enqueue after a delay in cycles (virtual cycles under sim, cycle-counter cycles under threads). |
+//! The injection surface is the admission boundary of the runtime's
+//! overload control ([`crate::admission`]): the infallible paths resolve
+//! queue-limit hits through the configured
+//! [`AdmissionPolicy`], the fallible `try_` twins
+//! return the [`Overload`] to the caller. The full
+//! four-way table (plus twins) lives on [`Injector`]; the former
+//! `register`/`register_direct`/`register_after` trio on
+//! [`RuntimeHandle`] survives as deprecated aliases of the infallible
+//! paths.
 //!
 //! # Examples
 //!
@@ -70,11 +69,12 @@
 
 use std::fmt;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::admission::{AdmissionCtl, AdmissionPolicy, Admitted, Overload, OverloadReason};
 use crate::dataset::DataSetRef;
 use crate::event::Event;
 use crate::handler::{HandlerId, HandlerSpec};
@@ -255,17 +255,21 @@ pub(crate) struct SimMailbox {
     /// absorption — the same contract as the threaded executor's
     /// outstanding-event count.
     idle: AtomicBool,
+    /// Queue limits, admission policy, per-color occupancy and the
+    /// reject/shed counters (see [`crate::admission`]).
+    pub(crate) admission: AdmissionCtl,
+    /// Simulated core count (for the per-core admission check's home-core
+    /// dispatch estimate).
+    num_cores: usize,
+    /// Per-core queue lengths as last published by the run loop; empty
+    /// unless a per-core limit is configured. An approximation for
+    /// producers: exact between run-loop iterations, stale mid-step.
+    core_occupancy: Box<[AtomicU32]>,
 }
 
 impl Default for SimMailbox {
     fn default() -> Self {
-        SimMailbox {
-            queue: Mutex::new(Vec::new()),
-            buffered: AtomicU64::new(0),
-            keepalive: AtomicU64::new(0),
-            stop: AtomicBool::new(false),
-            idle: AtomicBool::new(true),
-        }
+        SimMailbox::new(AdmissionCtl::unbounded(), 1)
     }
 }
 
@@ -274,12 +278,152 @@ pub(crate) enum MailboxEntry {
     After(u64, Event),
 }
 
+impl MailboxEntry {
+    fn event(&self) -> &Event {
+        match self {
+            MailboxEntry::Now(ev) | MailboxEntry::After(_, ev) => ev,
+        }
+    }
+
+    fn event_mut(&mut self) -> &mut Event {
+        match self {
+            MailboxEntry::Now(ev) | MailboxEntry::After(_, ev) => ev,
+        }
+    }
+}
+
 impl SimMailbox {
-    fn push(&self, entry: MailboxEntry) {
+    pub(crate) fn new(admission: AdmissionCtl, num_cores: usize) -> Self {
+        let tracked = if admission.limits.per_core_events.is_some() {
+            num_cores
+        } else {
+            0
+        };
+        let mut occ = Vec::with_capacity(tracked);
+        occ.resize_with(tracked, || AtomicU32::new(0));
+        SimMailbox {
+            queue: Mutex::new(Vec::new()),
+            buffered: AtomicU64::new(0),
+            keepalive: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            idle: AtomicBool::new(true),
+            admission,
+            num_cores,
+            core_occupancy: occ.into_boxed_slice(),
+        }
+    }
+
+    fn push_raw(&self, entry: MailboxEntry) {
         // Count before publishing so `outstanding` never under-reports
         // (the symmetric discipline to the threaded inbox's counter).
         self.buffered.fetch_add(1, Ordering::AcqRel);
         self.queue.lock().push(entry);
+    }
+
+    /// Enqueue without limit checks (the `inject_locked` /
+    /// `inject_after` paths). One check still applies: a stopped run
+    /// loop never drains its mailbox, so buffering into it would leak
+    /// the event forever — the historical footgun. Such pushes are
+    /// dropped and counted as a reject plus a shed instead.
+    fn push_unchecked(&self, entry: MailboxEntry) {
+        if self.stop_requested() {
+            self.admission.note_reject();
+            self.admission.note_shed(OverloadReason::InboxBacklog);
+            return;
+        }
+        self.push_raw(entry);
+    }
+
+    /// The fallible admission path into the mailbox: checks the stop
+    /// flag and the configured limits, claiming the per-color slot last.
+    /// Returns the entry on rejection so policy loops can retry it.
+    /// Does not count the reject — the caller owns attempt accounting.
+    fn try_push(&self, mut entry: MailboxEntry) -> Result<Admitted, (Overload, MailboxEntry)> {
+        if self.stop_requested() {
+            // The run loop will never drain again: unconditional reject
+            // (reason InboxBacklog — the backlog can only grow).
+            let ov = self.admission.overload(
+                OverloadReason::InboxBacklog,
+                self.buffered.load(Ordering::Acquire),
+            );
+            return Err((ov, entry));
+        }
+        if self.admission.is_unbounded() {
+            self.push_raw(entry);
+            return Ok(Admitted);
+        }
+        let lim = self.admission.limits;
+        let color = entry.event().color();
+        if let Some(cap) = lim.per_core_events {
+            // Dispatch estimate: the color's home core (exact unless
+            // workstealing moved the color), occupancy as last published
+            // by the run loop.
+            let home = color.home_core(self.num_cores);
+            let occ = self.core_occupancy[home].load(Ordering::Acquire);
+            if occ >= cap {
+                return Err((
+                    self.admission
+                        .overload(OverloadReason::PerCoreFull, u64::from(occ)),
+                    entry,
+                ));
+            }
+        }
+        if let Some(cap) = lim.inbox_backlog {
+            let occ = self.buffered.load(Ordering::Acquire);
+            if occ >= u64::from(cap) {
+                return Err((
+                    self.admission.overload(OverloadReason::InboxBacklog, occ),
+                    entry,
+                ));
+            }
+        }
+        if let Some(cap) = lim.per_color_events {
+            if !self.admission.try_claim_color(color.value() as usize, cap) {
+                return Err((
+                    self.admission
+                        .overload(OverloadReason::ColorHot, u64::from(cap)),
+                    entry,
+                ));
+            }
+            entry.event_mut().color_counted = true;
+        }
+        self.push_raw(entry);
+        Ok(Admitted)
+    }
+
+    /// The infallible admission path: resolves a limit hit per `policy`
+    /// — shed (drop + count) or wait for the run loop to drain, escaping
+    /// by shedding if the simulation is stopped while the producer
+    /// waits. (The `retry_after_hint` is in *virtual* cycles, which a
+    /// real-time producer thread cannot sleep on; both waiting policies
+    /// therefore yield between attempts here.)
+    pub(crate) fn push_with_policy(&self, mut entry: MailboxEntry, policy: AdmissionPolicy) {
+        let mut first_reject = true;
+        loop {
+            entry = match self.try_push(entry) {
+                Ok(_) => return,
+                Err((ov, back)) => {
+                    if first_reject {
+                        self.admission.note_reject();
+                        first_reject = false;
+                    }
+                    if policy == AdmissionPolicy::Shed || self.stop_requested() {
+                        self.admission.note_shed(ov.reason);
+                        return;
+                    }
+                    std::thread::yield_now();
+                    back
+                }
+            };
+        }
+    }
+
+    /// Publishes one core's queue length for the per-core admission
+    /// check (no-op unless a per-core limit is configured).
+    pub(crate) fn publish_core_occupancy(&self, core: usize, len: u32) {
+        if let Some(slot) = self.core_occupancy.get(core) {
+            slot.store(len, Ordering::Release);
+        }
     }
 
     /// Takes the whole backlog. Called by the sim run loop.
@@ -330,15 +474,37 @@ enum InjectorInner {
 /// Obtained from [`Executor::injector`]; also constructible from a
 /// [`RuntimeHandle`] via `From`, so pre-existing threaded code can hand
 /// its handle to the trait-based bridges unchanged.
+///
+/// # The injection surface
+///
+/// The injector is the *admission boundary* of the runtime's overload
+/// control ([`crate::admission`]). Four ways in, each with one job:
+///
+/// | method | admission | semantics |
+/// |---|---|---|
+/// | [`Injector::inject`] | infallible — a limit hit is resolved by the [`AdmissionPolicy`] (block / shed / pace) | enqueue to the color's owning core through its lock-free inbox (threaded) or the run-loop mailbox (sim). The default fire-and-forget path: producers never contend on a dispatch lock. |
+/// | [`Injector::try_inject`] | fallible — returns `Err(`[`Overload`]`)` naming the limit hit; the event is dropped | same enqueue; the caller owns the overload response (retry, degrade, reject upstream). |
+/// | [`Injector::inject_locked`] | none — bypasses queue limits entirely | enqueue by taking the owning core's dispatch spinlock (threaded). The pre-inbox legacy path, kept for measuring what the inbox buys; identical routing to `inject` on the simulator. |
+/// | [`Injector::inject_after`] | none — timers are scheduled work, not offered load | enqueue after a delay in cycles (virtual under sim, cycle-counter under threads). |
+///
+/// [`Injector::try_inject_after`] is the fallible twin of
+/// `inject_after`: its admission check runs at *registration* time
+/// against current occupancy, and an admitted event holds its per-color
+/// slot across the delay. On a stopped simulator every path rejects
+/// (and the infallible ones drop + count) instead of buffering forever.
 #[derive(Clone)]
 pub struct Injector {
     inner: InjectorInner,
+    /// Per-injector override of the runtime's [`AdmissionPolicy`]
+    /// (`None` = use the runtime default).
+    policy: Option<AdmissionPolicy>,
 }
 
 impl Injector {
     pub(crate) fn for_sim(mailbox: Arc<SimMailbox>) -> Self {
         Injector {
             inner: InjectorInner::Sim(mailbox),
+            policy: None,
         }
     }
 
@@ -350,34 +516,96 @@ impl Injector {
         }
     }
 
+    /// Returns an injector whose *infallible* paths resolve limit hits
+    /// with `policy` instead of the runtime default — admission is
+    /// selectable per producer (e.g. a shedding ingress next to a
+    /// blocking batch loader on one runtime). Clones inherit the
+    /// override.
+    #[must_use]
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// The [`AdmissionPolicy`] override this injector carries, if any
+    /// (set by [`Injector::with_admission`]).
+    pub fn admission_override(&self) -> Option<AdmissionPolicy> {
+        self.policy
+    }
+
     /// Registers an event through the owning core's lock-free injection
     /// inbox (threaded) or the run-loop mailbox (sim) — the producer
-    /// never contends on a dispatch lock. The canonical injection path.
+    /// never contends on a dispatch lock. The canonical *infallible*
+    /// injection path: with bounded queues, a limit hit is resolved by
+    /// the effective [`AdmissionPolicy`] rather than reported (see the
+    /// table on [`Injector`]).
     pub fn inject(&self, ev: Event) {
         match &self.inner {
-            InjectorInner::Sim(m) => m.push(MailboxEntry::Now(ev)),
-            InjectorInner::Threaded(h) => h.inject(ev),
+            InjectorInner::Sim(m) => m.push_with_policy(
+                MailboxEntry::Now(ev),
+                self.policy.unwrap_or(m.admission.policy),
+            ),
+            InjectorInner::Threaded(h) => match self.policy {
+                None => h.inject(ev),
+                Some(p) => h.inject_with_policy(ev, p),
+            },
+        }
+    }
+
+    /// The fallible admission path: admits `ev` or returns the
+    /// [`Overload`] naming the limit that rejected it (the event is
+    /// dropped). Never blocks and never consults the
+    /// [`AdmissionPolicy`]; each rejected call counts one
+    /// `admission_rejects`.
+    pub fn try_inject(&self, ev: Event) -> Result<Admitted, Overload> {
+        match &self.inner {
+            InjectorInner::Sim(m) => m.try_push(MailboxEntry::Now(ev)).map_err(|(ov, _entry)| {
+                m.admission.note_reject();
+                ov
+            }),
+            InjectorInner::Threaded(h) => h.try_inject(ev),
         }
     }
 
     /// Registers an event by taking the owning core's dispatch spinlock
     /// directly (threaded executor) — the pre-inbox injection path,
     /// kept so benchmarks can measure what the inbox buys. On the
-    /// simulator this is identical to [`Injector::inject`].
+    /// simulator this routes like [`Injector::inject`]. Not an
+    /// admission boundary: queue limits are bypassed (legacy semantics,
+    /// unchanged by the overload redesign).
     pub fn inject_locked(&self, ev: Event) {
         match &self.inner {
-            InjectorInner::Sim(m) => m.push(MailboxEntry::Now(ev)),
+            InjectorInner::Sim(m) => m.push_unchecked(MailboxEntry::Now(ev)),
             InjectorInner::Threaded(h) => h.inject_locked(ev),
         }
     }
 
     /// Registers an event to fire after `delay` cycles: virtual cycles
     /// under the simulator, calibrated cycle-counter cycles under the
-    /// threaded executor.
+    /// threaded executor. Infallible and unchecked — a timer firing is
+    /// scheduled work, not offered load; use
+    /// [`Injector::try_inject_after`] to subject delayed work to
+    /// admission control.
     pub fn inject_after(&self, delay: u64, ev: Event) {
         match &self.inner {
-            InjectorInner::Sim(m) => m.push(MailboxEntry::After(delay, ev)),
+            InjectorInner::Sim(m) => m.push_unchecked(MailboxEntry::After(delay, ev)),
             InjectorInner::Threaded(h) => h.inject_after(delay, ev),
+        }
+    }
+
+    /// The fallible twin of [`Injector::inject_after`]: the admission
+    /// check runs *now*, against current occupancy, and an admitted
+    /// event holds its per-color slot across the delay.
+    pub fn try_inject_after(&self, delay: u64, ev: Event) -> Result<Admitted, Overload> {
+        match &self.inner {
+            InjectorInner::Sim(m) => {
+                m.try_push(MailboxEntry::After(delay, ev))
+                    .map_err(|(ov, _entry)| {
+                        m.admission.note_reject();
+                        ov
+                    })
+            }
+            InjectorInner::Threaded(h) => h.try_inject_after(delay, ev),
         }
     }
 
@@ -443,6 +671,7 @@ impl From<RuntimeHandle> for Injector {
     fn from(handle: RuntimeHandle) -> Self {
         Injector {
             inner: InjectorInner::Threaded(handle),
+            policy: None,
         }
     }
 }

@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod color;
 pub mod cost;
 pub mod ctx;
@@ -73,6 +74,7 @@ pub mod threaded;
 
 /// Convenient re-exports of the types needed by typical users.
 pub mod prelude {
+    pub use crate::admission::{AdmissionPolicy, Admitted, Overload, OverloadReason, QueueLimits};
     pub use crate::color::{Color, ColorRange, ColorSpace};
     pub use crate::cost::CostParams;
     pub use crate::ctx::Ctx;

@@ -183,6 +183,17 @@ pub struct CoreMetrics {
     /// Requests completed on this core ([`crate::ctx::Ctx::complete_request`],
     /// reached through the stage layer's `StageCtx::complete`).
     pub completed_requests: u64,
+    /// Rejected admission attempts (`try_inject` errors, plus one per
+    /// infallible-inject event that failed its first attempt). Counted
+    /// on producer threads; attributed to core 0.
+    pub admission_rejects: u64,
+    /// Events dropped by the [`crate::admission::AdmissionPolicy::Shed`]
+    /// path (or dropped because the runtime stopped while a producer was
+    /// blocked). Attributed to core 0.
+    pub shed_requests: u64,
+    /// The subset of `shed_requests` rejected by the per-color limit
+    /// ([`crate::admission::OverloadReason::ColorHot`]).
+    pub shed_by_color: u64,
     /// Per-request latency samples completed on this core.
     pub latency: LatencyHistogram,
 }
@@ -211,6 +222,9 @@ impl CoreMetrics {
         self.inbox_node_reuse += o.inbox_node_reuse;
         self.queue_buf_reuse += o.queue_buf_reuse;
         self.completed_requests += o.completed_requests;
+        self.admission_rejects += o.admission_rejects;
+        self.shed_requests += o.shed_requests;
+        self.shed_by_color += o.shed_by_color;
         self.latency.merge(&o.latency);
     }
 }
@@ -374,6 +388,38 @@ impl RunReport {
         h
     }
 
+    /// Goodput: requests that made it through admission *and* completed
+    /// — the numerator of every overload-engineering plot. An alias of
+    /// [`RunReport::completed_requests`], named for the offered-load
+    /// accounting identity `offered = goodput + shed`.
+    pub fn goodput(&self) -> u64 {
+        self.completed_requests()
+    }
+
+    /// Offered load: completed requests plus the requests shed at
+    /// admission. `goodput() / offered_requests()` is the fraction of
+    /// offered load that survived overload control.
+    pub fn offered_requests(&self) -> u64 {
+        let t = self.total();
+        t.completed_requests + t.shed_requests
+    }
+
+    /// Events dropped at the admission boundary by the shed path.
+    pub fn shed_requests(&self) -> u64 {
+        self.total().shed_requests
+    }
+
+    /// Sheds caused specifically by a hot color's per-color limit.
+    pub fn shed_by_color(&self) -> u64 {
+        self.total().shed_by_color
+    }
+
+    /// Rejected admission attempts (fallible and infallible paths; see
+    /// [`CoreMetrics::admission_rejects`]).
+    pub fn admission_rejects(&self) -> u64 {
+        self.total().admission_rejects
+    }
+
     /// L2 misses per processed event (Tables V and VI). Returns 0.0 when
     /// nothing was processed.
     pub fn l2_misses_per_event(&self) -> f64 {
@@ -487,6 +533,28 @@ mod tests {
         assert_eq!(r.avg_inbox_drain_batch().unwrap(), 3.0);
         let quiet = RunReport::new(vec![m(1, 0)], 100, 1_000, WsPolicy::off());
         assert!(quiet.avg_inbox_drain_batch().is_none());
+    }
+
+    #[test]
+    fn overload_counters_merge_and_derive_goodput() {
+        let a = CoreMetrics {
+            completed_requests: 10,
+            shed_requests: 3,
+            shed_by_color: 2,
+            admission_rejects: 5,
+            ..Default::default()
+        };
+        let b = CoreMetrics {
+            completed_requests: 5,
+            ..Default::default()
+        };
+        let r = RunReport::new(vec![a, b], 100, 1_000, WsPolicy::off());
+        assert_eq!(r.goodput(), 15);
+        assert_eq!(r.goodput(), r.completed_requests());
+        assert_eq!(r.shed_requests(), 3);
+        assert_eq!(r.shed_by_color(), 2);
+        assert_eq!(r.admission_rejects(), 5);
+        assert_eq!(r.offered_requests(), r.goodput() + r.shed_requests());
     }
 
     #[test]

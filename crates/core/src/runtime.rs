@@ -4,6 +4,7 @@ use std::fmt;
 
 use mely_topology::{CacheLevel, MachineModel};
 
+use crate::admission::{AdmissionCtl, AdmissionPolicy, QueueLimits};
 use crate::cost::CostParams;
 use crate::exec::{ExecKind, Runtime};
 use crate::sim::{SimConfig, SimRuntime};
@@ -74,6 +75,8 @@ pub struct RuntimeBuilder {
     track_cache: bool,
     max_cycles: Option<u64>,
     initial_steal_estimate: u64,
+    queue_limits: QueueLimits,
+    admission: AdmissionPolicy,
 }
 
 impl Default for RuntimeBuilder {
@@ -96,6 +99,8 @@ impl RuntimeBuilder {
             track_cache: false,
             max_cycles: None,
             initial_steal_estimate: 2_000,
+            queue_limits: QueueLimits::default(),
+            admission: AdmissionPolicy::default(),
         }
     }
 
@@ -154,6 +159,25 @@ impl RuntimeBuilder {
     /// heuristic before the first monitored steal (default 2000).
     pub fn initial_steal_estimate(mut self, cycles: u64) -> Self {
         self.initial_steal_estimate = cycles;
+        self
+    }
+
+    /// Occupancy limits enforced at the injection admission boundary
+    /// (default [`QueueLimits::unbounded`], which leaves every existing
+    /// workload byte-identical). See [`crate::admission`].
+    pub fn queue_limits(mut self, limits: QueueLimits) -> Self {
+        self.queue_limits = limits;
+        self
+    }
+
+    /// What the infallible injection path does when a queue limit is hit
+    /// (default [`AdmissionPolicy::Block`]); the fallible
+    /// [`crate::exec::Injector::try_inject`] path ignores this and
+    /// returns the rejection to the caller. Individual injectors can
+    /// override it with
+    /// [`crate::exec::Injector::with_admission`].
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
         self
     }
 
@@ -216,6 +240,8 @@ impl RuntimeBuilder {
             track_cache: self.track_cache,
             max_cycles: self.max_cycles,
             initial_steal_estimate: self.initial_steal_estimate,
+            queue_limits: self.queue_limits,
+            admission: self.admission,
         })
     }
 
@@ -228,6 +254,7 @@ impl RuntimeBuilder {
             machine,
             self.batch_threshold,
             self.initial_steal_estimate,
+            AdmissionCtl::new(self.queue_limits, self.admission),
         )
     }
 
@@ -355,6 +382,30 @@ mod tests {
         let r = rt.run();
         injector.join().unwrap();
         assert_eq!(r.events_processed(), 5);
+
+        // The legacy trio is untouched by the admission redesign: on a
+        // runtime with bounded queues (generous caps, so nothing can
+        // shed) the old names still deliver every event.
+        use crate::admission::{AdmissionPolicy, QueueLimits};
+        let mut rt = RuntimeBuilder::new()
+            .cores(2)
+            .queue_limits(
+                QueueLimits::default()
+                    .per_color_events(64)
+                    .inbox_backlog(1_024),
+            )
+            .admission(AdmissionPolicy::Shed)
+            .build_threaded();
+        let handle = rt.handle();
+        let injector = std::thread::spawn(move || {
+            handle.register(Event::new(Color::new(7), 0));
+            handle.register_direct(Event::new(Color::new(8), 0));
+            handle.register_after(1_000, Event::new(Color::new(9), 0));
+        });
+        injector.join().unwrap();
+        let r = rt.run();
+        assert_eq!(r.events_processed(), 3);
+        assert_eq!(r.shed_requests(), 0);
     }
 
     #[test]

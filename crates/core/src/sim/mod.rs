@@ -39,6 +39,7 @@ use std::sync::Arc;
 
 use mely_cachesim::Hierarchy;
 
+use crate::admission::{AdmissionCtl, AdmissionPolicy, QueueLimits};
 use crate::color::{Color, COLOR_SPACE};
 use crate::cost::{CostParams, Ewma};
 use crate::ctx::{Ctx, CtxEffects};
@@ -74,6 +75,10 @@ pub struct SimConfig {
     pub max_cycles: Option<u64>,
     /// Initial steal-cost estimate before any steal was monitored.
     pub initial_steal_estimate: u64,
+    /// Admission-boundary queue limits (default: unbounded).
+    pub queue_limits: QueueLimits,
+    /// What infallible injection does when a limit is hit.
+    pub admission: AdmissionPolicy,
 }
 
 struct SimCore {
@@ -175,6 +180,10 @@ impl SimRuntime {
             .collect();
         let cache = cfg.track_cache.then(|| Hierarchy::new(&cfg.machine));
         let initial_est = cfg.initial_steal_estimate;
+        let mailbox = Arc::new(SimMailbox::new(
+            AdmissionCtl::new(cfg.queue_limits, cfg.admission),
+            cfg.cores,
+        ));
         let mut rt = SimRuntime {
             cfg,
             cores,
@@ -187,7 +196,7 @@ impl SimRuntime {
             next_seq: 0,
             stopped: false,
             attempt_wait: 0,
-            mailbox: Arc::new(SimMailbox::default()),
+            mailbox,
         };
         rt.cache = cache;
         rt.sync_steal_estimates();
@@ -269,6 +278,8 @@ impl SimRuntime {
         ev.visible_at = visible_at;
         self.cores[core].metrics.registered += 1;
         self.cores[core].queue.push(ev);
+        self.mailbox
+            .publish_core_occupancy(core, self.cores[core].queue.len() as u32);
         // The machine holds unexecuted work again (stop_when_idle
         // watches this through the mailbox).
         self.mailbox.set_machine_idle(false);
@@ -444,7 +455,14 @@ impl SimRuntime {
 
     /// Snapshot of the cumulative metrics.
     pub fn report(&self) -> RunReport {
+        use std::sync::atomic::Ordering::Relaxed;
         let mut per_core: Vec<CoreMetrics> = self.cores.iter().map(|c| c.metrics).collect();
+        // Admission counters are kept runtime-global (producers are not
+        // cores); attribute the cumulative totals to core 0's slot.
+        let adm = &self.mailbox.admission;
+        per_core[0].admission_rejects = adm.rejects.load(Relaxed);
+        per_core[0].shed_requests = adm.shed_requests.load(Relaxed);
+        per_core[0].shed_by_color = adm.shed_by_color.load(Relaxed);
         if let Some(cache) = &self.cache {
             for (i, m) in per_core.iter_mut().enumerate() {
                 m.l2_misses = cache.level_stats(i, 2).map_or(0, |s| s.misses);
@@ -488,6 +506,16 @@ impl SimRuntime {
         let Some(mut ev) = self.cores[c].queue.pop(self.cfg.batch_threshold) else {
             return;
         };
+        self.mailbox
+            .publish_core_occupancy(c, self.cores[c].queue.len() as u32);
+        if ev.color_counted {
+            // The admission boundary claimed a per-color in-flight slot
+            // for this event; dispatching it frees the slot.
+            self.mailbox
+                .admission
+                .release_color(ev.color().value() as usize);
+            ev.color_counted = false;
+        }
         let color = ev.color();
         let mut exec = costs.dispatch + ev.cost();
 

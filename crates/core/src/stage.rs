@@ -103,6 +103,7 @@ use std::sync::Arc;
 use fxhash::FxHashMap;
 use parking_lot::Mutex;
 
+use crate::admission::{Admitted, Overload};
 use crate::color::{Color, ColorRange, ColorSpace};
 use crate::ctx::Ctx;
 use crate::event::Event;
@@ -908,6 +909,36 @@ impl StageSender {
             ReqToken::fresh(),
             msg,
         ));
+    }
+
+    /// Fallible twin of [`StageSender::submit`]: checks the runtime's
+    /// [`crate::admission::QueueLimits`] and returns
+    /// [`Overload`] instead of blocking or shedding when the target is
+    /// saturated — the message is dropped on rejection, so the caller
+    /// keeps ownership of the decision (retry, degrade, report).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `S` is not registered, or inherits its color (use
+    /// [`StageSender::try_submit_colored`]).
+    pub fn try_submit<S: Stage>(&self, msg: S::In) -> Result<Admitted, Overload> {
+        self.injector
+            .try_inject(emit::<S>(self.router, None, None, ReqToken::fresh(), msg))
+    }
+
+    /// Fallible twin of [`StageSender::submit_colored`].
+    pub fn try_submit_colored<S: Stage>(
+        &self,
+        color: Color,
+        msg: S::In,
+    ) -> Result<Admitted, Overload> {
+        self.injector.try_inject(emit::<S>(
+            self.router,
+            Some(color),
+            None,
+            ReqToken::fresh(),
+            msg,
+        ))
     }
 
     /// The underlying injector (stop/keepalive/outstanding controls).

@@ -50,6 +50,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::admission::{AdmissionCtl, AdmissionPolicy, Admitted, Overload, OverloadReason};
 use crate::color::{Color, COLOR_SPACE};
 use crate::ctx::{Ctx, CtxEffects};
 use crate::cycles;
@@ -141,6 +142,9 @@ struct Shared {
     steal_est: AtomicU64,
     next_seq: AtomicU64,
     timers: Mutex<std::collections::BinaryHeap<TimerEntry>>,
+    /// Queue limits, admission policy, per-color occupancy and the
+    /// producer-side reject/shed counters (see [`crate::admission`]).
+    admission: AdmissionCtl,
 }
 
 impl Shared {
@@ -225,6 +229,62 @@ impl Shared {
         self.inject(ev);
     }
 
+    /// Checks the configured [`crate::admission::QueueLimits`] against
+    /// the owning core's current occupancy, claiming a per-color
+    /// in-flight slot on success (released when the event executes).
+    /// Checks run per-core, then inbox, then per-color — the color claim
+    /// goes last so a failure never needs a rollback of an earlier
+    /// check.
+    fn try_admit(&self, ev: &mut Event) -> Result<(), Overload> {
+        let lim = self.admission.limits;
+        let owner = self.owner_of(ev) as usize;
+        let core = &self.cores[owner];
+        if let Some(cap) = lim.per_core_events {
+            let occ = core.load_estimate();
+            if occ >= cap as usize {
+                return Err(self
+                    .admission
+                    .overload(OverloadReason::PerCoreFull, occ as u64));
+            }
+        }
+        if let Some(cap) = lim.inbox_backlog {
+            let occ = core.inbox.len();
+            if occ >= cap as usize {
+                return Err(self
+                    .admission
+                    .overload(OverloadReason::InboxBacklog, occ as u64));
+            }
+        }
+        if let Some(cap) = lim.per_color_events {
+            let slot = ev.color().value() as usize;
+            if !self.admission.try_claim_color(slot, cap) {
+                return Err(self
+                    .admission
+                    .overload(OverloadReason::ColorHot, cap as u64));
+            }
+            ev.color_counted = true;
+        }
+        Ok(())
+    }
+
+    /// The fallible twin of [`Shared::register_injected`]: admits or
+    /// returns the event to the caller (for retry loops) alongside the
+    /// [`Overload`]. Does *not* count the reject — the caller decides
+    /// the attempt accounting.
+    fn try_register_injected(&self, mut ev: Event) -> Result<Admitted, (Overload, Event)> {
+        if self.admission.is_unbounded() {
+            self.register_injected(ev);
+            return Ok(Admitted);
+        }
+        match self.try_admit(&mut ev) {
+            Ok(()) => {
+                self.register_injected(ev);
+                Ok(Admitted)
+            }
+            Err(ov) => Err((ov, ev)),
+        }
+    }
+
     fn register_after(&self, delay: u64, event: Event) {
         self.outstanding.fetch_add(1, Ordering::AcqRel);
         let due = cycles::now() + delay;
@@ -244,9 +304,81 @@ impl RuntimeHandle {
     /// Registers an event (hash-dispatched, or to the color's current
     /// owner) through the owning core's lock-free injection inbox — the
     /// producer never contends on the core's spinlock. The canonical
-    /// injection path (see [`crate::exec`] for the unified naming).
+    /// *infallible* injection path (see [`crate::exec`] for the unified
+    /// naming): with bounded queues, a limit hit is resolved by the
+    /// runtime's [`AdmissionPolicy`] instead of being returned.
     pub fn inject(&self, ev: Event) {
-        self.shared.register_injected(ev);
+        if self.shared.admission.is_unbounded() {
+            self.shared.register_injected(ev);
+            return;
+        }
+        self.inject_with_policy(ev, self.shared.admission.policy);
+    }
+
+    /// The fallible admission path: admits `ev` or returns an
+    /// [`Overload`] naming the limit that rejected it (the event is
+    /// dropped; clone-free retry loops belong to the infallible path's
+    /// [`AdmissionPolicy`]). Every rejected call counts one
+    /// `admission_rejects`.
+    pub fn try_inject(&self, ev: Event) -> Result<Admitted, Overload> {
+        self.shared.try_register_injected(ev).map_err(|(ov, _ev)| {
+            self.shared.admission.note_reject();
+            ov
+        })
+    }
+
+    /// The fallible twin of [`RuntimeHandle::inject_after`]: the
+    /// admission check runs *now*, at registration time, against the
+    /// current occupancy — by the time the timer fires the event is
+    /// already admitted (its per-color slot is held across the delay).
+    pub fn try_inject_after(&self, delay: u64, mut ev: Event) -> Result<Admitted, Overload> {
+        if self.shared.admission.is_unbounded() {
+            self.shared.register_after(delay, ev);
+            return Ok(Admitted);
+        }
+        match self.shared.try_admit(&mut ev) {
+            Ok(()) => {
+                self.shared.register_after(delay, ev);
+                Ok(Admitted)
+            }
+            Err(ov) => {
+                self.shared.admission.note_reject();
+                Err(ov)
+            }
+        }
+    }
+
+    /// Resolves a limit hit per `policy`: shed (drop + count), or
+    /// block/pace until admitted — escaping by shedding if the runtime
+    /// is asked to stop while the producer waits (blocking on a stopping
+    /// runtime would deadlock). The reject counter advances once per
+    /// event, on its first failed attempt.
+    pub(crate) fn inject_with_policy(&self, mut ev: Event, policy: AdmissionPolicy) {
+        let mut first_reject = true;
+        loop {
+            ev = match self.shared.try_register_injected(ev) {
+                Ok(_) => return,
+                Err((ov, back)) => {
+                    if first_reject {
+                        self.shared.admission.note_reject();
+                        first_reject = false;
+                    }
+                    if policy == AdmissionPolicy::Shed || self.shared.stop.load(Ordering::Acquire) {
+                        self.shared.admission.note_shed(ov.reason);
+                        return;
+                    }
+                    if policy == AdmissionPolicy::RetryAfter {
+                        let until = cycles::now().wrapping_add(ov.retry_after_hint);
+                        while cycles::now() < until && !self.shared.stop.load(Ordering::Acquire) {
+                            std::thread::yield_now();
+                        }
+                    } else {
+                        std::thread::yield_now();
+                    }
+                    back
+                }
+            };
+        }
     }
 
     /// Registers an event by taking the owning core's spinlock directly,
@@ -344,6 +476,7 @@ impl ThreadedRuntime {
         machine: MachineModel,
         batch_threshold: u32,
         initial_steal_estimate: u64,
+        admission: AdmissionCtl,
     ) -> Self {
         assert!(cores > 0, "need at least one core");
         assert!(
@@ -385,6 +518,7 @@ impl ThreadedRuntime {
                 steal_est: AtomicU64::new(initial_steal_estimate),
                 next_seq: AtomicU64::new(0),
                 timers: Mutex::new(std::collections::BinaryHeap::new()),
+                admission,
             }),
             ds_alloc: DataSetAlloc::new(),
         }
@@ -482,6 +616,13 @@ impl ThreadedRuntime {
             m.inbox_node_reuse = core.inbox.total_node_reuses();
             m.queue_buf_reuse = core.queue.lock().buf_reuses();
         }
+        // Admission rejects and sheds also happen on producer threads;
+        // the counters are runtime-global, attributed to core 0
+        // (cumulative across runs, like the inbox counters).
+        let adm = &self.shared.admission;
+        per_core[0].admission_rejects = adm.rejects.load(Ordering::Relaxed);
+        per_core[0].shed_requests = adm.shed_requests.load(Ordering::Relaxed);
+        per_core[0].shed_by_color = adm.shed_by_color.load(Ordering::Relaxed);
         let wall = cycles::now().wrapping_sub(start);
         // Consume any stop request so a later `run` proceeds normally.
         self.shared.stop.store(false, Ordering::Release);
@@ -649,6 +790,12 @@ fn drain_inbox(shared: &Shared, me: usize, batch: &mut Vec<Event>, m: &mut CoreM
 }
 
 fn execute_event(shared: &Shared, me: usize, mut ev: Event, m: &mut CoreMetrics) {
+    if ev.color_counted {
+        // Admission claimed a per-color in-flight slot; execution is
+        // where the event stops occupying a queue.
+        shared.admission.release_color(ev.color().value() as usize);
+        ev.color_counted = false;
+    }
     let t0 = cycles::now();
     cycles::spin(ev.cost());
     let mut fx = CtxEffects::default();

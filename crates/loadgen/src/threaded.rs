@@ -54,6 +54,9 @@ use std::thread::JoinHandle;
 use mely_core::color::Color;
 use mely_core::event::Event;
 use mely_core::exec::Injector;
+use rand::distributions::{Distribution, Pareto, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Which injection path the producers use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -67,6 +70,13 @@ pub enum InjectMode {
     /// benchmarks can quantify the contention it causes (identical to
     /// `Inbox` on the simulator).
     DirectLock,
+    /// Heavy-tailed load through the inbox path: colors drawn from a
+    /// Zipf(s = 1) distribution over each producer's color range (a few
+    /// hot colors take most of the traffic) and per-event cost drawn
+    /// from a Pareto(shape = 1.5) distribution with
+    /// [`InjectorConfig::cost`] as its scale (minimum). Deterministic
+    /// per producer — the overload benchmarks' request mix.
+    HeavyTail,
 }
 
 /// Shape of the injected load.
@@ -128,6 +138,12 @@ impl InjectorPool {
             "producers x colors must fit the 16-bit color space for the \
              per-producer ranges to stay disjoint"
         );
+        // Heavy-tail draws share one CDF across producers; samples are
+        // seeded per (producer, event) so the mix is deterministic
+        // regardless of thread interleaving.
+        let zipf = Zipf::new(u64::from(cfg.colors), 1.0);
+        let pareto = Pareto::new(cfg.cost.max(1) as f64, 1.5);
+        let cost_cap = cfg.cost.max(1).saturating_mul(10_000);
         // One pool mechanism: the synthetic-event shape delegates to
         // the generic producer pool below.
         Self::spawn_with(cfg.producers, cfg.events_per_producer, move |p, i| {
@@ -136,10 +152,23 @@ impl InjectorPool {
             // in `spawn`; colors start at 1 to avoid the
             // fully-serializing default color 0).
             let base = 1 + p as u64 * u64::from(cfg.colors);
-            let color = Color::new((base + i % u64::from(cfg.colors)) as u16);
-            let ev = Event::new(color, cfg.cost);
+            let ev = match cfg.mode {
+                InjectMode::Inbox | InjectMode::DirectLock => {
+                    let color = Color::new((base + i % u64::from(cfg.colors)) as u16);
+                    Event::new(color, cfg.cost)
+                }
+                InjectMode::HeavyTail => {
+                    let mut rng =
+                        StdRng::seed_from_u64(((p as u64) << 32) ^ i ^ 0x9E37_79B9_7F4A_7C15);
+                    // Zipf rank 1 (the hottest) maps to the first color
+                    // of the producer's range.
+                    let color = Color::new((base + zipf.sample(&mut rng) - 1) as u16);
+                    let cost = (pareto.sample(&mut rng) as u64).min(cost_cap);
+                    Event::new(color, cost)
+                }
+            };
             match cfg.mode {
-                InjectMode::Inbox => injector.inject(ev),
+                InjectMode::Inbox | InjectMode::HeavyTail => injector.inject(ev),
                 InjectMode::DirectLock => injector.inject_locked(ev),
             }
         })
@@ -243,6 +272,20 @@ mod tests {
     fn the_same_pool_drives_the_simulator() {
         let r = run_with_pool(ExecKind::Sim, InjectMode::Inbox);
         assert!(r.events_processed() >= 1_500);
+    }
+
+    #[test]
+    fn heavy_tail_pool_skews_colors_and_costs() {
+        // Costs are seeded per (producer, event), so total busy time is
+        // deterministic: Pareto draws (minimum = the configured cost's
+        // floor of 1) must stretch it past the flat mix's.
+        let uniform = run_with_pool(ExecKind::Sim, InjectMode::Inbox);
+        let heavy = run_with_pool(ExecKind::Sim, InjectMode::HeavyTail);
+        assert!(heavy.events_processed() >= 1_500);
+        assert!(
+            heavy.total().busy_cycles > uniform.total().busy_cycles,
+            "Pareto costs (scale = uniform cost) must exceed the flat mix"
+        );
     }
 
     #[test]

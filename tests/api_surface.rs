@@ -16,6 +16,8 @@
 
 /// The snapshot: every name `mely_core::prelude` re-exports, sorted.
 const PRELUDE_EXPORTS: &[&str] = &[
+    "AdmissionPolicy",
+    "Admitted",
     "Collected",
     "Color",
     "ColorRange",
@@ -34,8 +36,11 @@ const PRELUDE_EXPORTS: &[&str] = &[
     "KeepAlive",
     "LatencyHistogram",
     "MachineModel",
+    "Overload",
+    "OverloadReason",
     "Pipeline",
     "PipelineBuilder",
+    "QueueLimits",
     "RunReport",
     "Runtime",
     "RuntimeBuilder",
@@ -57,6 +62,8 @@ fn every_export_resolves() {
     use mely_repro::core::prelude as p;
     fn ty<T: ?Sized>() {}
     fn tr<T: p::Stage>() {}
+    ty::<p::AdmissionPolicy>();
+    ty::<p::Admitted>();
     ty::<p::Collected<u64>>();
     ty::<p::Color>();
     ty::<p::ColorRange>();
@@ -75,8 +82,11 @@ fn every_export_resolves() {
     ty::<p::KeepAlive>();
     ty::<p::LatencyHistogram>();
     ty::<p::MachineModel>();
+    ty::<p::Overload>();
+    ty::<p::OverloadReason>();
     ty::<p::Pipeline>();
     ty::<p::PipelineBuilder>();
+    ty::<p::QueueLimits>();
     ty::<p::RunReport>();
     ty::<p::Runtime>();
     ty::<p::RuntimeBuilder>();

@@ -311,3 +311,143 @@ proptest! {
         prop_assert!(lat2 <= lat1);
     }
 }
+
+// Shed-by-color admission properties, on the deterministic simulator:
+// whatever the shed pattern, the events that *are* admitted keep their
+// per-color FIFO order, mid-pipeline registrations are never shed, and
+// the overload counters satisfy the offered-load accounting identity.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sim_shed_preserves_fifo_and_never_drops_mid_pipeline(
+        colors in prop::collection::vec(0u16..4, 1..120),
+        cap in 1u32..8,
+    ) {
+        use std::sync::{Arc, Mutex};
+
+        let mut rt = RuntimeBuilder::new()
+            .cores(2)
+            .flavor(Flavor::Mely)
+            .queue_limits(QueueLimits::default().per_color_events(cap))
+            .admission(AdmissionPolicy::Shed)
+            .build(ExecKind::Sim);
+        // (color, injection index, is_followup) in execution order.
+        let log: Arc<Mutex<Vec<(u16, usize, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let inj = rt.injector();
+        for (i, c) in colors.iter().enumerate() {
+            let cv = 1 + *c; // color 0 would serialize everything
+            let seed_log = Arc::clone(&log);
+            inj.inject(Event::new(Color::new(cv), 100).with_action(move |ctx| {
+                seed_log.lock().unwrap().push((cv, i, false));
+                let follow_log = Arc::clone(&seed_log);
+                // ctx.register is a mid-pipeline registration: it must
+                // bypass admission and can never be shed.
+                ctx.register(Event::new(Color::new(cv), 50).with_action(move |_| {
+                    follow_log.lock().unwrap().push((cv, i, true));
+                }));
+            }));
+        }
+        let report = rt.run();
+        let log = log.lock().unwrap();
+
+        // Every seed was injected before the run started, so per-color
+        // occupancy only grows during injection: exactly the first
+        // `cap` seeds of each color are admitted, the rest are shed.
+        let mut expected_admitted = 0u64;
+        for cv in 1..=4u16 {
+            let offered = colors.iter().filter(|&&c| 1 + c == cv).count() as u64;
+            let admitted = log.iter().filter(|(c, _, f)| *c == cv && !*f).count() as u64;
+            prop_assert_eq!(admitted, offered.min(u64::from(cap)));
+            expected_admitted += admitted;
+
+            // Per-color FIFO: admitted seeds execute in injection order.
+            let seq: Vec<usize> = log
+                .iter()
+                .filter(|(c, _, f)| *c == cv && !*f)
+                .map(|(_, i, _)| *i)
+                .collect();
+            prop_assert!(seq.windows(2).all(|w| w[0] < w[1]), "color {} out of order: {:?}", cv, seq);
+        }
+
+        // Mid-pipeline followups are never shed: one per executed seed.
+        let followups = log.iter().filter(|(_, _, f)| *f).count() as u64;
+        prop_assert_eq!(followups, expected_admitted);
+        prop_assert_eq!(report.events_processed(), 2 * expected_admitted);
+
+        // Accounting identity: offered = admitted + shed, and with only
+        // a per-color limit configured every shed is a color shed.
+        let offered_total = colors.len() as u64;
+        prop_assert_eq!(report.shed_requests(), offered_total - expected_admitted);
+        prop_assert_eq!(report.shed_by_color(), report.shed_requests());
+        prop_assert_eq!(report.admission_rejects(), report.shed_requests());
+    }
+}
+
+// The same invariants on the real threaded executor, where shed
+// decisions race actual execution: color exclusion holds for whatever
+// is admitted, mid-pipeline registrations always run, and the counters
+// balance — on every interleaving the scheduler happens to produce.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn threaded_shed_keeps_exclusion_and_accounting(
+        colors in prop::collection::vec(0u16..3, 1..60),
+        cap in 1u32..4,
+    ) {
+        use std::sync::Arc;
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+        let mut rt = RuntimeBuilder::new()
+            .cores(2)
+            .flavor(Flavor::Mely)
+            .queue_limits(QueueLimits::default().per_color_events(cap))
+            .admission(AdmissionPolicy::Shed)
+            .build(ExecKind::Threaded);
+        let keepalive = rt.injector().keepalive();
+        let handle = rt.injector();
+        let stopper = rt.injector();
+        let seeds = Arc::new(AtomicU64::new(0));
+        let followups = Arc::new(AtomicU64::new(0));
+        let violations = Arc::new(AtomicU64::new(0));
+        let in_crit: Arc<Vec<AtomicBool>> =
+            Arc::new((0..4).map(|_| AtomicBool::new(false)).collect());
+
+        let offered = colors.len() as u64;
+        let runner = std::thread::spawn(move || rt.run());
+        for c in &colors {
+            let cv = 1 + *c;
+            let seeds = Arc::clone(&seeds);
+            let followups = Arc::clone(&followups);
+            let violations = Arc::clone(&violations);
+            let in_crit = Arc::clone(&in_crit);
+            handle.inject(Event::new(Color::new(cv), 200).with_action(move |ctx| {
+                // Color exclusion: no two events of one color run
+                // concurrently, shed pattern notwithstanding.
+                if in_crit[cv as usize].swap(true, Ordering::AcqRel) {
+                    violations.fetch_add(1, Ordering::Relaxed);
+                }
+                seeds.fetch_add(1, Ordering::Relaxed);
+                std::hint::black_box(());
+                in_crit[cv as usize].store(false, Ordering::Release);
+                let followups = Arc::clone(&followups);
+                ctx.register(Event::new(Color::new(cv), 50).with_action(move |_| {
+                    followups.fetch_add(1, Ordering::Relaxed);
+                }));
+            }));
+        }
+        stopper.stop_when_idle();
+        drop(keepalive);
+        let report = runner.join().expect("runtime must not panic");
+
+        prop_assert_eq!(violations.load(Ordering::Relaxed), 0);
+        let executed = seeds.load(Ordering::Relaxed);
+        // Mid-pipeline registrations are never shed.
+        prop_assert_eq!(followups.load(Ordering::Relaxed), executed);
+        // offered = executed + shed; only the per-color limit is set.
+        prop_assert_eq!(executed + report.shed_requests(), offered);
+        prop_assert_eq!(report.shed_by_color(), report.shed_requests());
+        prop_assert_eq!(report.events_processed(), 2 * executed);
+    }
+}

@@ -80,6 +80,164 @@ fn bounded<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
     }
 }
 
+pub mod distributions {
+    //! Heavy-tailed distributions for workload synthesis, mirroring the
+    //! `rand_distr` API surface this workspace uses.
+    //!
+    //! [`Zipf`] skews color popularity (a few hot keys take most of the
+    //! traffic) and [`Pareto`] skews per-event service cost — together
+    //! they reproduce the heavy-tailed request mixes that make overload
+    //! behavior interesting.
+
+    use super::RngCore;
+
+    /// A distribution that can be sampled with any RNG. `sample` takes
+    /// `&self`, so one distribution instance is shareable across
+    /// producer threads.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Zipf distribution over ranks `1..=n` with exponent `s`:
+    /// `P(rank = k) ∝ 1 / k^s`. Sampling is a binary search over the
+    /// precomputed CDF — O(log n) per draw, exact (no rejection).
+    #[derive(Clone, Debug)]
+    pub struct Zipf {
+        cdf: Vec<f64>,
+    }
+
+    impl Zipf {
+        /// Builds a Zipf distribution over `1..=n`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n` is zero or `s` is not finite.
+        pub fn new(n: u64, s: f64) -> Self {
+            assert!(n > 0, "Zipf needs at least one rank");
+            assert!(s.is_finite(), "Zipf exponent must be finite");
+            let mut cdf = Vec::with_capacity(n as usize);
+            let mut acc = 0.0;
+            for k in 1..=n {
+                acc += 1.0 / (k as f64).powf(s);
+                cdf.push(acc);
+            }
+            let total = acc;
+            for c in &mut cdf {
+                *c /= total;
+            }
+            Zipf { cdf }
+        }
+
+        /// Number of ranks.
+        pub fn n(&self) -> u64 {
+            self.cdf.len() as u64
+        }
+    }
+
+    impl Distribution<u64> for Zipf {
+        /// Returns a rank in `1..=n` (rank 1 is the hottest).
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            let u = unit_f64(rng);
+            // First CDF entry >= u; partition_point counts entries < u.
+            let idx = self.cdf.partition_point(|&c| c < u);
+            (idx.min(self.cdf.len() - 1) as u64) + 1
+        }
+    }
+
+    /// Pareto distribution with the given scale (minimum value) and
+    /// shape: heavy-tailed service costs where most draws sit near the
+    /// scale and a small fraction run far longer.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Pareto {
+        scale: f64,
+        inv_neg_shape: f64,
+    }
+
+    impl Pareto {
+        /// Builds a Pareto distribution.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `scale` or `shape` is not positive.
+        pub fn new(scale: f64, shape: f64) -> Self {
+            assert!(scale > 0.0, "Pareto scale must be positive");
+            assert!(shape > 0.0, "Pareto shape must be positive");
+            Pareto {
+                scale,
+                inv_neg_shape: -1.0 / shape,
+            }
+        }
+    }
+
+    impl Distribution<f64> for Pareto {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // u uniform in (0, 1]: never zero, so powf never divides by
+            // zero; u = 1 yields exactly `scale`.
+            let u = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.scale * u.powf(self.inv_neg_shape)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::super::rngs::StdRng;
+        use super::super::SeedableRng;
+        use super::{Distribution, Pareto, Zipf};
+
+        #[test]
+        fn zipf_is_skewed_and_in_range() {
+            let z = Zipf::new(100, 1.0);
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut counts = [0u32; 100];
+            for _ in 0..10_000 {
+                let r = z.sample(&mut rng);
+                assert!((1..=100).contains(&r));
+                counts[(r - 1) as usize] += 1;
+            }
+            // Rank 1 must dominate rank 50 by far under s = 1.
+            assert!(counts[0] > 10 * counts[49].max(1));
+            // But the tail is still sampled.
+            assert!(counts[50..].iter().any(|&c| c > 0));
+        }
+
+        #[test]
+        fn zipf_deterministic() {
+            let z = Zipf::new(64, 1.2);
+            let mut a = StdRng::seed_from_u64(9);
+            let mut b = StdRng::seed_from_u64(9);
+            for _ in 0..100 {
+                assert_eq!(z.sample(&mut a), z.sample(&mut b));
+            }
+        }
+
+        #[test]
+        fn pareto_has_scale_floor_and_heavy_tail() {
+            let p = Pareto::new(1_000.0, 1.5);
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut max = 0.0f64;
+            let mut sum = 0.0;
+            for _ in 0..10_000 {
+                let v = p.sample(&mut rng);
+                assert!(v >= 1_000.0);
+                max = max.max(v);
+                sum += v;
+            }
+            let mean = sum / 10_000.0;
+            // Heavy tail: the max dwarfs the mean.
+            assert!(max > 10.0 * mean);
+            // Mean of Pareto(1000, 1.5) is 3000; sampling noise aside,
+            // the empirical mean must land in the right ballpark.
+            assert!(mean > 1_500.0 && mean < 6_000.0);
+        }
+    }
+}
+
 pub mod rngs {
     use super::{RngCore, SeedableRng};
 
