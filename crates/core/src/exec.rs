@@ -37,8 +37,8 @@
 //! return the [`Overload`] to the caller. The full
 //! four-way table (plus twins) lives on [`Injector`]; the former
 //! `register`/`register_direct`/`register_after` trio on
-//! [`RuntimeHandle`] survives as deprecated aliases of the infallible
-//! paths.
+//! [`RuntimeHandle`] has been removed in favor of the unified
+//! `inject*` names.
 //!
 //! # Examples
 //!
@@ -424,6 +424,13 @@ impl SimMailbox {
         if let Some(slot) = self.core_occupancy.get(core) {
             slot.store(len, Ordering::Release);
         }
+    }
+
+    /// Whether undrained entries are buffered. The sim run loop checks
+    /// this before draining so schedule perturbation only consults its
+    /// RNG when there is actually something to absorb.
+    pub(crate) fn has_buffered(&self) -> bool {
+        self.buffered.load(Ordering::Acquire) > 0
     }
 
     /// Takes the whole backlog. Called by the sim run loop.

@@ -1,0 +1,278 @@
+//! Deterministic schedule fuzzing: seeded perturbation of the sim
+//! executor's scheduling decisions.
+//!
+//! The simulator's value as a correctness harness is limited by the fact
+//! that, unperturbed, it explores exactly *one* interleaving per
+//! workload: the earliest-clock core always steps next, victims are
+//! always visited in the policy's canonical order, and the mailbox is
+//! absorbed in arrival order at every iteration boundary. An ordering
+//! bug that needs a different interleaving to fire stays invisible until
+//! it bites the (nondeterministic) threaded runtime.
+//!
+//! [`SchedulePerturbation`] turns the one fixed schedule into a *family*
+//! of schedules indexed by a single `u64` seed. Every perturbation
+//! decision is drawn from one [`ScheduleRng`] (a deterministic PRNG
+//! derived from the seed), so `seed == seed` replays the exact same
+//! schedule bit for bit — any invariant violation found by a seed sweep
+//! is reported as a `(seed, fingerprint)` pair and reproduced exactly by
+//! re-running with that seed (see [`crate::metrics::RunFingerprint`]).
+//!
+//! Five decision points are perturbed, each individually toggleable:
+//!
+//! - **core pick** — which actionable core steps next (instead of
+//!   always the earliest virtual clock), perturbing *when* a core gets
+//!   to check for steals relative to its peers;
+//! - **steal deferral** — an idle core sometimes skips a steal check
+//!   and idles one recheck period instead, shifting steal timing;
+//! - **victim order** — the steal attempt visits the candidate victim
+//!   set in a shuffled order;
+//! - **batch cut points** — the per-color dispatch batch is cut after
+//!   a random `1..=batch_threshold` events instead of always the full
+//!   threshold, rotating colors at perturbed points. (A steal itself
+//!   always migrates a whole color-queue — cutting *that* batch would
+//!   put one color on two cores and violate the exclusion invariant
+//!   the fuzzer exists to check.)
+//! - **mailbox absorption** — the run loop sometimes defers draining
+//!   the external-producer mailbox to a later iteration, and absorbs
+//!   drained entries in a shuffled order.
+//!
+//! None of these change what the runtime *guarantees* — per-color
+//! mutual exclusion, per-color FIFO, no lost events — they only change
+//! the order in which legal scheduling choices are made. A seed sweep
+//! asserting the invariants over many perturbed schedules is therefore
+//! a real correctness harness for scheduler refactors: see
+//! `tests/fuzz_schedules.rs` and `examples/fuzz.rs` in the repository
+//! root.
+//!
+//! # Examples
+//!
+//! ```
+//! use mely_core::prelude::*;
+//!
+//! let run = |seed: u64| {
+//!     let mut rt = RuntimeBuilder::new()
+//!         .cores(4)
+//!         .workstealing(WsPolicy::base())
+//!         .schedule_seed(seed)
+//!         .build(ExecKind::Sim);
+//!     for i in 0..64u16 {
+//!         rt.register_pinned(Event::new(Color::new(i + 1), 10_000), 0);
+//!     }
+//!     rt.run()
+//! };
+//! let (a, b) = (run(7), run(7));
+//! // Same seed: the schedule replays bit-identically.
+//! assert_eq!(a.fingerprint(), b.fingerprint());
+//! assert_eq!(a.events_processed(), 64);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Seeded schedule-perturbation mode for the sim executor.
+///
+/// Enabled through [`crate::runtime::RuntimeBuilder::schedule_seed`]
+/// (all perturbations on) or
+/// [`crate::runtime::RuntimeBuilder::schedule_perturbation`] (individual
+/// toggles). `None` — the default — leaves the simulator's canonical
+/// schedule byte-identical to a build without this feature.
+///
+/// The threaded executor ignores perturbation: its interleavings come
+/// from real OS scheduling, which is exactly the nondeterminism this
+/// mode exists to emulate reproducibly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SchedulePerturbation {
+    /// The seed every scheduling decision derives from. Equal seeds
+    /// (with equal toggles and an identical workload) replay
+    /// bit-identical schedules.
+    pub seed: u64,
+    /// Perturb which actionable core steps next.
+    pub scramble_core_pick: bool,
+    /// Let idle cores sometimes defer a steal check by one recheck
+    /// period.
+    pub defer_steals: bool,
+    /// Visit steal victims in a shuffled order.
+    pub shuffle_victims: bool,
+    /// Cut per-color dispatch batches at random points in
+    /// `1..=batch_threshold`.
+    pub jitter_batch_cut: bool,
+    /// Sometimes defer mailbox draining, and absorb drained entries in
+    /// shuffled order.
+    pub perturb_mailbox: bool,
+}
+
+impl SchedulePerturbation {
+    /// All perturbations enabled, driven by `seed` — what
+    /// [`crate::runtime::RuntimeBuilder::schedule_seed`] installs.
+    pub const fn from_seed(seed: u64) -> Self {
+        SchedulePerturbation {
+            seed,
+            scramble_core_pick: true,
+            defer_steals: true,
+            shuffle_victims: true,
+            jitter_batch_cut: true,
+            perturb_mailbox: true,
+        }
+    }
+
+    /// The [`ScheduleRng`] this configuration seeds.
+    pub fn rng(&self) -> ScheduleRng {
+        ScheduleRng::new(self.seed)
+    }
+}
+
+/// The single deterministic PRNG all schedule-perturbation decisions are
+/// drawn from (SplitMix64 via the vendored `rand` shim).
+///
+/// Centralizing every draw in one stream is what makes replay exact:
+/// the k-th scheduling decision of a run consumes the k-th draw, so two
+/// runs with the same seed and workload make identical decisions at
+/// every point. Anything that consults the RNG conditionally must gate
+/// on *deterministic* state only (a cross-thread racy read deciding
+/// whether to draw would desynchronize the stream between runs).
+///
+/// # Examples
+///
+/// ```
+/// use mely_core::fuzz::ScheduleRng;
+///
+/// let mut a = ScheduleRng::new(42);
+/// let mut b = ScheduleRng::new(42);
+/// let mut xs = [0u8, 1, 2, 3, 4];
+/// let mut ys = xs;
+/// a.shuffle(&mut xs);
+/// b.shuffle(&mut ys);
+/// assert_eq!(xs, ys, "same seed, same shuffle");
+/// assert_eq!(a.draws(), b.draws());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScheduleRng {
+    rng: StdRng,
+    draws: u64,
+}
+
+impl ScheduleRng {
+    /// A fresh decision stream for `seed`.
+    pub fn new(seed: u64) -> Self {
+        ScheduleRng {
+            rng: StdRng::seed_from_u64(seed),
+            draws: 0,
+        }
+    }
+
+    /// Number of decisions drawn so far (diagnostics: two runs that
+    /// replay identically consume identical draw counts).
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.rng.next_u64()
+    }
+
+    /// Uniform index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "pick from an empty set");
+        // Multiply-shift bounded draw: a hair biased for enormous `n`,
+        // irrelevant for scheduling sets (cores, victims, batch sizes)
+        // — and branch-free, which keeps the draw count stable.
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
+    }
+
+    /// True with probability `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn chance(&mut self, num: u32, den: u32) -> bool {
+        assert!(den > 0, "chance with zero denominator");
+        self.pick(den as usize) < num as usize
+    }
+
+    /// Fisher–Yates shuffle driven by this stream.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.pick(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_enables_everything() {
+        let p = SchedulePerturbation::from_seed(99);
+        assert_eq!(p.seed, 99);
+        assert!(
+            p.scramble_core_pick
+                && p.defer_steals
+                && p.shuffle_victims
+                && p.jitter_batch_cut
+                && p.perturb_mailbox
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SchedulePerturbation::from_seed(7).rng();
+        let mut b = ScheduleRng::new(7);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_eq!(a.draws(), 1_000);
+    }
+
+    #[test]
+    fn pick_is_in_range_and_covers() {
+        let mut rng = ScheduleRng::new(3);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let i = rng.pick(7);
+            assert!(i < 7);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform pick must cover 0..7");
+        assert_eq!(rng.pick(1), 0, "singleton set has one choice");
+    }
+
+    #[test]
+    fn chance_matches_probability_roughly() {
+        let mut rng = ScheduleRng::new(11);
+        let hits = (0..10_000).filter(|_| rng.chance(1, 4)).count();
+        assert!(
+            (2_000..3_000).contains(&hits),
+            "1/4 chance hit {hits}/10000 times"
+        );
+        let mut rng = ScheduleRng::new(12);
+        assert!((0..100).all(|_| rng.chance(1, 1)), "1/1 always fires");
+        let mut rng = ScheduleRng::new(13);
+        assert!((0..100).all(|_| !rng.chance(0, 4)), "0/4 never fires");
+    }
+
+    #[test]
+    fn shuffle_permutes_without_loss() {
+        let mut rng = ScheduleRng::new(5);
+        let mut xs: Vec<u32> = (0..32).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>(), "a permutation");
+        // With 32 elements, the identity permutation is astronomically
+        // unlikely; a seed that produced it would be a broken shuffle.
+        assert_ne!(xs, (0..32).collect::<Vec<_>>());
+        // Empty and singleton slices are fine and draw nothing.
+        let before = rng.draws();
+        rng.shuffle(&mut [0u8; 0]);
+        rng.shuffle(&mut [1u8]);
+        assert_eq!(rng.draws(), before);
+    }
+}

@@ -62,6 +62,7 @@ pub mod cycles;
 pub mod dataset;
 pub mod event;
 pub mod exec;
+pub mod fuzz;
 pub mod handler;
 pub mod metrics;
 pub mod queue;
@@ -81,8 +82,9 @@ pub mod prelude {
     pub use crate::dataset::DataSetRef;
     pub use crate::event::Event;
     pub use crate::exec::{ExecKind, Executor, Injector, KeepAlive, Runtime, Service};
+    pub use crate::fuzz::{SchedulePerturbation, ScheduleRng};
     pub use crate::handler::{HandlerId, HandlerSpec};
-    pub use crate::metrics::{CoreMetrics, LatencyHistogram, RunReport};
+    pub use crate::metrics::{CoreMetrics, LatencyHistogram, RunFingerprint, RunReport};
     pub use crate::runtime::{Flavor, RuntimeBuilder};
     pub use crate::sim::SimRuntime;
     pub use crate::stage::{

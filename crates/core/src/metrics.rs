@@ -8,8 +8,23 @@
 //! VI).
 
 use std::fmt;
+use std::hash::Hasher;
 
+use fxhash::FxHasher;
+
+use crate::color::Color;
 use crate::steal::WsPolicy;
+
+/// One step of the running Fx digest: folds `word` into `state` through
+/// a fresh [`FxHasher`] so the digest stays order-sensitive (Fx's
+/// rotate-xor-multiply is not commutative) while remaining a plain
+/// `u64` that lives inside the `Copy` [`CoreMetrics`].
+fn fx_fold(state: u64, word: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(state);
+    h.write_u64(word);
+    h.finish()
+}
 
 /// Number of log2 latency buckets: bucket `b` holds samples whose bit
 /// length is `b` (0, then `[2^(b-1), 2^b)`), so bucket 64 holds
@@ -196,6 +211,25 @@ pub struct CoreMetrics {
     pub shed_by_color: u64,
     /// Per-request latency samples completed on this core.
     pub latency: LatencyHistogram,
+    /// Order-sensitive Fx digest of the `(color, seq)` completion
+    /// sequence this core executed — the raw material of
+    /// [`RunReport::fingerprint`]. Updated by
+    /// [`CoreMetrics::note_completion`] on every event execution.
+    pub completion_digest: u64,
+}
+
+impl CoreMetrics {
+    /// Folds one event completion into this core's order-sensitive
+    /// digest. Called by both executors at the moment an event's
+    /// handler finishes; `seq` is the runtime's registration sequence
+    /// number, so the digest captures *which* event ran, not just its
+    /// color.
+    pub fn note_completion(&mut self, color: Color, seq: u64) {
+        self.completion_digest = fx_fold(
+            fx_fold(self.completion_digest, u64::from(color.value())),
+            seq,
+        );
+    }
 }
 
 impl CoreMetrics {
@@ -226,6 +260,71 @@ impl CoreMetrics {
         self.shed_requests += o.shed_requests;
         self.shed_by_color += o.shed_by_color;
         self.latency.merge(&o.latency);
+        // Merging cores has no meaningful inter-core order, so the
+        // digests combine commutatively; the order-sensitive run
+        // identity is [`RunReport::fingerprint`], which folds the
+        // per-core digests in core-index order instead.
+        self.completion_digest = self.completion_digest.wrapping_add(o.completion_digest);
+    }
+}
+
+/// A compact, order-sensitive identity for "the same run".
+///
+/// The fingerprint folds together, with an Fx hash:
+///
+/// - each core's **completion digest** (the order-sensitive hash of the
+///   `(color, seq)` event-completion sequence that core executed), in
+///   core-index order, alongside that core's event count;
+/// - the run's **structural counts**: events processed, events
+///   registered, successful steals, and completed requests.
+///
+/// Two runs with the same fingerprint executed the same events in the
+/// same per-core order — which is what "replays bit-identically" means
+/// for a scheduler. Deliberately **excluded**: anything a replay cannot
+/// reproduce exactly or that carries no ordering information — wall
+/// clock, cycle accounting (busy/idle/lock-wait), cache misses, and
+/// latency percentiles. On the simulator those happen to be
+/// deterministic too, but keeping them out lets a fingerprint survive
+/// cost-model refinements that do not change scheduling order, and
+/// gives the threaded executor's fingerprints the same meaning.
+///
+/// Produced by [`RunReport::fingerprint`]; `Display` renders the short
+/// hex digest used in fuzz-failure reports (`seed 0x2a → a3f09b…`).
+///
+/// # Examples
+///
+/// ```
+/// use mely_core::prelude::*;
+///
+/// let run = || {
+///     let mut rt = RuntimeBuilder::new().cores(2).build(ExecKind::Sim);
+///     rt.register(Event::new(Color::new(1), 500));
+///     rt.run().fingerprint()
+/// };
+/// let (a, b) = (run(), run());
+/// assert_eq!(a, b, "identical runs have identical fingerprints");
+/// assert_eq!(format!("{a}"), format!("{:016x}", a.as_u64()));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunFingerprint(u64);
+
+impl RunFingerprint {
+    /// The raw 64-bit digest.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RunFingerprint {
+    /// The short hex digest (16 lowercase hex digits).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::Debug for RunFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RunFingerprint({:016x})", self.0)
     }
 }
 
@@ -418,6 +517,27 @@ impl RunReport {
     /// [`CoreMetrics::admission_rejects`]).
     pub fn admission_rejects(&self) -> u64 {
         self.total().admission_rejects
+    }
+
+    /// The stable identity of "the same run": an order-sensitive Fx
+    /// hash of the per-core event-completion digests plus the run's
+    /// structural counts. See [`RunFingerprint`] for exactly what is
+    /// covered (and what is deliberately excluded). Equal fingerprints
+    /// mean the schedule replayed bit-identically; the schedule-fuzzing
+    /// harness reports violations as `(seed, fingerprint)` pairs.
+    pub fn fingerprint(&self) -> RunFingerprint {
+        let mut h = FxHasher::default();
+        h.write_u64(self.per_core.len() as u64);
+        for c in &self.per_core {
+            h.write_u64(c.completion_digest);
+            h.write_u64(c.events_processed);
+        }
+        let t = self.total();
+        h.write_u64(t.events_processed);
+        h.write_u64(t.registered);
+        h.write_u64(t.steals);
+        h.write_u64(t.completed_requests);
+        RunFingerprint(h.finish())
     }
 
     /// L2 misses per processed event (Tables V and VI). Returns 0.0 when
@@ -651,5 +771,51 @@ mod tests {
         assert_eq!(r.latency_histogram().count(), 2);
         assert!(r.latency_p50() <= r.latency_p99());
         assert!(r.latency_p99() >= 200);
+    }
+
+    #[test]
+    fn completion_digest_is_order_sensitive() {
+        use crate::color::Color;
+        let mut a = CoreMetrics::default();
+        a.note_completion(Color::new(1), 0);
+        a.note_completion(Color::new(2), 1);
+        let mut b = CoreMetrics::default();
+        b.note_completion(Color::new(2), 1);
+        b.note_completion(Color::new(1), 0);
+        assert_ne!(
+            a.completion_digest, b.completion_digest,
+            "swapped completion order must change the digest"
+        );
+        let mut c = CoreMetrics::default();
+        c.note_completion(Color::new(1), 0);
+        c.note_completion(Color::new(2), 1);
+        assert_eq!(a.completion_digest, c.completion_digest);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_core_placement_not_wall_clock() {
+        use crate::color::Color;
+        let mut on_zero = CoreMetrics {
+            events_processed: 1,
+            ..Default::default()
+        };
+        on_zero.note_completion(Color::new(5), 0);
+        let idle = CoreMetrics::default();
+
+        // Same completions on core 0 vs core 1: different runs.
+        let a = RunReport::new(vec![on_zero, idle], 100, 1_000, WsPolicy::off());
+        let b = RunReport::new(vec![idle, on_zero], 100, 1_000, WsPolicy::off());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+
+        // Different wall clock, same schedule: same run identity.
+        let c = RunReport::new(vec![on_zero, idle], 9_999, 1_000, WsPolicy::off());
+        assert_eq!(a.fingerprint(), c.fingerprint());
+
+        // Display is the 16-digit hex digest.
+        let fp = a.fingerprint();
+        let s = fp.to_string();
+        assert_eq!(s.len(), 16);
+        assert!(s.chars().all(|ch| ch.is_ascii_hexdigit()));
+        assert_eq!(u64::from_str_radix(&s, 16).unwrap(), fp.as_u64());
     }
 }

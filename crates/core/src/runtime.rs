@@ -7,6 +7,7 @@ use mely_topology::{CacheLevel, MachineModel};
 use crate::admission::{AdmissionCtl, AdmissionPolicy, QueueLimits};
 use crate::cost::CostParams;
 use crate::exec::{ExecKind, Runtime};
+use crate::fuzz::SchedulePerturbation;
 use crate::sim::{SimConfig, SimRuntime};
 use crate::steal::WsPolicy;
 use crate::threaded::ThreadedRuntime;
@@ -22,30 +23,13 @@ pub enum Flavor {
     Mely,
 }
 
-impl Flavor {
-    /// The paper-style label text (single source for `label` and
-    /// `Display`).
-    const fn text(self) -> &'static str {
-        match self {
-            Flavor::Libasync => "Libasync-smp",
-            Flavor::Mely => "Mely",
-        }
-    }
-
-    /// Deprecated alias of the [`fmt::Display`] implementation.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the Display impl (`format!(\"{flavor}\")`)"
-    )]
-    pub fn label(&self) -> &'static str {
-        self.text()
-    }
-}
-
 impl fmt::Display for Flavor {
     /// The paper-style label: `Libasync-smp` or `Mely`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.text())
+        f.write_str(match self {
+            Flavor::Libasync => "Libasync-smp",
+            Flavor::Mely => "Mely",
+        })
     }
 }
 
@@ -77,6 +61,7 @@ pub struct RuntimeBuilder {
     initial_steal_estimate: u64,
     queue_limits: QueueLimits,
     admission: AdmissionPolicy,
+    perturb: Option<SchedulePerturbation>,
 }
 
 impl Default for RuntimeBuilder {
@@ -101,6 +86,7 @@ impl RuntimeBuilder {
             initial_steal_estimate: 2_000,
             queue_limits: QueueLimits::default(),
             admission: AdmissionPolicy::default(),
+            perturb: None,
         }
     }
 
@@ -181,6 +167,41 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables seeded schedule perturbation on the sim executor with
+    /// every perturbation on — the one-call entry point for fuzzing and
+    /// replay (see [`crate::fuzz`]). Equal seeds replay bit-identical
+    /// schedules; unset (the default) keeps the canonical deterministic
+    /// schedule byte-identical. The threaded executor ignores this.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mely_core::prelude::*;
+    ///
+    /// let fp = |seed| {
+    ///     let mut rt = RuntimeBuilder::new()
+    ///         .cores(4)
+    ///         .workstealing(WsPolicy::base())
+    ///         .schedule_seed(seed)
+    ///         .build(ExecKind::Sim);
+    ///     for i in 0..32u16 {
+    ///         rt.register_pinned(Event::new(Color::new(i + 1), 5_000), 0);
+    ///     }
+    ///     rt.run().fingerprint()
+    /// };
+    /// assert_eq!(fp(1), fp(1), "same seed, same schedule");
+    /// ```
+    pub fn schedule_seed(self, seed: u64) -> Self {
+        self.schedule_perturbation(SchedulePerturbation::from_seed(seed))
+    }
+
+    /// Installs a [`SchedulePerturbation`] with individually chosen
+    /// toggles (the fine-grained form of [`Self::schedule_seed`]).
+    pub fn schedule_perturbation(mut self, perturb: SchedulePerturbation) -> Self {
+        self.perturb = Some(perturb);
+        self
+    }
+
     fn resolve(&self) -> (usize, MachineModel) {
         let machine = match &self.machine {
             Some(m) => m.clone(),
@@ -242,10 +263,14 @@ impl RuntimeBuilder {
             initial_steal_estimate: self.initial_steal_estimate,
             queue_limits: self.queue_limits,
             admission: self.admission,
+            perturb: self.perturb,
         })
     }
 
     pub(crate) fn make_threaded(self) -> ThreadedRuntime {
+        // `self.perturb` is deliberately dropped here: the threaded
+        // executor's interleavings come from real OS scheduling, which
+        // is the nondeterminism the sim's perturbation mode emulates.
         let (cores, machine) = self.resolve();
         ThreadedRuntime::new(
             cores,
@@ -256,38 +281,6 @@ impl RuntimeBuilder {
             self.initial_steal_estimate,
             AdmissionCtl::new(self.queue_limits, self.admission),
         )
-    }
-
-    /// Builds the deterministic simulation executor as a concrete
-    /// [`SimRuntime`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the requested core count is zero or exceeds the machine
-    /// model's cores.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `build(ExecKind::Sim)` and the unified `Executor` API \
-                (`as_sim()` recovers the concrete runtime when needed)"
-    )]
-    pub fn build_sim(self) -> SimRuntime {
-        self.make_sim()
-    }
-
-    /// Builds the threaded executor (one OS thread per core) as a
-    /// concrete [`ThreadedRuntime`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the requested core count is zero or exceeds the machine
-    /// model's cores.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `build(ExecKind::Threaded)` and the unified `Executor` API \
-                (`as_threaded()` recovers the concrete runtime when needed)"
-    )]
-    pub fn build_threaded(self) -> ThreadedRuntime {
-        self.make_threaded()
     }
 }
 
@@ -345,29 +338,32 @@ mod tests {
         assert!(rt.as_threaded().is_some());
     }
 
-    /// The single test pinning every deprecated alias of the 0.2 API
-    /// rename: the `build_sim`/`build_threaded` shims, the
-    /// `register`/`register_direct`/`register_after` injection trio,
-    /// and the `label()` Display aliases. Every other caller in the
-    /// tree has been migrated; this one keeps the shims compiling and
-    /// behaving until they are removed.
+    /// The 0.2 deprecation cycle is complete: the `build_sim` /
+    /// `build_threaded` shims, the `register`/`register_direct`/
+    /// `register_after` alias trio and the `label()` Display aliases are
+    /// gone. This test pins their *replacements* — the exact surface the
+    /// README migration table points migrating callers at.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_aliases_still_work() {
-        // Builder shims.
-        let rt = RuntimeBuilder::new().cores(2).build_sim();
+    fn removed_aliases_have_working_replacements() {
+        // `build_sim()` → `build(ExecKind::Sim)` (+ `into_sim` when the
+        // concrete runtime is needed); same for the threaded executor.
+        let rt = RuntimeBuilder::new()
+            .cores(2)
+            .build(ExecKind::Sim)
+            .into_sim();
         assert_eq!(rt.config().cores, 2);
-        let mut rt = RuntimeBuilder::new().cores(2).build_threaded();
+        let mut rt = RuntimeBuilder::new()
+            .cores(2)
+            .build(ExecKind::Threaded)
+            .into_threaded();
         assert_eq!(rt.cores(), 2);
 
-        // Display aliases.
-        assert_eq!(Flavor::Mely.label(), Flavor::Mely.to_string());
-        assert_eq!(
-            crate::steal::WsPolicy::improved().label(),
-            crate::steal::WsPolicy::improved().to_string()
-        );
+        // `label()` → the Display impls.
+        assert_eq!(Flavor::Mely.to_string(), "Mely");
+        assert!(!crate::steal::WsPolicy::improved().to_string().is_empty());
 
-        // The injection trio's old names still deliver events.
+        // `register`/`register_direct`/`register_after` →
+        // `inject`/`inject_locked`/`inject_after`.
         use crate::color::Color;
         use crate::event::Event;
         rt.register(Event::new(Color::new(1), 0).with_action(|ctx| {
@@ -375,17 +371,16 @@ mod tests {
         }));
         let handle = rt.handle();
         let injector = std::thread::spawn(move || {
-            handle.register(Event::new(Color::new(7), 0));
-            handle.register_direct(Event::new(Color::new(8), 0));
-            handle.register_after(1_000, Event::new(Color::new(9), 0));
+            handle.inject(Event::new(Color::new(7), 0));
+            handle.inject_locked(Event::new(Color::new(8), 0));
+            handle.inject_after(1_000, Event::new(Color::new(9), 0));
         });
         let r = rt.run();
         injector.join().unwrap();
         assert_eq!(r.events_processed(), 5);
 
-        // The legacy trio is untouched by the admission redesign: on a
-        // runtime with bounded queues (generous caps, so nothing can
-        // shed) the old names still deliver every event.
+        // Same trio on a runtime with bounded queues (generous caps, so
+        // nothing can shed): every event is still delivered.
         use crate::admission::{AdmissionPolicy, QueueLimits};
         let mut rt = RuntimeBuilder::new()
             .cores(2)
@@ -395,12 +390,13 @@ mod tests {
                     .inbox_backlog(1_024),
             )
             .admission(AdmissionPolicy::Shed)
-            .build_threaded();
+            .build(ExecKind::Threaded)
+            .into_threaded();
         let handle = rt.handle();
         let injector = std::thread::spawn(move || {
-            handle.register(Event::new(Color::new(7), 0));
-            handle.register_direct(Event::new(Color::new(8), 0));
-            handle.register_after(1_000, Event::new(Color::new(9), 0));
+            handle.inject(Event::new(Color::new(7), 0));
+            handle.inject_locked(Event::new(Color::new(8), 0));
+            handle.inject_after(1_000, Event::new(Color::new(9), 0));
         });
         injector.join().unwrap();
         let r = rt.run();

@@ -46,6 +46,7 @@ use crate::ctx::{Ctx, CtxEffects};
 use crate::dataset::{DataSetAlloc, DataSetRef};
 use crate::event::Event;
 use crate::exec::{ExecKind, Executor, Injector, MailboxEntry, SimMailbox};
+use crate::fuzz::{SchedulePerturbation, ScheduleRng};
 use crate::handler::{HandlerId, HandlerRegistry, HandlerSpec};
 use crate::metrics::{CoreMetrics, RunReport};
 use crate::queue::{LegacyQueue, MelyQueue, QueueImpl};
@@ -79,6 +80,9 @@ pub struct SimConfig {
     pub queue_limits: QueueLimits,
     /// What infallible injection does when a limit is hit.
     pub admission: AdmissionPolicy,
+    /// Seeded schedule perturbation ([`crate::fuzz`]); `None` (the
+    /// default) keeps the canonical deterministic schedule.
+    pub perturb: Option<SchedulePerturbation>,
 }
 
 struct SimCore {
@@ -141,6 +145,9 @@ pub struct SimRuntime {
     /// External-producer mailbox behind [`crate::exec::Injector`]; the
     /// run loop drains it at iteration boundaries.
     mailbox: Arc<SimMailbox>,
+    /// The decision stream for schedule perturbation (`Some` iff
+    /// `cfg.perturb` is). Replay = fresh runtime + same seed.
+    sched_rng: Option<ScheduleRng>,
 }
 
 /// Simulated addresses of event continuations live below the dataset
@@ -184,6 +191,7 @@ impl SimRuntime {
             AdmissionCtl::new(cfg.queue_limits, cfg.admission),
             cfg.cores,
         ));
+        let sched_rng = cfg.perturb.map(|p| p.rng());
         let mut rt = SimRuntime {
             cfg,
             cores,
@@ -197,6 +205,7 @@ impl SimRuntime {
             stopped: false,
             attempt_wait: 0,
             mailbox,
+            sched_rng,
         };
         rt.cache = cache;
         rt.sync_steal_estimates();
@@ -305,6 +314,19 @@ impl SimRuntime {
         self.cores.iter().map(|c| c.queue.len()).sum()
     }
 
+    /// The perturbation RNG, but only when `toggle` is enabled on the
+    /// configured [`SchedulePerturbation`] — each decision point gates
+    /// on its own flag so perturbations are individually toggleable.
+    fn perturb_rng(
+        &mut self,
+        toggle: impl Fn(&SchedulePerturbation) -> bool,
+    ) -> Option<&mut ScheduleRng> {
+        match &self.cfg.perturb {
+            Some(p) if toggle(p) => self.sched_rng.as_mut(),
+            _ => None,
+        }
+    }
+
     /// Runs until every queue and timer drains (or a handler called
     /// [`Ctx::stop_runtime`], or `max_cycles` elapsed), then returns the
     /// cumulative report. Can be called again after registering more
@@ -368,7 +390,9 @@ impl SimRuntime {
                 .map(|c| c.clock.max(c.lock_free_at))
                 .max();
             let slack = 4 * self.cfg.costs.idle_recheck;
+            let scramble = self.cfg.perturb.is_some_and(|p| p.scramble_core_pick);
             let mut best: Option<(u64, usize)> = None;
+            let mut actionable: Vec<usize> = Vec::new();
             for i in 0..self.cores.len() {
                 let qlen = self.cores[i].queue.len();
                 let clock = self.cores[i].clock;
@@ -376,9 +400,23 @@ impl SimRuntime {
                     && total > qlen
                     && total > 0
                     && busy_horizon.is_some_and(|h| clock <= h + slack);
-                if (qlen > 0 || can_steal) && best.is_none_or(|(bt, _)| clock < bt) {
-                    best = Some((clock, i));
+                if qlen > 0 || can_steal {
+                    if scramble {
+                        actionable.push(i);
+                    }
+                    if best.is_none_or(|(bt, _)| clock < bt) {
+                        best = Some((clock, i));
+                    }
                 }
+            }
+            if scramble && !actionable.is_empty() {
+                // Perturbed core pick: any actionable core may step next,
+                // not just the earliest clock — this shifts *when* each
+                // core runs (and checks for steals) relative to its
+                // peers while every legal choice still makes progress.
+                let rng = self.sched_rng.as_mut().expect("perturb implies rng");
+                let i = actionable[rng.pick(actionable.len())];
+                best = Some((self.cores[i].clock, i));
             }
             match best {
                 Some((_, c)) => self.step(c),
@@ -432,8 +470,26 @@ impl SimRuntime {
 
     /// Absorbs externally injected events ([`crate::exec::Injector`])
     /// into the owning cores' queues and the timer heap.
+    ///
+    /// Under [`SchedulePerturbation::perturb_mailbox`] the drain is
+    /// sometimes deferred to a later iteration (shifting the absorption
+    /// point) and the drained batch is absorbed in a shuffled order. The
+    /// RNG is consulted only when the mailbox holds entries, so the
+    /// decision stream is keyed to deterministic state.
     fn drain_mailbox(&mut self) {
-        for entry in self.mailbox.drain() {
+        if !self.mailbox.has_buffered() {
+            return;
+        }
+        if let Some(rng) = self.perturb_rng(|p| p.perturb_mailbox) {
+            if rng.chance(1, 4) {
+                return;
+            }
+        }
+        let mut batch = self.mailbox.drain();
+        if let Some(rng) = self.perturb_rng(|p| p.perturb_mailbox) {
+            rng.shuffle(&mut batch);
+        }
+        for entry in batch {
             match entry {
                 MailboxEntry::Now(ev) => {
                     let owner = self.owner_of(ev.color());
@@ -477,9 +533,17 @@ impl SimRuntime {
     }
 
     fn step(&mut self, c: usize) {
-        let batch = self.cfg.batch_threshold;
+        // Under batch-cut jitter the effective per-color dispatch batch
+        // for this step is a random 1..=batch_threshold. It is drawn
+        // once and shared by `next_ready_time` and `pop`: both walk the
+        // same rotation state, so disagreeing values would desync them.
+        let threshold = self.cfg.batch_threshold.max(1);
+        let batch = match self.perturb_rng(|p| p.jitter_batch_cut) {
+            Some(rng) => rng.pick(threshold as usize) as u32 + 1,
+            None => threshold,
+        };
         match self.cores[c].queue.next_ready_time(batch) {
-            Some(t) if t <= self.cores[c].clock => self.execute_one(c),
+            Some(t) if t <= self.cores[c].clock => self.execute_one(c, batch),
             Some(t) => {
                 // Wait for the event to become visible.
                 let m = &mut self.cores[c];
@@ -488,22 +552,33 @@ impl SimRuntime {
             }
             None => {
                 debug_assert!(self.cfg.ws.enabled);
+                if let Some(rng) = self.perturb_rng(|p| p.defer_steals) {
+                    if rng.chance(1, 4) {
+                        // Perturbed steal timing: skip this steal check
+                        // and idle one recheck period instead.
+                        let pause = self.cfg.costs.idle_recheck;
+                        let m = &mut self.cores[c];
+                        m.clock += pause;
+                        m.metrics.idle_cycles += pause;
+                        return;
+                    }
+                }
                 // After a successful steal the thief immediately executes
                 // (as a real worker loop does after `migrate` returns) —
                 // otherwise lower-clock idle cores could re-steal the set
                 // before its holder ever runs it, ping-ponging forever.
                 if self.try_steal(c) {
-                    self.execute_one(c);
+                    self.execute_one(c, batch);
                 }
             }
         }
     }
 
-    fn execute_one(&mut self, c: usize) {
+    fn execute_one(&mut self, c: usize, batch: u32) {
         let costs = self.cfg.costs.clone();
         // Pop under our own lock.
         self.lock(c, c, costs.lock_acquire + costs.queue_op);
-        let Some(mut ev) = self.cores[c].queue.pop(self.cfg.batch_threshold) else {
+        let Some(mut ev) = self.cores[c].queue.pop(batch) else {
             return;
         };
         self.mailbox
@@ -552,6 +627,7 @@ impl SimRuntime {
         self.cores[c].in_flight = Some((color, start + exec));
         self.cores[c].metrics.busy_cycles += exec;
         self.cores[c].metrics.events_processed += 1;
+        self.cores[c].metrics.note_completion(color, ev.seq);
         for latency in fx.completions() {
             self.cores[c].metrics.completed_requests += 1;
             self.cores[c].metrics.latency.record(latency);
@@ -599,7 +675,12 @@ impl SimRuntime {
         self.attempt_wait = 0;
 
         let loads: Vec<usize> = self.cores.iter().map(|x| x.queue.len()).collect();
-        let set = construct_core_set(self.cfg.ws, c, &loads, &self.cfg.machine);
+        let mut set = construct_core_set(self.cfg.ws, c, &loads, &self.cfg.machine);
+        if let Some(rng) = self.perturb_rng(|p| p.shuffle_victims) {
+            // Perturbed victim choice: visit candidates in a shuffled
+            // order instead of the policy's canonical one.
+            rng.shuffle(&mut set);
+        }
         for v in set {
             if v == c || v >= self.cores.len() {
                 continue;
@@ -985,6 +1066,7 @@ mod tests {
             }
             let r = rt.run();
             (
+                r.fingerprint(),
                 r.events_processed(),
                 r.wall_cycles(),
                 r.total().steals,

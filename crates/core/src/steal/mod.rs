@@ -87,15 +87,6 @@ impl WsPolicy {
         self.penalty = on;
         self
     }
-
-    /// Deprecated alias of the [`std::fmt::Display`] implementation.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the Display impl (`format!(\"{policy}\")`)"
-    )]
-    pub fn label(&self) -> String {
-        self.to_string()
-    }
 }
 
 impl std::fmt::Display for WsPolicy {

@@ -396,30 +396,6 @@ impl RuntimeHandle {
         self.shared.register_after(delay, ev);
     }
 
-    /// Deprecated alias of [`RuntimeHandle::inject`].
-    #[deprecated(since = "0.2.0", note = "renamed to `inject` (see mely_core::exec)")]
-    pub fn register(&self, ev: Event) {
-        self.inject(ev);
-    }
-
-    /// Deprecated alias of [`RuntimeHandle::inject_locked`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "renamed to `inject_locked` (see mely_core::exec)"
-    )]
-    pub fn register_direct(&self, ev: Event) {
-        self.inject_locked(ev);
-    }
-
-    /// Deprecated alias of [`RuntimeHandle::inject_after`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "renamed to `inject_after` (see mely_core::exec)"
-    )]
-    pub fn register_after(&self, delay: u64, ev: Event) {
-        self.inject_after(delay, ev);
-    }
-
     /// Asks every worker to stop at the next opportunity.
     pub fn stop(&self) {
         self.shared.stop.store(true, Ordering::Release);
@@ -807,6 +783,7 @@ fn execute_event(shared: &Shared, me: usize, mut ev: Event, m: &mut CoreMetrics)
     let elapsed = cycles::now().wrapping_sub(t0);
     m.busy_cycles += elapsed;
     m.events_processed += 1;
+    m.note_completion(ev.color(), ev.seq);
     for latency in fx.completions() {
         m.completed_requests += 1;
         m.latency.record(latency);
@@ -1186,9 +1163,9 @@ mod tests {
         assert!(r.inbox_pushes() >= 20, "inbox path used for half");
     }
 
-    // The deprecated register/register_direct/register_after aliases
-    // are pinned by the single consolidated test
-    // `runtime::tests::deprecated_aliases_still_work`.
+    // The inject/inject_locked/inject_after trio is pinned by the
+    // consolidated test
+    // `runtime::tests::removed_aliases_have_working_replacements`.
 
     #[test]
     fn timers_fire() {

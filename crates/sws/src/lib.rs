@@ -1336,6 +1336,7 @@ mod tests {
             let svc = rt.install(SwsService::new(net, driver, cfg));
             let report = rt.run();
             (
+                report.fingerprint(),
                 svc.stats().responses,
                 report.events_processed(),
                 report.completed_requests(),
@@ -1344,7 +1345,9 @@ mod tests {
         };
         let a = run_stage();
         let b = run_stage();
-        assert!(a.0 > 0, "must actually serve requests");
+        assert!(a.1 > 0, "must actually serve requests");
+        // Fingerprint equality pins the whole per-core completion
+        // sequence, not just the aggregate counts.
         assert_eq!(a, b, "deterministic replay of the stage pipeline");
 
         // The raw low-level Sws, by contrast, never opens requests: the

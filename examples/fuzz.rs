@@ -1,0 +1,78 @@
+//! Schedule fuzzing from the command line: sweep seeds over a fork/join
+//! workload on the perturbed sim executor, check the structural
+//! invariants on every schedule, and print each seed's fingerprint.
+//!
+//! Run with `cargo run --example fuzz` (16 seeds), or pick the sweep
+//! with `MELY_FUZZ_SEEDS=64 cargo run --example fuzz`. Replay one seed
+//! with `MELY_FUZZ_SEED=0x2a cargo run --example fuzz` — same seed,
+//! same fingerprint, every time.
+
+use mely_repro::core::prelude::*;
+
+/// The workload under test: an unbalanced fork/join cascade of raw
+/// events. Each of 32 seeds (all pinned to core 0) forks 3 children on
+/// fresh colors; 32 * (1 + 3) = 128 events total on every schedule.
+fn install(rt: &mut Runtime) {
+    for s in 0..32u16 {
+        rt.register_pinned(
+            Event::new(Color::new(s + 1), 8_000).with_action(move |ctx| {
+                for w in 0..3u16 {
+                    ctx.register(Event::new(Color::new(1_000 + s * 3 + w), 3_000));
+                }
+            }),
+            0,
+        );
+    }
+}
+
+fn sweep_seeds() -> Vec<u64> {
+    if let Ok(one) = std::env::var("MELY_FUZZ_SEED") {
+        let s = one.trim();
+        let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        };
+        return vec![parsed.unwrap_or_else(|_| panic!("bad MELY_FUZZ_SEED {s:?}"))];
+    }
+    let n = std::env::var("MELY_FUZZ_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    (0..n).collect()
+}
+
+fn main() {
+    let seeds = sweep_seeds();
+    println!("sweeping {} perturbed schedule(s)\n", seeds.len());
+    let mut failures = 0u32;
+    let mut distinct: Vec<RunFingerprint> = Vec::new();
+    for seed in seeds {
+        let mut rt = RuntimeBuilder::new()
+            .cores(4)
+            .flavor(Flavor::Mely)
+            .workstealing(WsPolicy::improved())
+            .schedule_seed(seed)
+            .build(ExecKind::Sim);
+        install(&mut rt);
+        let report = rt.run();
+        let fp = report.fingerprint();
+        let ok = report.events_processed() == 128;
+        if !ok {
+            failures += 1;
+        }
+        if !distinct.contains(&fp) {
+            distinct.push(fp);
+        }
+        println!(
+            "seed {seed:#06x}  fingerprint {fp}  events {:>3}  steals {:>3}  {}",
+            report.events_processed(),
+            report.total().steals,
+            if ok { "ok" } else { "INVARIANT VIOLATED" }
+        );
+        if !ok {
+            println!("  replay: MELY_FUZZ_SEED={seed:#x} cargo run --example fuzz");
+        }
+    }
+    println!("\n{} distinct schedule(s) explored", distinct.len());
+    assert_eq!(failures, 0, "some perturbed schedule broke an invariant");
+}

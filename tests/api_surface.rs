@@ -41,10 +41,13 @@ const PRELUDE_EXPORTS: &[&str] = &[
     "Pipeline",
     "PipelineBuilder",
     "QueueLimits",
+    "RunFingerprint",
     "RunReport",
     "Runtime",
     "RuntimeBuilder",
     "RuntimeHandle",
+    "SchedulePerturbation",
+    "ScheduleRng",
     "Service",
     "SimRuntime",
     "Stage",
@@ -87,10 +90,13 @@ fn every_export_resolves() {
     ty::<p::Pipeline>();
     ty::<p::PipelineBuilder>();
     ty::<p::QueueLimits>();
+    ty::<p::RunFingerprint>();
     ty::<p::RunReport>();
     ty::<p::Runtime>();
     ty::<p::RuntimeBuilder>();
     ty::<p::RuntimeHandle>();
+    ty::<p::SchedulePerturbation>();
+    ty::<p::ScheduleRng>();
     ty::<dyn p::Service>();
     ty::<p::SimRuntime>();
     ty::<p::StageCtx<'_, '_>>();
