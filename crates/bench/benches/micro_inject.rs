@@ -73,7 +73,7 @@ fn injection_run(mode: InjectMode, producers: usize, per_producer: u64) -> Durat
             mode,
         },
     );
-    pool.join();
+    pool.join().expect("producers must not panic");
     let wall = start.elapsed();
     stopper.stop();
     runner.join().expect("runtime must not panic");

@@ -117,7 +117,7 @@ fn run_scenario(
         }
         injector.inject(make_event(&zipf, &pareto, p, i));
     });
-    pool.join();
+    pool.join().expect("producers must not panic");
     stopper.stop_when_idle();
     drop(keepalive);
     let report = runner.join().expect("runtime must not panic");

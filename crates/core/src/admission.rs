@@ -191,6 +191,12 @@ pub enum OverloadReason {
     /// or, on the simulator, the run loop has been stopped and will
     /// never drain its mailbox again.
     InboxBacklog,
+    /// The event's color is quarantined after a contained handler fault
+    /// (see [`crate::fault`]): a faulted color accepts no new work for
+    /// the rest of the runtime's life, so there is no meaningful retry
+    /// hint. Returned regardless of configured [`QueueLimits`] — even
+    /// an unbounded runtime rejects quarantined colors.
+    Quarantined,
 }
 
 impl fmt::Display for OverloadReason {
@@ -199,6 +205,7 @@ impl fmt::Display for OverloadReason {
             OverloadReason::PerCoreFull => "per-core queue full",
             OverloadReason::ColorHot => "color hot",
             OverloadReason::InboxBacklog => "inbox backlog",
+            OverloadReason::Quarantined => "color quarantined",
         })
     }
 }
@@ -261,6 +268,10 @@ pub(crate) struct AdmissionCtl {
     pub(crate) rejects: AtomicU64,
     pub(crate) shed_requests: AtomicU64,
     pub(crate) shed_by_color: AtomicU64,
+    /// Events dropped at the admission boundary because their color was
+    /// quarantined (see [`crate::fault`]); drain-side quarantine
+    /// discards are counted per core instead.
+    pub(crate) shed_by_fault: AtomicU64,
 }
 
 impl AdmissionCtl {
@@ -277,6 +288,7 @@ impl AdmissionCtl {
             rejects: AtomicU64::new(0),
             shed_requests: AtomicU64::new(0),
             shed_by_color: AtomicU64::new(0),
+            shed_by_fault: AtomicU64::new(0),
         }
     }
 
@@ -345,6 +357,9 @@ impl AdmissionCtl {
         self.shed_requests.fetch_add(1, Ordering::Relaxed);
         if reason == OverloadReason::ColorHot {
             self.shed_by_color.fetch_add(1, Ordering::Relaxed);
+        }
+        if reason == OverloadReason::Quarantined {
+            self.shed_by_fault.fetch_add(1, Ordering::Relaxed);
         }
     }
 }

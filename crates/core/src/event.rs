@@ -53,6 +53,12 @@ pub struct Event {
     /// Whether admission control claimed a per-color in-flight slot for
     /// this event; the executor releases the slot when it executes.
     pub(crate) color_counted: bool,
+    /// Whether this event carries a live request of the typed stage
+    /// layer (stage chains are linear, so exactly one queued/in-flight
+    /// event holds each open request). Losing such an event — fault,
+    /// quarantine drain, injected drop — fails exactly one request,
+    /// which is how `failed_requests` stays exact.
+    pub(crate) carries_request: bool,
 }
 
 impl Event {
@@ -70,6 +76,7 @@ impl Event {
             seq: 0,
             visible_at: 0,
             color_counted: false,
+            carries_request: false,
         }
     }
 

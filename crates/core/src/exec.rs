@@ -77,6 +77,7 @@ use parking_lot::Mutex;
 use crate::admission::{AdmissionCtl, AdmissionPolicy, Admitted, Overload, OverloadReason};
 use crate::dataset::DataSetRef;
 use crate::event::Event;
+use crate::fault::FaultCtl;
 use crate::handler::{HandlerId, HandlerSpec};
 use crate::metrics::RunReport;
 use crate::runtime::Flavor;
@@ -258,6 +259,11 @@ pub(crate) struct SimMailbox {
     /// Queue limits, admission policy, per-color occupancy and the
     /// reject/shed counters (see [`crate::admission`]).
     pub(crate) admission: AdmissionCtl,
+    /// Fault policy, quarantine membership and the fault log, shared
+    /// with the run loop (see [`crate::fault`]). Injection into a
+    /// quarantined color is refused at this boundary so producers see
+    /// the failure instead of feeding a drain.
+    pub(crate) faults: Arc<FaultCtl>,
     /// Simulated core count (for the per-core admission check's home-core
     /// dispatch estimate).
     num_cores: usize,
@@ -269,7 +275,7 @@ pub(crate) struct SimMailbox {
 
 impl Default for SimMailbox {
     fn default() -> Self {
-        SimMailbox::new(AdmissionCtl::unbounded(), 1)
+        SimMailbox::new(AdmissionCtl::unbounded(), 1, Arc::default())
     }
 }
 
@@ -293,7 +299,7 @@ impl MailboxEntry {
 }
 
 impl SimMailbox {
-    pub(crate) fn new(admission: AdmissionCtl, num_cores: usize) -> Self {
+    pub(crate) fn new(admission: AdmissionCtl, num_cores: usize, faults: Arc<FaultCtl>) -> Self {
         let tracked = if admission.limits.per_core_events.is_some() {
             num_cores
         } else {
@@ -308,6 +314,7 @@ impl SimMailbox {
             stop: AtomicBool::new(false),
             idle: AtomicBool::new(true),
             admission,
+            faults,
             num_cores,
             core_occupancy: occ.into_boxed_slice(),
         }
@@ -321,14 +328,21 @@ impl SimMailbox {
     }
 
     /// Enqueue without limit checks (the `inject_locked` /
-    /// `inject_after` paths). One check still applies: a stopped run
+    /// `inject_after` paths). Two checks still apply: a stopped run
     /// loop never drains its mailbox, so buffering into it would leak
-    /// the event forever — the historical footgun. Such pushes are
-    /// dropped and counted as a reject plus a shed instead.
+    /// the event forever — the historical footgun — and a quarantined
+    /// color's events would only be drained and discarded by the run
+    /// loop anyway. Such pushes are dropped and counted as a reject
+    /// plus a shed instead.
     fn push_unchecked(&self, entry: MailboxEntry) {
         if self.stop_requested() {
             self.admission.note_reject();
             self.admission.note_shed(OverloadReason::InboxBacklog);
+            return;
+        }
+        if self.faults.is_quarantined(entry.event().color()) {
+            self.admission.note_reject();
+            self.admission.note_shed(OverloadReason::Quarantined);
             return;
         }
         self.push_raw(entry);
@@ -346,6 +360,14 @@ impl SimMailbox {
                 OverloadReason::InboxBacklog,
                 self.buffered.load(Ordering::Acquire),
             );
+            return Err((ov, entry));
+        }
+        // The quarantine gate precedes the unbounded fast path: a
+        // poisoned color rejects even on a runtime with no queue limits
+        // configured. `Overload::reason` tells the producer this is not
+        // backpressure — there is no occupancy to drain, so no hint.
+        if self.faults.is_quarantined(entry.event().color()) {
+            let ov = self.admission.overload(OverloadReason::Quarantined, 0);
             return Err((ov, entry));
         }
         if self.admission.is_unbounded() {
@@ -407,7 +429,13 @@ impl SimMailbox {
                         self.admission.note_reject();
                         first_reject = false;
                     }
-                    if policy == AdmissionPolicy::Shed || self.stop_requested() {
+                    // Quarantine never clears while the runtime runs, so
+                    // the waiting policies shed too — blocking on a
+                    // poisoned color would hang the producer forever.
+                    if policy == AdmissionPolicy::Shed
+                        || ov.reason == OverloadReason::Quarantined
+                        || self.stop_requested()
+                    {
                         self.admission.note_shed(ov.reason);
                         return;
                     }
@@ -715,7 +743,12 @@ impl KeepAlive {
 impl Drop for KeepAlive {
     fn drop(&mut self) {
         if let Some(release) = self.release.take() {
-            release();
+            // Guards are held by producer threads precisely so the
+            // runtime outlives them; if such a thread panics, the guard
+            // drops during its unwind, and a release that panicked here
+            // would escalate to a double-panic abort. Contain it: the
+            // counter decrement is the part that must happen.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(release));
         }
     }
 }

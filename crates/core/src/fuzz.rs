@@ -204,6 +204,134 @@ impl ScheduleRng {
     }
 }
 
+/// Seeded fault injection: deterministic chaos for the fault-isolation
+/// layer (see [`crate::fault`]).
+///
+/// A plan is the fault-injection analogue of [`SchedulePerturbation`]:
+/// one `u64` seed drives a dedicated [`ScheduleRng`] stream (separate
+/// from the schedule-perturbation stream, so enabling faults never
+/// shifts scheduling draws), and every injection decision is a draw
+/// from it. Rates are integers per million so draws stay in the exact
+/// [`ScheduleRng::chance`] arithmetic — no float nondeterminism.
+///
+/// Three injection points:
+///
+/// - **handler panics** (`panic_per_million`) — a dispatched handler is
+///   forced to panic (via a marker payload through the *real*
+///   `catch_unwind` containment path), recorded as
+///   [`FaultKind::InjectedPanic`](crate::fault::FaultKind::InjectedPanic)
+///   and subject to the configured
+///   [`FaultPolicy`](crate::fault::FaultPolicy);
+/// - **event drops** (`drop_per_million`) — a dispatched event is
+///   discarded before its handler runs, modeling message loss
+///   ([`FaultKind::InjectedDrop`](crate::fault::FaultKind::InjectedDrop);
+///   no quarantine);
+/// - **timer spikes** (`timer_spike_per_million`) — a handler-requested
+///   delay is stretched by `timer_spike_cycles`, modeling a late timer.
+///
+/// On the sim executor the whole fault schedule replays bit-identically
+/// for a given seed and its sites are covered by the run's
+/// [`RunFingerprint`](crate::metrics::RunFingerprint). The threaded
+/// executor honors the same plan probabilistically — per-worker streams
+/// derived from the one seed — since OS scheduling decides which worker
+/// dispatches which event.
+///
+/// # Examples
+///
+/// ```
+/// use mely_core::prelude::*;
+///
+/// let run = |seed: u64| {
+///     let mut rt = RuntimeBuilder::new()
+///         .cores(2)
+///         .schedule_seed(seed)
+///         .fault_plan(FaultPlan::new(seed).with_panics(200_000))
+///         .build(ExecKind::Sim);
+///     for i in 0..64u16 {
+///         rt.register(Event::new(Color::new(i + 1), 1_000).with_action(|_| {}));
+///     }
+///     rt.run()
+/// };
+/// let (a, b) = (run(3), run(3));
+/// // Same seed: same fault sites, same fingerprint.
+/// assert_eq!(a.faults(), b.faults());
+/// assert!(a.faults() > 0, "20% panic rate over 64 events");
+/// assert_eq!(a.fingerprint(), b.fingerprint());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Seed of the dedicated fault-decision stream.
+    pub seed: u64,
+    /// Injected handler panics, per million dispatches.
+    pub panic_per_million: u32,
+    /// Injected event drops, per million dispatches.
+    pub drop_per_million: u32,
+    /// Timer-delay spikes, per million delayed registrations.
+    pub timer_spike_per_million: u32,
+    /// Cycles added to a spiked timer delay.
+    pub timer_spike_cycles: u64,
+}
+
+impl FaultPlan {
+    /// A plan with every rate zero (injects nothing until rates are
+    /// set).
+    pub const fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_per_million: 0,
+            drop_per_million: 0,
+            timer_spike_per_million: 0,
+            timer_spike_cycles: 1_000_000,
+        }
+    }
+
+    /// Sets the injected-panic rate (per million dispatches).
+    pub const fn with_panics(mut self, per_million: u32) -> Self {
+        self.panic_per_million = per_million;
+        self
+    }
+
+    /// Sets the injected-drop rate (per million dispatches).
+    pub const fn with_drops(mut self, per_million: u32) -> Self {
+        self.drop_per_million = per_million;
+        self
+    }
+
+    /// Sets the timer-spike rate (per million delayed registrations)
+    /// and the spike magnitude in cycles.
+    pub const fn with_timer_spikes(mut self, per_million: u32, cycles: u64) -> Self {
+        self.timer_spike_per_million = per_million;
+        self.timer_spike_cycles = cycles;
+        self
+    }
+
+    /// Converts a probability in `[0, 1]` (e.g. a parsed
+    /// `MELY_FAULT_RATE`) to a per-million rate.
+    pub fn rate_per_million(rate: f64) -> u32 {
+        (rate.clamp(0.0, 1.0) * 1_000_000.0).round() as u32
+    }
+
+    /// Whether the plan injects nothing (all rates zero) — such plans
+    /// are dropped at build time so the hot paths stay draw-free.
+    pub fn is_noop(&self) -> bool {
+        self.panic_per_million == 0
+            && self.drop_per_million == 0
+            && self.timer_spike_per_million == 0
+    }
+
+    /// The fault-decision stream for the sim executor's single run
+    /// loop.
+    pub fn rng(&self) -> ScheduleRng {
+        ScheduleRng::new(self.seed)
+    }
+
+    /// A per-worker fault-decision stream for the threaded executor:
+    /// derived from the one seed, distinct per core.
+    pub fn worker_rng(&self, core: usize) -> ScheduleRng {
+        ScheduleRng::new(self.seed ^ (core as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +384,28 @@ mod tests {
         assert!((0..100).all(|_| rng.chance(1, 1)), "1/1 always fires");
         let mut rng = ScheduleRng::new(13);
         assert!((0..100).all(|_| !rng.chance(0, 4)), "0/4 never fires");
+    }
+
+    #[test]
+    fn fault_plan_builders_and_noop() {
+        let p = FaultPlan::new(5);
+        assert!(p.is_noop(), "fresh plans inject nothing");
+        let p = p.with_panics(100).with_drops(50).with_timer_spikes(10, 777);
+        assert!(!p.is_noop());
+        assert_eq!((p.panic_per_million, p.drop_per_million), (100, 50));
+        assert_eq!(p.timer_spike_cycles, 777);
+        assert_eq!(FaultPlan::rate_per_million(0.02), 20_000);
+        assert_eq!(FaultPlan::rate_per_million(-1.0), 0);
+        assert_eq!(FaultPlan::rate_per_million(7.0), 1_000_000);
+    }
+
+    #[test]
+    fn fault_plan_streams_are_deterministic_and_per_worker_distinct() {
+        let p = FaultPlan::new(21);
+        assert_eq!(p.rng().next_u64(), ScheduleRng::new(21).next_u64());
+        let (a, b) = (p.worker_rng(0).next_u64(), p.worker_rng(1).next_u64());
+        assert_ne!(a, b, "workers draw from distinct streams");
+        assert_eq!(p.worker_rng(0).next_u64(), a, "and each replays");
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod cycles;
 pub mod dataset;
 pub mod event;
 pub mod exec;
+pub mod fault;
 pub mod fuzz;
 pub mod handler;
 pub mod metrics;
@@ -82,7 +83,8 @@ pub mod prelude {
     pub use crate::dataset::DataSetRef;
     pub use crate::event::Event;
     pub use crate::exec::{ExecKind, Executor, Injector, KeepAlive, Runtime, Service};
-    pub use crate::fuzz::{SchedulePerturbation, ScheduleRng};
+    pub use crate::fault::{Fault, FaultKind, FaultPolicy};
+    pub use crate::fuzz::{FaultPlan, SchedulePerturbation, ScheduleRng};
     pub use crate::handler::{HandlerId, HandlerSpec};
     pub use crate::metrics::{CoreMetrics, LatencyHistogram, RunFingerprint, RunReport};
     pub use crate::runtime::{Flavor, RuntimeBuilder};

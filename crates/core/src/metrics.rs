@@ -13,6 +13,7 @@ use std::hash::Hasher;
 use fxhash::FxHasher;
 
 use crate::color::Color;
+use crate::fault::Fault;
 use crate::steal::WsPolicy;
 
 /// One step of the running Fx digest: folds `word` into `state` through
@@ -209,6 +210,21 @@ pub struct CoreMetrics {
     /// The subset of `shed_requests` rejected by the per-color limit
     /// ([`crate::admission::OverloadReason::ColorHot`]).
     pub shed_by_color: u64,
+    /// Contained faults recorded on this core: handler panics (organic
+    /// or [`crate::fuzz::FaultPlan`]-injected), injected drops, and —
+    /// attributed at join time — worker deaths. See [`crate::fault`].
+    pub faults: u64,
+    /// Requests that failed because the event carrying them faulted or
+    /// was discarded by a quarantine drain. Together with
+    /// `completed_requests` and `shed_requests` this closes the offered
+    /// accounting: `offered = completed + failed + shed`.
+    pub failed_requests: u64,
+    /// Events discarded because their color was quarantined — queue
+    /// drains on this core, plus (attributed to core 0) admission-side
+    /// quarantine sheds.
+    pub shed_by_fault: u64,
+    /// Colors newly quarantined by faults on this core.
+    pub quarantined_colors: u64,
     /// Per-request latency samples completed on this core.
     pub latency: LatencyHistogram,
     /// Order-sensitive Fx digest of the `(color, seq)` completion
@@ -216,6 +232,11 @@ pub struct CoreMetrics {
     /// [`RunReport::fingerprint`]. Updated by
     /// [`CoreMetrics::note_completion`] on every event execution.
     pub completion_digest: u64,
+    /// Order-sensitive Fx digest of the fault sites this core hit
+    /// (`(color, kind, seq)` per fault) — folded into
+    /// [`RunReport::fingerprint`] so a chaos replay must reproduce not
+    /// just the schedule but the exact fault schedule.
+    pub fault_digest: u64,
 }
 
 impl CoreMetrics {
@@ -227,6 +248,19 @@ impl CoreMetrics {
     pub fn note_completion(&mut self, color: Color, seq: u64) {
         self.completion_digest = fx_fold(
             fx_fold(self.completion_digest, u64::from(color.value())),
+            seq,
+        );
+    }
+
+    /// Counts one contained fault and folds its site into this core's
+    /// fault digest. `kind_code` is the [`crate::fault::FaultKind`]'s
+    /// stable small code; `seq` identifies the faulting event (0 for
+    /// faults with no event, e.g. worker deaths).
+    pub(crate) fn note_fault(&mut self, color: Option<Color>, kind_code: u64, seq: u64) {
+        self.faults += 1;
+        let color_word = color.map_or(u64::MAX, |c| u64::from(c.value()));
+        self.fault_digest = fx_fold(
+            fx_fold(fx_fold(self.fault_digest, color_word), kind_code),
             seq,
         );
     }
@@ -259,12 +293,17 @@ impl CoreMetrics {
         self.admission_rejects += o.admission_rejects;
         self.shed_requests += o.shed_requests;
         self.shed_by_color += o.shed_by_color;
+        self.faults += o.faults;
+        self.failed_requests += o.failed_requests;
+        self.shed_by_fault += o.shed_by_fault;
+        self.quarantined_colors += o.quarantined_colors;
         self.latency.merge(&o.latency);
         // Merging cores has no meaningful inter-core order, so the
         // digests combine commutatively; the order-sensitive run
         // identity is [`RunReport::fingerprint`], which folds the
         // per-core digests in core-index order instead.
         self.completion_digest = self.completion_digest.wrapping_add(o.completion_digest);
+        self.fault_digest = self.fault_digest.wrapping_add(o.fault_digest);
     }
 }
 
@@ -274,9 +313,11 @@ impl CoreMetrics {
 ///
 /// - each core's **completion digest** (the order-sensitive hash of the
 ///   `(color, seq)` event-completion sequence that core executed), in
-///   core-index order, alongside that core's event count;
+///   core-index order, alongside that core's event count and **fault
+///   digest** (the order-sensitive hash of its fault sites);
 /// - the run's **structural counts**: events processed, events
-///   registered, successful steals, and completed requests.
+///   registered, successful steals, completed requests, and the fault
+///   totals (faults, failed requests, quarantine sheds).
 ///
 /// Two runs with the same fingerprint executed the same events in the
 /// same per-core order — which is what "replays bit-identically" means
@@ -335,6 +376,7 @@ pub struct RunReport {
     wall_cycles: u64,
     freq_hz: u64,
     policy: WsPolicy,
+    fault_log: Vec<Fault>,
 }
 
 impl RunReport {
@@ -349,7 +391,15 @@ impl RunReport {
             wall_cycles,
             freq_hz,
             policy,
+            fault_log: Vec::new(),
         }
+    }
+
+    /// Attaches the run's recorded [`Fault`]s (capped; the counters are
+    /// exact).
+    pub(crate) fn with_fault_log(mut self, log: Vec<Fault>) -> Self {
+        self.fault_log = log;
+        self
     }
 
     /// Per-core counters.
@@ -495,12 +545,14 @@ impl RunReport {
         self.completed_requests()
     }
 
-    /// Offered load: completed requests plus the requests shed at
-    /// admission. `goodput() / offered_requests()` is the fraction of
-    /// offered load that survived overload control.
+    /// Offered load: completed requests, plus the requests shed at
+    /// admission, plus the requests failed by faults. `goodput() /
+    /// offered_requests()` is the fraction of offered load that
+    /// survived overload control *and* fault containment; the identity
+    /// `offered = goodput + failed + shed` always holds.
     pub fn offered_requests(&self) -> u64 {
         let t = self.total();
-        t.completed_requests + t.shed_requests
+        t.completed_requests + t.shed_requests + t.failed_requests
     }
 
     /// Events dropped at the admission boundary by the shed path.
@@ -519,6 +571,37 @@ impl RunReport {
         self.total().admission_rejects
     }
 
+    /// Contained faults over the whole run: handler panics (organic or
+    /// injected), injected drops, and worker deaths. See
+    /// [`crate::fault`].
+    pub fn faults(&self) -> u64 {
+        self.total().faults
+    }
+
+    /// Requests that failed because their carrying event faulted or was
+    /// discarded by a quarantine drain.
+    pub fn failed_requests(&self) -> u64 {
+        self.total().failed_requests
+    }
+
+    /// Events discarded because their color was quarantined (queue
+    /// drains plus admission-side quarantine sheds).
+    pub fn shed_by_fault(&self) -> u64 {
+        self.total().shed_by_fault
+    }
+
+    /// Colors quarantined during this run.
+    pub fn quarantined_colors(&self) -> u64 {
+        self.total().quarantined_colors
+    }
+
+    /// The recorded [`Fault`]s of this run, in per-core recording order
+    /// (capped at an internal limit; [`RunReport::faults`] stays exact
+    /// past it). Empty when the run was fault-free.
+    pub fn fault_log(&self) -> &[Fault] {
+        &self.fault_log
+    }
+
     /// The stable identity of "the same run": an order-sensitive Fx
     /// hash of the per-core event-completion digests plus the run's
     /// structural counts. See [`RunFingerprint`] for exactly what is
@@ -531,12 +614,16 @@ impl RunReport {
         for c in &self.per_core {
             h.write_u64(c.completion_digest);
             h.write_u64(c.events_processed);
+            h.write_u64(c.fault_digest);
         }
         let t = self.total();
         h.write_u64(t.events_processed);
         h.write_u64(t.registered);
         h.write_u64(t.steals);
         h.write_u64(t.completed_requests);
+        h.write_u64(t.faults);
+        h.write_u64(t.failed_requests);
+        h.write_u64(t.shed_by_fault);
         RunFingerprint(h.finish())
     }
 
@@ -675,6 +762,55 @@ mod tests {
         assert_eq!(r.shed_by_color(), 2);
         assert_eq!(r.admission_rejects(), 5);
         assert_eq!(r.offered_requests(), r.goodput() + r.shed_requests());
+    }
+
+    #[test]
+    fn fault_counters_merge_and_close_the_offered_identity() {
+        use crate::color::Color;
+        let mut a = CoreMetrics {
+            completed_requests: 10,
+            shed_requests: 3,
+            failed_requests: 2,
+            shed_by_fault: 4,
+            quarantined_colors: 1,
+            ..Default::default()
+        };
+        a.note_fault(Some(Color::new(9)), 1, 42);
+        a.note_fault(None, 4, 0);
+        let b = CoreMetrics {
+            completed_requests: 5,
+            failed_requests: 1,
+            ..Default::default()
+        };
+        let r = RunReport::new(vec![a, b], 100, 1_000, WsPolicy::off());
+        assert_eq!(r.faults(), 2);
+        assert_eq!(r.failed_requests(), 3);
+        assert_eq!(r.shed_by_fault(), 4);
+        assert_eq!(r.quarantined_colors(), 1);
+        assert_eq!(
+            r.offered_requests(),
+            r.goodput() + r.failed_requests() + r.shed_requests()
+        );
+        assert!(r.fault_log().is_empty(), "no log attached");
+    }
+
+    #[test]
+    fn fault_digest_is_order_sensitive_and_covered_by_the_fingerprint() {
+        use crate::color::Color;
+        let mut a = CoreMetrics::default();
+        a.note_fault(Some(Color::new(1)), 1, 10);
+        a.note_fault(Some(Color::new(2)), 2, 11);
+        let mut b = CoreMetrics::default();
+        b.note_fault(Some(Color::new(2)), 2, 11);
+        b.note_fault(Some(Color::new(1)), 1, 10);
+        assert_ne!(a.fault_digest, b.fault_digest, "order must matter");
+        let ra = RunReport::new(vec![a], 100, 1_000, WsPolicy::off());
+        let rb = RunReport::new(vec![b], 100, 1_000, WsPolicy::off());
+        assert_ne!(
+            ra.fingerprint(),
+            rb.fingerprint(),
+            "a different fault schedule is a different run"
+        );
     }
 
     #[test]

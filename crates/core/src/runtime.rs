@@ -7,7 +7,8 @@ use mely_topology::{CacheLevel, MachineModel};
 use crate::admission::{AdmissionCtl, AdmissionPolicy, QueueLimits};
 use crate::cost::CostParams;
 use crate::exec::{ExecKind, Runtime};
-use crate::fuzz::SchedulePerturbation;
+use crate::fault::{FaultCtl, FaultPolicy};
+use crate::fuzz::{FaultPlan, SchedulePerturbation};
 use crate::sim::{SimConfig, SimRuntime};
 use crate::steal::WsPolicy;
 use crate::threaded::ThreadedRuntime;
@@ -62,6 +63,8 @@ pub struct RuntimeBuilder {
     queue_limits: QueueLimits,
     admission: AdmissionPolicy,
     perturb: Option<SchedulePerturbation>,
+    fault_policy: FaultPolicy,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RuntimeBuilder {
@@ -87,6 +90,8 @@ impl RuntimeBuilder {
             queue_limits: QueueLimits::default(),
             admission: AdmissionPolicy::default(),
             perturb: None,
+            fault_policy: FaultPolicy::default(),
+            fault_plan: None,
         }
     }
 
@@ -202,6 +207,25 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Response to a contained handler panic (default
+    /// [`FaultPolicy::QuarantineColor`]) — see [`crate::fault`]. Both
+    /// executors honor it.
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// Installs a seeded fault-injection plan ([`crate::fuzz::FaultPlan`]):
+    /// injected handler panics, event drops, and timer-delay spikes.
+    /// Deterministic (bit-identical replay per seed) on the sim
+    /// executor; honored probabilistically, from per-worker streams of
+    /// the same seed, on the threaded one. A plan with all rates zero
+    /// is ignored.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     fn resolve(&self) -> (usize, MachineModel) {
         let machine = match &self.machine {
             Some(m) => m.clone(),
@@ -264,6 +288,8 @@ impl RuntimeBuilder {
             queue_limits: self.queue_limits,
             admission: self.admission,
             perturb: self.perturb,
+            fault_policy: self.fault_policy,
+            fault_plan: self.fault_plan,
         })
     }
 
@@ -271,6 +297,9 @@ impl RuntimeBuilder {
         // `self.perturb` is deliberately dropped here: the threaded
         // executor's interleavings come from real OS scheduling, which
         // is the nondeterminism the sim's perturbation mode emulates.
+        // The fault plan, by contrast, is kept: injection is meaningful
+        // chaos on real threads too, just probabilistic rather than
+        // replayable.
         let (cores, machine) = self.resolve();
         ThreadedRuntime::new(
             cores,
@@ -280,6 +309,7 @@ impl RuntimeBuilder {
             self.batch_threshold,
             self.initial_steal_estimate,
             AdmissionCtl::new(self.queue_limits, self.admission),
+            FaultCtl::new(self.fault_policy, self.fault_plan),
         )
     }
 }

@@ -35,6 +35,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use mely_cachesim::Hierarchy;
@@ -46,7 +47,8 @@ use crate::ctx::{Ctx, CtxEffects};
 use crate::dataset::{DataSetAlloc, DataSetRef};
 use crate::event::Event;
 use crate::exec::{ExecKind, Executor, Injector, MailboxEntry, SimMailbox};
-use crate::fuzz::{SchedulePerturbation, ScheduleRng};
+use crate::fault::{kind_of_panic, Fault, FaultCtl, FaultKind, FaultPolicy, InjectedPanicMarker};
+use crate::fuzz::{FaultPlan, SchedulePerturbation, ScheduleRng};
 use crate::handler::{HandlerId, HandlerRegistry, HandlerSpec};
 use crate::metrics::{CoreMetrics, RunReport};
 use crate::queue::{LegacyQueue, MelyQueue, QueueImpl};
@@ -83,6 +85,11 @@ pub struct SimConfig {
     /// Seeded schedule perturbation ([`crate::fuzz`]); `None` (the
     /// default) keeps the canonical deterministic schedule.
     pub perturb: Option<SchedulePerturbation>,
+    /// Response to a contained handler fault ([`crate::fault`]).
+    pub fault_policy: FaultPolicy,
+    /// Seeded fault injection ([`crate::fuzz::FaultPlan`]); `None` (the
+    /// default) injects nothing and keeps the hot paths draw-free.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 struct SimCore {
@@ -148,6 +155,13 @@ pub struct SimRuntime {
     /// The decision stream for schedule perturbation (`Some` iff
     /// `cfg.perturb` is). Replay = fresh runtime + same seed.
     sched_rng: Option<ScheduleRng>,
+    /// Fault policy, quarantine set and fault log, shared with the
+    /// mailbox (which rejects quarantined colors at admission).
+    faults: Arc<FaultCtl>,
+    /// The dedicated fault-injection decision stream (`Some` iff a
+    /// non-noop `cfg.fault_plan` is). Kept separate from `sched_rng` so
+    /// enabling faults never shifts the schedule-perturbation draws.
+    fault_rng: Option<ScheduleRng>,
 }
 
 /// Simulated addresses of event continuations live below the dataset
@@ -187,11 +201,14 @@ impl SimRuntime {
             .collect();
         let cache = cfg.track_cache.then(|| Hierarchy::new(&cfg.machine));
         let initial_est = cfg.initial_steal_estimate;
+        let faults = Arc::new(FaultCtl::new(cfg.fault_policy, cfg.fault_plan));
         let mailbox = Arc::new(SimMailbox::new(
             AdmissionCtl::new(cfg.queue_limits, cfg.admission),
             cfg.cores,
+            Arc::clone(&faults),
         ));
         let sched_rng = cfg.perturb.map(|p| p.rng());
+        let fault_rng = faults.plan.map(|p| p.rng());
         let mut rt = SimRuntime {
             cfg,
             cores,
@@ -206,6 +223,8 @@ impl SimRuntime {
             attempt_wait: 0,
             mailbox,
             sched_rng,
+            faults,
+            fault_rng,
         };
         rt.cache = cache;
         rt.sync_steal_estimates();
@@ -519,6 +538,10 @@ impl SimRuntime {
         per_core[0].admission_rejects = adm.rejects.load(Relaxed);
         per_core[0].shed_requests = adm.shed_requests.load(Relaxed);
         per_core[0].shed_by_color = adm.shed_by_color.load(Relaxed);
+        // Admission-boundary quarantine sheds join core 0's drain-side
+        // count (`+=`: the per-core copy above already holds core 0's
+        // own pop-time discards).
+        per_core[0].shed_by_fault += adm.shed_by_fault.load(Relaxed);
         if let Some(cache) = &self.cache {
             for (i, m) in per_core.iter_mut().enumerate() {
                 m.l2_misses = cache.level_stats(i, 2).map_or(0, |s| s.misses);
@@ -530,6 +553,7 @@ impl SimRuntime {
             self.cfg.machine.freq_hz(),
             self.cfg.ws,
         )
+        .with_fault_log(self.faults.log_snapshot())
     }
 
     fn step(&mut self, c: usize) {
@@ -592,6 +616,40 @@ impl SimRuntime {
             ev.color_counted = false;
         }
         let color = ev.color();
+        // Lazy quarantine drain: a poisoned color's events already in
+        // the queues (or arriving via timers and steals) are discarded
+        // at pop time — the queues shrink normally, so the run loop's
+        // progress accounting needs no special case.
+        if self.faults.is_quarantined(color) {
+            let m = &mut self.cores[c].metrics;
+            m.shed_by_fault += 1;
+            if ev.carries_request {
+                m.failed_requests += 1;
+            }
+            return;
+        }
+        // Seeded fault injection: the drop and panic decisions each
+        // consume one draw per dispatch whenever a plan is configured
+        // (even at rate zero), so changing one rate never shifts the
+        // other's decision sites.
+        let mut inject_panic = false;
+        if let Some(rng) = self.fault_rng.as_mut() {
+            let plan = self.faults.plan.expect("fault rng implies a plan");
+            if rng.chance(plan.drop_per_million, 1_000_000) {
+                let m = &mut self.cores[c].metrics;
+                m.note_fault(Some(color), FaultKind::InjectedDrop.code(), ev.seq);
+                if ev.carries_request {
+                    m.failed_requests += 1;
+                }
+                self.faults.record(Fault {
+                    color: Some(color),
+                    handler: ev.handler(),
+                    kind: FaultKind::InjectedDrop,
+                });
+                return;
+            }
+            inject_panic = rng.chance(plan.panic_per_million, 1_000_000);
+        }
         let mut exec = costs.dispatch + ev.cost();
 
         // The continuation itself occupies a cache line.
@@ -607,11 +665,50 @@ impl SimRuntime {
             }
         }
 
-        // Run the continuation (if any) and collect its effects.
+        // Run the continuation (if any) inside the containment boundary
+        // and collect its effects. The effects are buffered, so a
+        // panicking execution discards them wholesale below — a fault
+        // never emits half a fan-out.
         let mut fx = CtxEffects::default();
-        if let Some(action) = ev.take_action() {
-            let mut ctx = Ctx::new(c, self.cores[c].clock, &mut fx);
-            action(&mut ctx);
+        let action = ev.take_action();
+        let clock = self.cores[c].clock;
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                std::panic::panic_any(InjectedPanicMarker);
+            }
+            if let Some(action) = action {
+                let mut ctx = Ctx::new(c, clock, &mut fx);
+                action(&mut ctx);
+            }
+        }))
+        .err();
+        if let Some(payload) = unwound {
+            let kind = kind_of_panic(payload.as_ref());
+            self.faults.record(Fault {
+                color: Some(color),
+                handler: ev.handler(),
+                kind: kind.clone(),
+            });
+            // Time up to (and including) the faulting dispatch is real:
+            // charge it, but count neither the event nor a completion.
+            let core = &mut self.cores[c];
+            core.clock = clock + exec;
+            core.in_flight = Some((color, clock + exec));
+            core.metrics.busy_cycles += exec;
+            core.metrics.note_fault(Some(color), kind.code(), ev.seq);
+            if ev.carries_request {
+                core.metrics.failed_requests += 1;
+            }
+            match self.faults.policy {
+                FaultPolicy::QuarantineColor => {
+                    if self.faults.quarantined.quarantine(color) {
+                        self.cores[c].metrics.quarantined_colors += 1;
+                    }
+                }
+                FaultPolicy::ShedEvent => {}
+                FaultPolicy::Abort => resume_unwind(payload),
+            }
+            return;
         }
         exec += fx.charged;
         for t in &fx.touches {
@@ -638,8 +735,17 @@ impl SimRuntime {
 
         // Apply buffered effects: delayed registrations become timers,
         // immediate ones are routed through the color map.
-        for (delay, ev2) in fx.delayed {
+        for (mut delay, ev2) in fx.delayed {
             self.cores[c].clock += costs.registration;
+            if let Some(rng) = self.fault_rng.as_mut() {
+                let plan = self.faults.plan.expect("fault rng implies a plan");
+                if rng.chance(plan.timer_spike_per_million, 1_000_000) {
+                    // Injected late timer: the delay stretches, the
+                    // event still fires. Fingerprint coverage comes from
+                    // the shifted completion order, not a fault record.
+                    delay += plan.timer_spike_cycles;
+                }
+            }
             let due = self.cores[c].clock + delay;
             let seq = self.next_seq;
             self.next_seq += 1;
@@ -650,6 +756,17 @@ impl SimRuntime {
             }));
         }
         for ev2 in fx.registrations {
+            if self.faults.is_quarantined(ev2.color()) {
+                // A surviving handler fanned out into a poisoned color:
+                // shed at the registration boundary rather than queue
+                // work the drain would discard anyway.
+                let m = &mut self.cores[c].metrics;
+                m.shed_by_fault += 1;
+                if ev2.carries_request {
+                    m.failed_requests += 1;
+                }
+                continue;
+            }
             self.cores[c].clock += costs.registration;
             let owner = self.owner_of(ev2.color());
             self.lock(owner, c, costs.lock_acquire + costs.queue_op);

@@ -374,7 +374,7 @@ fn emit<N: Stage>(
         Coloring::Keyed(key) => ColorRange::STAGE_KEYED.keyed(key(&msg)),
     });
     let handler = entry.handler;
-    Event::for_handler(color, handler).with_action(move |ctx| {
+    let mut ev = Event::for_handler(color, handler).with_action(move |ctx| {
         // `meta` and `router` are `Copy` `&'static` references into the
         // interned routing table: constructing this closure moves no
         // `Arc`, touches no refcount, and execution needs no second
@@ -388,7 +388,13 @@ fn emit<N: Stage>(
             color,
         };
         meta.stage.handle(&mut sctx, msg);
-    })
+    });
+    // Stage chains are linear per branch: this event is the one place
+    // the (possibly not-yet-stamped) request lives until the next hop
+    // or `complete`. Losing it — handler fault, quarantine drain,
+    // injected drop — fails exactly one request.
+    ev.carries_request = true;
+    ev
 }
 
 /// The execution context handed to [`Stage::handle`]: the raw [`Ctx`]
@@ -1279,7 +1285,13 @@ mod tests {
             }
         }
         let b = PipelineBuilder::new("bad").stage(Bad).seed::<Bad>(());
-        let mut rt = RuntimeBuilder::new().cores(1).build(ExecKind::Sim);
+        // Default fault containment would quarantine this misuse panic
+        // into the report; Abort opts back into fail-fast so the test
+        // observes the message.
+        let mut rt = RuntimeBuilder::new()
+            .cores(1)
+            .fault_policy(crate::fault::FaultPolicy::Abort)
+            .build(ExecKind::Sim);
         rt.install(b.build());
         rt.run();
     }

@@ -45,6 +45,7 @@
 
 pub mod inbox;
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -57,6 +58,8 @@ use crate::cycles;
 use crate::dataset::{DataSetAlloc, DataSetRef};
 use crate::event::Event;
 use crate::exec::{ExecKind, Executor, Injector};
+use crate::fault::{kind_of_panic, Fault, FaultCtl, FaultKind, FaultPolicy, InjectedPanicMarker};
+use crate::fuzz::ScheduleRng;
 use crate::handler::{HandlerId, HandlerRegistry, HandlerSpec};
 use crate::metrics::{CoreMetrics, RunReport};
 use crate::queue::{LegacyQueue, MelyQueue, QueueImpl};
@@ -145,6 +148,10 @@ struct Shared {
     /// Queue limits, admission policy, per-color occupancy and the
     /// producer-side reject/shed counters (see [`crate::admission`]).
     admission: AdmissionCtl,
+    /// Fault policy, quarantine membership, injection plan and the
+    /// fault log (see [`crate::fault`]). Workers consult it at dispatch
+    /// (containment, drains); producers consult it at admission.
+    faults: FaultCtl,
 }
 
 impl Shared {
@@ -267,11 +274,32 @@ impl Shared {
         Ok(())
     }
 
+    /// Producer-boundary quarantine gate for the *infallible* injection
+    /// paths: a quarantined color's events are shed (and counted)
+    /// rather than queued for a pop-time drain, mirroring the sim
+    /// mailbox's unchecked push. Quarantine never clears, so blocking or
+    /// pacing on it would strand the producer forever.
+    fn shed_if_quarantined(&self, ev: &Event) -> bool {
+        if self.faults.is_quarantined(ev.color()) {
+            self.admission.note_reject();
+            self.admission.note_shed(OverloadReason::Quarantined);
+            true
+        } else {
+            false
+        }
+    }
+
     /// The fallible twin of [`Shared::register_injected`]: admits or
     /// returns the event to the caller (for retry loops) alongside the
     /// [`Overload`]. Does *not* count the reject — the caller decides
     /// the attempt accounting.
     fn try_register_injected(&self, mut ev: Event) -> Result<Admitted, (Overload, Event)> {
+        // Quarantine outranks the unbounded fast path: a poisoned color
+        // rejects even on a runtime with no queue limits at all.
+        if self.faults.is_quarantined(ev.color()) {
+            let ov = self.admission.overload(OverloadReason::Quarantined, 0);
+            return Err((ov, ev));
+        }
         if self.admission.is_unbounded() {
             self.register_injected(ev);
             return Ok(Admitted);
@@ -308,6 +336,9 @@ impl RuntimeHandle {
     /// naming): with bounded queues, a limit hit is resolved by the
     /// runtime's [`AdmissionPolicy`] instead of being returned.
     pub fn inject(&self, ev: Event) {
+        if self.shared.shed_if_quarantined(&ev) {
+            return;
+        }
         if self.shared.admission.is_unbounded() {
             self.shared.register_injected(ev);
             return;
@@ -332,6 +363,13 @@ impl RuntimeHandle {
     /// current occupancy — by the time the timer fires the event is
     /// already admitted (its per-color slot is held across the delay).
     pub fn try_inject_after(&self, delay: u64, mut ev: Event) -> Result<Admitted, Overload> {
+        if self.shared.faults.is_quarantined(ev.color()) {
+            self.shared.admission.note_reject();
+            return Err(self
+                .shared
+                .admission
+                .overload(OverloadReason::Quarantined, 0));
+        }
         if self.shared.admission.is_unbounded() {
             self.shared.register_after(delay, ev);
             return Ok(Admitted);
@@ -363,7 +401,12 @@ impl RuntimeHandle {
                         self.shared.admission.note_reject();
                         first_reject = false;
                     }
-                    if policy == AdmissionPolicy::Shed || self.shared.stop.load(Ordering::Acquire) {
+                    // Quarantine sheds under every policy (the color
+                    // never recovers, so block/pace would never admit).
+                    if policy == AdmissionPolicy::Shed
+                        || ov.reason == OverloadReason::Quarantined
+                        || self.shared.stop.load(Ordering::Acquire)
+                    {
                         self.shared.admission.note_shed(ov.reason);
                         return;
                     }
@@ -386,6 +429,9 @@ impl RuntimeHandle {
     /// `micro_inject` can measure what the inbox buys; prefer
     /// [`RuntimeHandle::inject`].
     pub fn inject_locked(&self, ev: Event) {
+        if self.shared.shed_if_quarantined(&ev) {
+            return;
+        }
         self.shared.register(ev);
     }
 
@@ -393,6 +439,9 @@ impl RuntimeHandle {
     /// shared cycle clock). The firing itself is injected through the
     /// owning core's inbox.
     pub fn inject_after(&self, delay: u64, ev: Event) {
+        if self.shared.shed_if_quarantined(&ev) {
+            return;
+        }
         self.shared.register_after(delay, ev);
     }
 
@@ -445,6 +494,9 @@ pub struct ThreadedRuntime {
 }
 
 impl ThreadedRuntime {
+    // One pub(crate) call site (RuntimeBuilder::make_threaded); a params
+    // struct would only restate the builder field for field.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         cores: usize,
         flavor: Flavor,
@@ -453,6 +505,7 @@ impl ThreadedRuntime {
         batch_threshold: u32,
         initial_steal_estimate: u64,
         admission: AdmissionCtl,
+        faults: FaultCtl,
     ) -> Self {
         assert!(cores > 0, "need at least one core");
         assert!(
@@ -495,6 +548,7 @@ impl ThreadedRuntime {
                 next_seq: AtomicU64::new(0),
                 timers: Mutex::new(std::collections::BinaryHeap::new()),
                 admission,
+                faults,
             }),
             ds_alloc: DataSetAlloc::new(),
         }
@@ -518,8 +572,12 @@ impl ThreadedRuntime {
         self.ds_alloc.alloc(len)
     }
 
-    /// Registers an event before or during the run.
+    /// Registers an event before or during the run. Events of a
+    /// quarantined color are shed (see [`crate::fault`]).
     pub fn register(&self, ev: Event) {
+        if self.shared.shed_if_quarantined(&ev) {
+            return;
+        }
         self.shared.register(ev);
     }
 
@@ -530,6 +588,9 @@ impl ThreadedRuntime {
     /// Panics if `core` is out of range.
     pub fn register_pinned(&self, ev: Event, core: usize) {
         assert!(core < self.shared.cores.len(), "core out of range");
+        if self.shared.shed_if_quarantined(&ev) {
+            return;
+        }
         self.shared.color_owner[ev.color().value() as usize].store(core as u32, Ordering::Release);
         self.shared.register(ev);
     }
@@ -576,14 +637,45 @@ impl ThreadedRuntime {
             joins.push(
                 std::thread::Builder::new()
                     .name(format!("mely-core-{core}"))
-                    .spawn(move || worker_loop(&shared, core))
+                    .spawn(move || {
+                        let out = catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, core)));
+                        if out.is_err() {
+                            // A dying worker must release its siblings:
+                            // they wait on outstanding work this worker
+                            // can no longer execute.
+                            shared.stop.store(true, Ordering::Release);
+                        }
+                        match out {
+                            Ok(m) => m,
+                            Err(payload) => resume_unwind(payload),
+                        }
+                    })
                     .expect("spawn worker"),
             );
         }
-        let mut per_core: Vec<CoreMetrics> = joins
-            .into_iter()
-            .map(|j| j.join().expect("worker must not panic"))
-            .collect();
+        // A worker death (possible under `FaultPolicy::Abort`, or a
+        // panic outside the contained handler path) is folded into the
+        // report as a `WorkerDied` fault in the worker's own slot, so
+        // per-core attribution keeps its shape and `run` stays total.
+        let mut worker_payload = None;
+        let mut per_core: Vec<CoreMetrics> = Vec::with_capacity(n);
+        for (core, j) in joins.into_iter().enumerate() {
+            per_core.push(match j.join() {
+                Ok(m) => m,
+                Err(payload) => {
+                    let kind = FaultKind::WorkerDied { core };
+                    self.shared.faults.record(Fault {
+                        color: None,
+                        handler: None,
+                        kind: kind.clone(),
+                    });
+                    let mut m = CoreMetrics::default();
+                    m.note_fault(None, kind.code(), 0);
+                    worker_payload = Some(payload);
+                    m
+                }
+            });
+        }
         // Producer-side pushes happen on external threads; attribute each
         // inbox's totals to the core it feeds. The queue's buffer-pool
         // counter lives in the (now idle) queue itself.
@@ -599,10 +691,22 @@ impl ThreadedRuntime {
         per_core[0].admission_rejects = adm.rejects.load(Ordering::Relaxed);
         per_core[0].shed_requests = adm.shed_requests.load(Ordering::Relaxed);
         per_core[0].shed_by_color = adm.shed_by_color.load(Ordering::Relaxed);
+        // Admission-boundary quarantine sheds join the drain-side count
+        // (which lives in the workers' own metrics) additively.
+        per_core[0].shed_by_fault += adm.shed_by_fault.load(Ordering::Relaxed);
         let wall = cycles::now().wrapping_sub(start);
         // Consume any stop request so a later `run` proceeds normally.
         self.shared.stop.store(false, Ordering::Release);
-        RunReport::new(per_core, wall, cycles::NOMINAL_FREQ_HZ, self.shared.ws)
+        let report = RunReport::new(per_core, wall, cycles::NOMINAL_FREQ_HZ, self.shared.ws)
+            .with_fault_log(self.shared.faults.log_snapshot());
+        if let Some(payload) = worker_payload {
+            if self.shared.faults.policy == FaultPolicy::Abort {
+                // Abort means "do not contain": re-raise the worker's
+                // panic on the caller after all threads are joined.
+                resume_unwind(payload);
+            }
+        }
+        report
     }
 }
 
@@ -655,6 +759,10 @@ impl Executor for ThreadedRuntime {
 fn worker_loop(shared: &Shared, me: usize) -> CoreMetrics {
     let mut m = CoreMetrics::default();
     let batch = shared.batch_threshold;
+    // Seeded fault injection: each worker derives its own draw stream
+    // from the plan's seed, so injection stays reproducible per worker
+    // even though cross-worker interleaving is not.
+    let mut fault_rng = shared.faults.plan.map(|p| p.worker_rng(me));
     let mut idle_spins: u32 = 0;
     // Reused across iterations so steady-state inbox drains never
     // allocate (the inbox recycles its nodes; this recycles the batch).
@@ -682,7 +790,7 @@ fn worker_loop(shared: &Shared, me: usize) -> CoreMetrics {
         };
 
         if let Some(ev) = popped {
-            execute_event(shared, me, ev, &mut m);
+            execute_event(shared, me, ev, &mut m, &mut fault_rng);
             shared.cores[me]
                 .in_flight
                 .store(NO_COLOR, Ordering::Release);
@@ -765,25 +873,94 @@ fn drain_inbox(shared: &Shared, me: usize, batch: &mut Vec<Event>, m: &mut CoreM
     }
 }
 
-fn execute_event(shared: &Shared, me: usize, mut ev: Event, m: &mut CoreMetrics) {
+fn execute_event(
+    shared: &Shared,
+    me: usize,
+    mut ev: Event,
+    m: &mut CoreMetrics,
+    fault_rng: &mut Option<ScheduleRng>,
+) {
     if ev.color_counted {
         // Admission claimed a per-color in-flight slot; execution is
         // where the event stops occupying a queue.
         shared.admission.release_color(ev.color().value() as usize);
         ev.color_counted = false;
     }
+    let color = ev.color();
+    // Lazy quarantine drain: events queued before their color faulted
+    // are discarded here, at pop time, so the queue shrinks through its
+    // normal machinery and the worker never blocks on poisoned work.
+    if shared.faults.is_quarantined(color) {
+        m.shed_by_fault += 1;
+        if ev.carries_request {
+            m.failed_requests += 1;
+        }
+        return;
+    }
+    let mut inject_panic = false;
+    if let Some(rng) = fault_rng.as_mut() {
+        let plan = shared.faults.plan.expect("fault rng implies a plan");
+        // Both draws happen on every dispatch so changing one rate
+        // never shifts the other's injection sites.
+        if rng.chance(plan.drop_per_million, 1_000_000) {
+            m.note_fault(Some(color), FaultKind::InjectedDrop.code(), ev.seq);
+            if ev.carries_request {
+                m.failed_requests += 1;
+            }
+            shared.faults.record(Fault {
+                color: Some(color),
+                handler: ev.handler(),
+                kind: FaultKind::InjectedDrop,
+            });
+            return;
+        }
+        inject_panic = rng.chance(plan.panic_per_million, 1_000_000);
+    }
     let t0 = cycles::now();
     cycles::spin(ev.cost());
     let mut fx = CtxEffects::default();
-    if let Some(action) = ev.take_action() {
-        let mut ctx = Ctx::new(me, cycles::now(), &mut fx);
-        action(&mut ctx);
+    let action = ev.take_action();
+    // Panic containment: the handler runs inside `catch_unwind`, and
+    // its buffered effects (`fx`) are applied only on normal return —
+    // a panicking execution never emits half a fan-out.
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            std::panic::panic_any(InjectedPanicMarker);
+        }
+        if let Some(action) = action {
+            let mut ctx = Ctx::new(me, cycles::now(), &mut fx);
+            action(&mut ctx);
+        }
+    }))
+    .err();
+    if let Some(payload) = unwound {
+        let kind = kind_of_panic(payload.as_ref());
+        shared.faults.record(Fault {
+            color: Some(color),
+            handler: ev.handler(),
+            kind: kind.clone(),
+        });
+        m.busy_cycles += cycles::now().wrapping_sub(t0);
+        m.note_fault(Some(color), kind.code(), ev.seq);
+        if ev.carries_request {
+            m.failed_requests += 1;
+        }
+        match shared.faults.policy {
+            FaultPolicy::QuarantineColor => {
+                if shared.faults.quarantined.quarantine(color) {
+                    m.quarantined_colors += 1;
+                }
+            }
+            FaultPolicy::ShedEvent => {}
+            FaultPolicy::Abort => resume_unwind(payload),
+        }
+        return;
     }
     cycles::spin(fx.charged);
     let elapsed = cycles::now().wrapping_sub(t0);
     m.busy_cycles += elapsed;
     m.events_processed += 1;
-    m.note_completion(ev.color(), ev.seq);
+    m.note_completion(color, ev.seq);
     for latency in fx.completions() {
         m.completed_requests += 1;
         m.latency.record(latency);
@@ -791,10 +968,25 @@ fn execute_event(shared: &Shared, me: usize, mut ev: Event, m: &mut CoreMetrics)
     if let Some(h) = ev.handler() {
         shared.registry.record(h, elapsed);
     }
-    for (delay, ev2) in fx.delayed {
+    for (mut delay, ev2) in fx.delayed {
+        if let Some(rng) = fault_rng.as_mut() {
+            let plan = shared.faults.plan.expect("fault rng implies a plan");
+            if rng.chance(plan.timer_spike_per_million, 1_000_000) {
+                delay += plan.timer_spike_cycles;
+            }
+        }
         shared.register_after(delay, ev2);
     }
     for ev2 in fx.registrations {
+        // A surviving handler fanning out into a quarantined color is
+        // shed here, with worker-side attribution.
+        if shared.faults.is_quarantined(ev2.color()) {
+            m.shed_by_fault += 1;
+            if ev2.carries_request {
+                m.failed_requests += 1;
+            }
+            continue;
+        }
         m.registered += 1;
         shared.register(ev2);
     }

@@ -38,7 +38,7 @@
 //!     );
 //!     let stopper = rt.injector();
 //!     std::thread::spawn(move || {
-//!         assert_eq!(pool.join(), 200);
+//!         assert_eq!(pool.join().expect("no producer panicked"), 200);
 //!         stopper.stop_when_idle();
 //!         drop(keepalive);
 //!     });
@@ -47,6 +47,7 @@
 //! }
 //! ```
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread::JoinHandle;
@@ -108,6 +109,33 @@ impl Default for InjectorConfig {
     }
 }
 
+/// A producer thread panicked; returned by [`InjectorPool::join`]
+/// instead of aborting the joining thread. The count of events the
+/// pool *did* inject (including the dead producer's, up to the panic)
+/// stays observable through the error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProducerPanic {
+    /// Index of the first producer (in spawn order) that panicked.
+    pub producer: usize,
+    /// The panic message, when the payload was a string (a placeholder
+    /// otherwise).
+    pub message: String,
+    /// Events the pool injected before and around the panic.
+    pub injected: u64,
+}
+
+impl fmt::Display for ProducerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "producer {} panicked after the pool injected {} events: {}",
+            self.producer, self.injected, self.message
+        )
+    }
+}
+
+impl std::error::Error for ProducerPanic {}
+
 /// A running pool of producer threads.
 ///
 /// Construction ([`InjectorPool::spawn`]) starts all producers behind a
@@ -116,6 +144,20 @@ impl Default for InjectorConfig {
 pub struct InjectorPool {
     threads: Vec<JoinHandle<()>>,
     injected: Arc<AtomicU64>,
+}
+
+/// Flushes a producer's local injection count into the pool total on
+/// scope exit — including an unwinding one, so a panicking producer's
+/// completed work is still counted.
+struct CountGuard {
+    injected: Arc<AtomicU64>,
+    n: u64,
+}
+
+impl Drop for CountGuard {
+    fn drop(&mut self) {
+        self.injected.fetch_add(self.n, Ordering::Relaxed);
+    }
 }
 
 impl InjectorPool {
@@ -203,10 +245,11 @@ impl InjectorPool {
                     .name(format!("mely-inject-{p}"))
                     .spawn(move || {
                         barrier.wait();
+                        let mut guard = CountGuard { injected, n: 0 };
                         for i in 0..events_per_producer {
                             produce(p, i);
+                            guard.n += 1;
                         }
-                        injected.fetch_add(events_per_producer, Ordering::Relaxed);
                     })
                     .expect("spawn producer")
             })
@@ -214,12 +257,33 @@ impl InjectorPool {
         InjectorPool { threads, injected }
     }
 
-    /// Waits for every producer and returns the total events injected.
-    pub fn join(self) -> u64 {
-        for t in self.threads {
-            t.join().expect("producer must not panic");
+    /// Waits for every producer and returns the total events injected,
+    /// or a [`ProducerPanic`] naming the first producer that died. All
+    /// threads are joined either way — an error never leaves stragglers
+    /// running.
+    pub fn join(self) -> Result<u64, ProducerPanic> {
+        let mut first_panic: Option<(usize, String)> = None;
+        for (p, t) in self.threads.into_iter().enumerate() {
+            if let Err(payload) = t.join() {
+                let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                first_panic.get_or_insert((p, message));
+            }
         }
-        self.injected.load(Ordering::Relaxed)
+        let injected = self.injected.load(Ordering::Relaxed);
+        match first_panic {
+            None => Ok(injected),
+            Some((producer, message)) => Err(ProducerPanic {
+                producer,
+                message,
+                injected,
+            }),
+        }
     }
 }
 
@@ -246,7 +310,7 @@ mod tests {
         );
         let stopper = rt.injector();
         let waiter = std::thread::spawn(move || {
-            assert_eq!(pool.join(), 1_500);
+            assert_eq!(pool.join().expect("no producer panicked"), 1_500);
             stopper.stop_when_idle();
             drop(keepalive);
         });
@@ -326,7 +390,7 @@ mod tests {
             });
             let stopper = rt.injector();
             let waiter = std::thread::spawn(move || {
-                assert_eq!(pool.join(), 600);
+                assert_eq!(pool.join().expect("no producer panicked"), 600);
                 stopper.stop_when_idle();
                 drop(keepalive);
             });
@@ -335,6 +399,26 @@ mod tests {
             assert_eq!(done.load(Ordering::Relaxed), 600, "{kind}");
             assert_eq!(report.completed_requests(), 600, "{kind}");
         }
+    }
+
+    #[test]
+    fn producer_panic_surfaces_as_typed_error() {
+        // Producer 1 dies mid-stream; join must still join everyone,
+        // keep the surviving producers' counts, and name the culprit.
+        let panicking = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let pool = InjectorPool::spawn_with(3, 100, |p, i| {
+            if p == 1 && i == 50 {
+                panic!("producer blew up");
+            }
+        });
+        let err = pool.join().expect_err("producer 1 panicked");
+        std::panic::set_hook(panicking);
+        assert_eq!(err.producer, 1);
+        assert!(err.message.contains("blew up"), "{err}");
+        // Two full producers plus the dead one's first 50 iterations.
+        assert_eq!(err.injected, 250);
+        assert!(format!("{err}").contains("producer 1"));
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! with `MELY_FUZZ_SEEDS=64 cargo run --example fuzz`. Replay one seed
 //! with `MELY_FUZZ_SEED=0x2a cargo run --example fuzz` — same seed,
 //! same fingerprint, every time.
+//!
+//! A second sweep arms each seed with a [`FaultPlan`] (injected handler
+//! panics and event drops at `MELY_FAULT_RATE`, default 2%) and prints
+//! the supervision counters — faults, quarantined colors, events shed
+//! by quarantine — checking that every fault schedule is contained and
+//! the event accounting balances.
 
 use mely_repro::core::prelude::*;
 
@@ -75,4 +81,83 @@ fn main() {
     }
     println!("\n{} distinct schedule(s) explored", distinct.len());
     assert_eq!(failures, 0, "some perturbed schedule broke an invariant");
+
+    chaos_sweep();
+}
+
+/// The chaos sweep: the same workload, now with seeded fault injection.
+/// Contained panics quarantine their colors; the run must still return
+/// a coherent report on every seed.
+fn chaos_sweep() {
+    // Injected panics still run the panic hook; a sweep fires dozens.
+    // The payloads are the injector's marker (not a string), so a
+    // filtering hook keeps deliberate chaos quiet and real panics loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let p = info.payload();
+        if p.downcast_ref::<&str>().is_some() || p.downcast_ref::<String>().is_some() {
+            default_hook(info);
+        }
+    }));
+
+    let rate: f64 = std::env::var("MELY_FAULT_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
+    let seeds = sweep_seeds();
+    println!(
+        "\nsweeping {} fault schedule(s) at {:.1}% injection\n",
+        seeds.len(),
+        rate * 100.0
+    );
+    let mut total_faults = 0u64;
+    for seed in seeds {
+        let mut rt = RuntimeBuilder::new()
+            .cores(4)
+            .flavor(Flavor::Mely)
+            .workstealing(WsPolicy::improved())
+            .fault_plan(FaultPlan {
+                seed,
+                panic_per_million: FaultPlan::rate_per_million(rate),
+                drop_per_million: FaultPlan::rate_per_million(rate / 2.0),
+                timer_spike_per_million: 0,
+                timer_spike_cycles: 0,
+            })
+            .build(ExecKind::Sim);
+        install(&mut rt);
+        let report = rt.run();
+        total_faults += report.faults();
+        println!(
+            "seed {seed:#06x}  fingerprint {}  events {:>3}  faults {:>2}  \
+             quarantined {:>2}  shed-by-fault {:>3}  of {:>3} registered",
+            report.fingerprint(),
+            report.events_processed(),
+            report.faults(),
+            report.quarantined_colors(),
+            report.shed_by_fault(),
+            report.total().registered,
+        );
+        // Containment accounting. Every *queued* event ends exactly one
+        // way — executed, faulted (injected drop or contained panic), or
+        // discarded by the quarantine drain — so processed + faults +
+        // sheds covers `registered`. It can exceed it (fan-out into a
+        // quarantined color is shed before queueing) but never
+        // undershoot, and processed + faults alone never exceed it.
+        let t = report.total();
+        let replay = format!("MELY_FUZZ_SEED={seed:#x} cargo run --example fuzz");
+        assert!(
+            t.events_processed + t.faults + t.shed_by_fault >= t.registered,
+            "seed {seed:#x}: a queued event vanished unaccounted (replay: {replay})"
+        );
+        assert!(
+            t.events_processed + t.faults <= t.registered,
+            "seed {seed:#x}: an event was double-counted (replay: {replay})"
+        );
+        assert_eq!(
+            report.fault_log().len() as u64,
+            t.faults,
+            "seed {seed:#x}: fault log out of sync with counters (replay: {replay})"
+        );
+    }
+    println!("\n{total_faults} fault(s) injected and contained across the sweep");
 }

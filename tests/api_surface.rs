@@ -29,6 +29,10 @@ const PRELUDE_EXPORTS: &[&str] = &[
     "Event",
     "ExecKind",
     "Executor",
+    "Fault",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPolicy",
     "Flavor",
     "HandlerId",
     "HandlerSpec",
@@ -78,6 +82,10 @@ fn every_export_resolves() {
     ty::<p::Event>();
     ty::<p::ExecKind>();
     ty::<dyn p::Executor>();
+    ty::<p::Fault>();
+    ty::<p::FaultKind>();
+    ty::<p::FaultPlan>();
+    ty::<p::FaultPolicy>();
     ty::<p::Flavor>();
     ty::<p::HandlerId>();
     ty::<p::HandlerSpec>();

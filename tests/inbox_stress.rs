@@ -130,7 +130,7 @@ fn injector_pool_under_stealing_loses_nothing() {
                 mode: InjectMode::Inbox,
             },
         );
-        let injected = pool.join();
+        let injected = pool.join().expect("producers must not panic");
         assert_eq!(injected, 8_000);
         stopper.stop_when_idle();
         drop(keepalive);
