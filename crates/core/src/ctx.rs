@@ -34,6 +34,10 @@ pub(crate) struct CtxEffects {
     /// pay a heap allocation on the dispatch path.
     pub completed_first: Option<u64>,
     pub completed_rest: Vec<u64>,
+    /// Requests this handler execution declared failed
+    /// ([`Ctx::fail_request`]): carried to completion as errors, not
+    /// shed — they feed `failed_requests`, never the latency histogram.
+    pub failed: u64,
 }
 
 impl CtxEffects {
@@ -142,6 +146,22 @@ impl<'a> Ctx<'a> {
             self.effects.completed_rest.push(latency_cycles);
         }
     }
+
+    /// Records the failure of one end-to-end request: the executing
+    /// core's `failed_requests` counter grows, surfaced as
+    /// [`RunReport::failed_requests`](crate::metrics::RunReport::failed_requests)
+    /// and part of
+    /// [`RunReport::offered_requests`](crate::metrics::RunReport::offered_requests).
+    /// A failed request records no latency sample — the pair of this
+    /// hook is [`Ctx::complete_request`], and each carried request
+    /// should end in exactly one of the two. The canonical caller is a
+    /// server whose client died mid-request (peer reset, EOF with a
+    /// partial request buffered): the request was genuinely carried and
+    /// genuinely failed, matching the fault model's accounting for
+    /// requests lost to quarantined colors.
+    pub fn fail_request(&mut self) {
+        self.effects.failed += 1;
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +186,7 @@ mod tests {
             ctx.touch(&ds);
             ctx.touch_range(&ds, 64, 32);
             ctx.complete_request(777);
+            ctx.fail_request();
             ctx.stop_runtime();
         }
         assert_eq!(fx.registrations.len(), 1);
@@ -176,6 +197,7 @@ mod tests {
         assert_eq!(fx.touches[0].len, 128);
         assert_eq!(fx.touches[1].offset, 64);
         assert_eq!(fx.completions().collect::<Vec<_>>(), vec![777]);
+        assert_eq!(fx.failed, 1);
         assert!(fx.stop);
     }
 

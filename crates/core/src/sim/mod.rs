@@ -729,6 +729,7 @@ impl SimRuntime {
             self.cores[c].metrics.completed_requests += 1;
             self.cores[c].metrics.latency.record(latency);
         }
+        self.cores[c].metrics.failed_requests += fx.failed;
         if let Some(h) = ev.handler() {
             self.registry.record(h, exec);
         }

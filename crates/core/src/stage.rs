@@ -510,6 +510,20 @@ impl<'a, 'b> StageCtx<'a, 'b> {
         }
     }
 
+    /// Fails the current request: the executing core's
+    /// `failed_requests` counter grows (surfaced as
+    /// [`RunReport::failed_requests`](crate::metrics::RunReport::failed_requests))
+    /// and no latency is recorded — the error twin of
+    /// [`StageCtx::complete`], for requests the pipeline carried but
+    /// could not answer (the client reset mid-request, the backend
+    /// refused). Each carried request should end in exactly one of
+    /// `complete` / `fail`; a request that simply stops being forwarded
+    /// counts as neither.
+    #[inline]
+    pub fn fail(&mut self) {
+        self.ctx.fail_request();
+    }
+
     /// Asks the runtime to stop once this handler returns (see
     /// [`Ctx::stop_runtime`]).
     pub fn stop_runtime(&mut self) {

@@ -965,6 +965,7 @@ fn execute_event(
         m.completed_requests += 1;
         m.latency.record(latency);
     }
+    m.failed_requests += fx.failed;
     if let Some(h) = ev.handler() {
         shared.registry.record(h, elapsed);
     }

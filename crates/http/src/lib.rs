@@ -157,6 +157,79 @@ fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     haystack.windows(needle.len()).position(|w| w == needle)
 }
 
+/// Incremental, stateful request parser: one per connection.
+///
+/// Real sockets deliver bytes with no respect for message boundaries —
+/// a request can arrive one byte at a time, and a pipelining client can
+/// deliver several requests in one read. `RequestParser` owns the
+/// connection's parse buffer: [`feed`](RequestParser::feed) appends
+/// whatever the socket produced, [`next_request`](RequestParser::next_request)
+/// yields complete requests one at a time (draining exactly the bytes
+/// each consumed) until only a partial tail — or nothing — remains.
+///
+/// ```
+/// use mely_http::RequestParser;
+///
+/// let mut p = RequestParser::new();
+/// // Two pipelined requests, split mid-header across reads.
+/// p.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HT");
+/// assert_eq!(p.next_request().unwrap().unwrap().path, "/a");
+/// assert!(p.next_request().is_none(), "second request incomplete");
+/// assert!(p.has_partial());
+/// p.feed(b"TP/1.1\r\n\r\n");
+/// assert_eq!(p.next_request().unwrap().unwrap().path, "/b");
+/// assert!(!p.has_partial());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// An empty parser.
+    pub fn new() -> Self {
+        RequestParser::default()
+    }
+
+    /// Appends bytes read from the connection.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete request off the front of the buffer.
+    ///
+    /// `None` means *incomplete*: nothing buffered, or only a partial
+    /// request ([`has_partial`](RequestParser::has_partial) tells which
+    /// — the distinction decides whether an EOF here is clean or kills
+    /// a request in flight). `Some(Err(_))` means the buffered bytes
+    /// cannot be a request; the buffer is cleared, since the only sane
+    /// continuation is a `400` and a close.
+    pub fn next_request(&mut self) -> Option<Result<Request, BadRequest>> {
+        match parse_request(&self.buf) {
+            ParseOutcome::Complete(req, n) => {
+                self.buf.drain(..n);
+                Some(Ok(req))
+            }
+            ParseOutcome::Partial => None,
+            ParseOutcome::Bad(why) => {
+                self.buf.clear();
+                Some(Err(why))
+            }
+        }
+    }
+
+    /// Whether a partial request sits in the buffer — an EOF now means
+    /// the peer abandoned a request mid-flight, not a clean close.
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
 /// A prebuilt response: full wire bytes, shareable across handlers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
@@ -358,6 +431,59 @@ mod tests {
         };
         assert_eq!(req.path, "/lf");
         assert_eq!(n, raw.len());
+    }
+
+    #[test]
+    fn parser_handles_byte_at_a_time_delivery() {
+        let raw = b"GET /slow HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+        let mut p = RequestParser::new();
+        for (i, b) in raw.iter().enumerate() {
+            assert!(
+                p.next_request().is_none(),
+                "no request before byte {i} arrived"
+            );
+            p.feed(std::slice::from_ref(b));
+        }
+        let req = p.next_request().expect("complete").expect("valid");
+        assert_eq!(req.path, "/slow");
+        assert!(!req.keep_alive);
+        assert!(!p.has_partial(), "fully consumed");
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn parser_drains_coalesced_pipelined_requests() {
+        // Three requests land in one read, as a pipelining client or a
+        // large socket buffer produces them.
+        let mut p = RequestParser::new();
+        p.feed(b"GET /1 HTTP/1.1\r\n\r\nGET /2 HTTP/1.1\r\n\r\nGET /3 HTTP/1.1\r\n\r\n");
+        let paths: Vec<String> = std::iter::from_fn(|| p.next_request())
+            .map(|r| r.expect("valid").path)
+            .collect();
+        assert_eq!(paths, ["/1", "/2", "/3"]);
+        assert!(!p.has_partial());
+    }
+
+    #[test]
+    fn parser_keeps_partial_tail_across_feeds() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nHo");
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/a");
+        assert!(p.next_request().is_none());
+        assert!(p.has_partial(), "an EOF here would kill /b mid-request");
+        p.feed(b"st: x\r\n\r\n");
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/b");
+        assert!(p.next_request().is_none());
+        assert!(!p.has_partial(), "an EOF here is a clean close");
+    }
+
+    #[test]
+    fn parser_surfaces_bad_requests_and_resets() {
+        let mut p = RequestParser::new();
+        p.feed(b"BREW /pot HTTP/1.1\r\n\r\n");
+        assert_eq!(p.next_request(), Some(Err(BadRequest::UnsupportedMethod)));
+        assert!(!p.has_partial(), "buffer cleared after a bad request");
+        assert!(p.next_request().is_none());
     }
 
     #[test]

@@ -52,6 +52,8 @@
 //! assert_eq!(load.stats().responses, 1);
 //! ```
 
+#[cfg(unix)]
+pub mod tcp;
 pub mod threaded;
 
 use std::cmp::Reverse;

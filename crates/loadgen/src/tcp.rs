@@ -1,0 +1,490 @@
+//! Open-loop HTTP load over real loopback sockets.
+//!
+//! The closed-loop driver in [`crate`] and the [`InjectorPool`] both
+//! live on the injection side of the runtime; this module attacks from
+//! the *network* side instead, the way `httperf` drives the paper's
+//! testbed: a pool of worker threads (the [`InjectorPool`] barrier /
+//! counting machinery, via
+//! [`spawn_workers`](InjectorPool::spawn_workers)) each owning a slice
+//! of real non-blocking client sockets, multiplexed with the same epoll
+//! wrapper the server-side gateway uses. Load is **open-loop per
+//! connection with a bounded window**: every connection keeps up to
+//! [`TcpLoadgenConfig::window`] pipelined requests in flight without
+//! waiting for responses one-by-one, which is what exposes accept/read
+//! pressure in the server instead of lock-stepping with it.
+//!
+//! Requests are always `Connection: keep-alive`; the **client** closes
+//! the socket after its final response arrives. That ordering matters:
+//! the server tears a connection down (and with it any undelivered
+//! bytes) when it sees EOF, so the client must hold the connection open
+//! until it has verified everything it asked for.
+//!
+//! The report counts only *client-verified* responses — bytes that came
+//! back over the kernel socket and framed into a complete HTTP
+//! response — so comparing it against the server's `completed_requests`
+//! closes the loop end to end.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mely_net::tcp::conn::{drain_reads, ReadOutcome, WriteBuf, WriteOutcome};
+use mely_net::tcp::epoll::{Epoll, Interest};
+
+use crate::threaded::{InjectorPool, ProducerPanic};
+
+/// Shape of the socket-level load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpLoadgenConfig {
+    /// Worker threads; connections are split evenly across them.
+    pub workers: usize,
+    /// Total concurrent client connections.
+    pub conns: usize,
+    /// Requests each connection issues before closing.
+    pub requests_per_conn: u64,
+    /// Pipelined requests in flight per connection (the open-loop
+    /// window; 1 degenerates to a closed loop).
+    pub window: usize,
+    /// Paths are drawn from `/f0.bin .. /f{files-1}.bin` — match the
+    /// server's cache population.
+    pub files: usize,
+    /// Give up on connections still unfinished after this long (they
+    /// count as [`TcpLoadReport::failed_conns`], never as responses).
+    pub deadline: Duration,
+}
+
+impl Default for TcpLoadgenConfig {
+    fn default() -> Self {
+        TcpLoadgenConfig {
+            workers: 4,
+            conns: 64,
+            requests_per_conn: 16,
+            window: 4,
+            files: 150,
+            deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What came back over the wire, as verified by the clients.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpLoadReport {
+    /// Complete HTTP responses received (`ok + errors`).
+    pub responses: u64,
+    /// `HTTP/1.1 200` responses.
+    pub ok: u64,
+    /// Complete responses with any other status.
+    pub errors: u64,
+    /// Connections that failed to connect, died before their last
+    /// response, or ran out the deadline.
+    pub failed_conns: u64,
+    /// Response bytes received.
+    pub rx_bytes: u64,
+    /// Wall-clock duration from worker start to the last worker
+    /// finishing, in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl TcpLoadReport {
+    /// Client-observed throughput in responses per second.
+    pub fn rps(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.responses as f64 * 1e9 / self.elapsed_ns as f64
+    }
+}
+
+#[derive(Debug, Default)]
+struct Cells {
+    ok: AtomicU64,
+    errors: AtomicU64,
+    failed_conns: AtomicU64,
+    rx_bytes: AtomicU64,
+}
+
+/// A running socket-level load: worker threads started behind a
+/// barrier, each owning its slice of real client connections.
+#[derive(Debug)]
+pub struct TcpLoadgen {
+    pool: InjectorPool,
+    cells: Arc<Cells>,
+    started: Instant,
+}
+
+impl TcpLoadgen {
+    /// Starts `cfg.workers` threads hammering `addr`. Returns
+    /// immediately; the load runs until every connection finished its
+    /// requests (or the deadline). Call [`TcpLoadgen::join`] for the
+    /// verified totals.
+    pub fn start(addr: SocketAddr, cfg: TcpLoadgenConfig) -> TcpLoadgen {
+        assert!(cfg.conns > 0, "need at least one connection");
+        assert!(cfg.window > 0, "window of zero would never send");
+        let workers = cfg.workers.clamp(1, cfg.conns);
+        let cells = Arc::new(Cells::default());
+        let worker_cells = Arc::clone(&cells);
+        let pool = InjectorPool::spawn_workers(workers, move |w| {
+            // Split conns evenly; the first `conns % workers` workers
+            // take one extra.
+            let base = cfg.conns / workers;
+            let extra = usize::from(w < cfg.conns % workers);
+            let my_conns = base + extra;
+            if my_conns == 0 {
+                return 0;
+            }
+            let first_id = w * base + w.min(cfg.conns % workers);
+            run_worker(addr, &cfg, my_conns, first_id, &worker_cells)
+        });
+        TcpLoadgen {
+            pool,
+            cells,
+            started: Instant::now(),
+        }
+    }
+
+    /// Waits for every worker and returns the verified totals (or the
+    /// panic of the first worker that died, with the surviving workers'
+    /// responses still counted inside).
+    pub fn join(self) -> Result<TcpLoadReport, ProducerPanic> {
+        let responses = self.pool.join()?;
+        let elapsed = self.started.elapsed();
+        Ok(TcpLoadReport {
+            responses,
+            ok: self.cells.ok.load(Ordering::Relaxed),
+            errors: self.cells.errors.load(Ordering::Relaxed),
+            failed_conns: self.cells.failed_conns.load(Ordering::Relaxed),
+            rx_bytes: self.cells.rx_bytes.load(Ordering::Relaxed),
+            elapsed_ns: elapsed.as_nanos() as u64,
+        })
+    }
+}
+
+/// One client connection's lifecycle state.
+struct Client {
+    stream: TcpStream,
+    wb: WriteBuf,
+    /// Bytes received but not yet framed into a full response.
+    rbuf: Vec<u8>,
+    sent: u64,
+    got: u64,
+    wants_write: bool,
+}
+
+/// Deterministic request mix: the same `(client * 31 + seq) % files`
+/// rotation the virtual-time HTTP protocol uses, so socket and sim
+/// runs hit the cache identically.
+fn request_bytes(client: usize, seq: u64, files: usize) -> Vec<u8> {
+    let file = (client as u64 * 31 + seq) % files.max(1) as u64;
+    format!("GET /f{file}.bin HTTP/1.1\r\nHost: sws\r\nConnection: keep-alive\r\n\r\n").into_bytes()
+}
+
+/// Length of the first complete HTTP response in `buf`, if any:
+/// headers up to `\r\n\r\n` plus `Content-Length` body bytes.
+fn response_len(buf: &[u8]) -> Option<usize> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let mut content_length = 0usize;
+    for line in head.split("\r\n") {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().ok()?;
+            }
+        }
+    }
+    let total = head_end + content_length;
+    (buf.len() >= total).then_some(total)
+}
+
+fn connect_nonblocking(addr: SocketAddr) -> io::Result<TcpStream> {
+    let s = TcpStream::connect(addr)?;
+    s.set_nodelay(true)?;
+    s.set_nonblocking(true)?;
+    Ok(s)
+}
+
+/// Runs one worker's slice of connections to completion; returns the
+/// number of complete responses it verified.
+fn run_worker(
+    addr: SocketAddr,
+    cfg: &TcpLoadgenConfig,
+    my_conns: usize,
+    first_id: usize,
+    cells: &Cells,
+) -> u64 {
+    let deadline = Instant::now() + cfg.deadline;
+    let ep = match Epoll::new() {
+        Ok(ep) => ep,
+        Err(_) => {
+            cells
+                .failed_conns
+                .fetch_add(my_conns as u64, Ordering::Relaxed);
+            return 0;
+        }
+    };
+    let mut clients: Vec<Option<Client>> = Vec::with_capacity(my_conns);
+    for i in 0..my_conns {
+        let Ok(stream) = connect_nonblocking(addr) else {
+            cells.failed_conns.fetch_add(1, Ordering::Relaxed);
+            clients.push(None);
+            continue;
+        };
+        if ep
+            .add(stream.as_raw_fd(), Interest::READ, i as u64)
+            .is_err()
+        {
+            cells.failed_conns.fetch_add(1, Ordering::Relaxed);
+            clients.push(None);
+            continue;
+        }
+        let mut c = Client {
+            stream,
+            wb: WriteBuf::default(),
+            rbuf: Vec::new(),
+            sent: 0,
+            got: 0,
+            wants_write: false,
+        };
+        // Seed the open-loop window.
+        while c.sent < cfg.requests_per_conn && c.sent - c.got < cfg.window as u64 {
+            let id = first_id + i;
+            c.wb.queue(&request_bytes(id, c.sent, cfg.files));
+            c.sent += 1;
+        }
+        flush(&ep, i, &mut c);
+        clients.push(Some(c));
+    }
+    let mut live = clients.iter().filter(|c| c.is_some()).count();
+    let mut responses = 0u64;
+    let mut ready = Vec::new();
+    while live > 0 && Instant::now() < deadline {
+        ready.clear();
+        if ep.wait(&mut ready, 10).is_err() {
+            break;
+        }
+        for r in ready.iter().copied() {
+            let i = r.token as usize;
+            let Some(c) = clients.get_mut(i).and_then(Option::as_mut) else {
+                continue;
+            };
+            match conn_readiness(&ep, cfg, cells, c, r, first_id + i, i, &mut responses) {
+                ConnFate::Alive => {}
+                ConnFate::Finished => {
+                    // All responses verified: the client closes first
+                    // (dropping the stream sends FIN; the server's EOF
+                    // path then reaps the connection).
+                    clients[i] = None;
+                    live -= 1;
+                }
+                ConnFate::Dead => {
+                    cells.failed_conns.fetch_add(1, Ordering::Relaxed);
+                    clients[i] = None;
+                    live -= 1;
+                }
+            }
+        }
+    }
+    // Deadline expiry: whatever is still open failed.
+    cells.failed_conns.fetch_add(live as u64, Ordering::Relaxed);
+    responses
+}
+
+/// What happened to a connection during one readiness round.
+enum ConnFate {
+    Alive,
+    /// Every requested response arrived and was verified.
+    Finished,
+    /// The connection died before delivering everything.
+    Dead,
+}
+
+/// Processes one readiness record for one connection: drain, frame and
+/// count responses, refill the pipeline window, flush.
+#[allow(clippy::too_many_arguments)]
+fn conn_readiness(
+    ep: &Epoll,
+    cfg: &TcpLoadgenConfig,
+    cells: &Cells,
+    c: &mut Client,
+    r: mely_net::tcp::epoll::Ready,
+    client_id: usize,
+    token: usize,
+    responses: &mut u64,
+) -> ConnFate {
+    let mut dead = false;
+    if r.readable || r.hangup {
+        let before = c.rbuf.len();
+        let outcome = drain_reads(c.stream.as_raw_fd(), &mut c.rbuf);
+        cells
+            .rx_bytes
+            .fetch_add((c.rbuf.len() - before) as u64, Ordering::Relaxed);
+        while let Some(n) = response_len(&c.rbuf) {
+            if c.rbuf.starts_with(b"HTTP/1.1 200") {
+                cells.ok.fetch_add(1, Ordering::Relaxed);
+            } else {
+                cells.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            c.rbuf.drain(..n);
+            c.got += 1;
+            *responses += 1;
+            // Refill the window (open loop: send without waiting for
+            // the responses already in flight).
+            while c.sent < cfg.requests_per_conn && c.sent - c.got < cfg.window as u64 {
+                c.wb.queue(&request_bytes(client_id, c.sent, cfg.files));
+                c.sent += 1;
+            }
+        }
+        if c.got == cfg.requests_per_conn {
+            return ConnFate::Finished;
+        }
+        match outcome {
+            ReadOutcome::WouldBlock => {}
+            ReadOutcome::Eof | ReadOutcome::Reset => dead = true,
+        }
+    }
+    if !dead && !c.wb.is_empty() {
+        dead = !flush(ep, token, c);
+    }
+    if dead {
+        ConnFate::Dead
+    } else {
+        ConnFate::Alive
+    }
+}
+
+/// Flushes a client's queued requests, arming or disarming `EPOLLOUT`
+/// as needed. Returns `false` if the connection is dead.
+fn flush(ep: &Epoll, i: usize, c: &mut Client) -> bool {
+    let fd = c.stream.as_raw_fd();
+    match c.wb.flush(fd) {
+        WriteOutcome::Drained => {
+            if c.wants_write && ep.modify(fd, Interest::READ, i as u64).is_ok() {
+                c.wants_write = false;
+            }
+            true
+        }
+        WriteOutcome::Blocked => {
+            if !c.wants_write && ep.modify(fd, Interest::READ_WRITE, i as u64).is_ok() {
+                c.wants_write = true;
+            }
+            true
+        }
+        WriteOutcome::Closed => false,
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    #[test]
+    fn response_len_frames_exactly() {
+        let resp = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nbody";
+        assert_eq!(response_len(resp), Some(resp.len()));
+        assert_eq!(response_len(&resp[..resp.len() - 1]), None);
+        let mut two = resp.to_vec();
+        two.extend_from_slice(resp);
+        assert_eq!(response_len(&two), Some(resp.len()));
+        assert_eq!(response_len(b"HTTP/1.1 200 OK\r\n\r"), None);
+    }
+
+    #[test]
+    fn request_mix_matches_the_virtual_protocol() {
+        let r = request_bytes(3, 7, 150);
+        let s = std::str::from_utf8(&r).unwrap();
+        assert!(s.starts_with(&format!("GET /f{}.bin HTTP/1.1\r\n", 3 * 31 + 7)));
+        assert!(s.contains("Connection: keep-alive"));
+        assert!(s.ends_with("\r\n\r\n"));
+    }
+
+    /// A minimal blocking echo-style HTTP server on a thread: enough to
+    /// prove the loadgen counts only verified responses and closes
+    /// client-first.
+    #[test]
+    fn loadgen_verifies_responses_against_a_real_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut served = 0u64;
+            let mut handles = Vec::new();
+            for stream in listener.incoming() {
+                let Ok(mut s) = stream else { break };
+                handles.push(std::thread::spawn(move || {
+                    let mut buf = Vec::new();
+                    let mut chunk = [0u8; 4096];
+                    let mut answered = 0u64;
+                    loop {
+                        match s.read(&mut chunk) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                        }
+                        while let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                            buf.drain(..pos + 4);
+                            let body = b"hello";
+                            let head = format!(
+                                "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n",
+                                body.len()
+                            );
+                            if s.write_all(head.as_bytes()).is_err() || s.write_all(body).is_err() {
+                                return answered;
+                            }
+                            answered += 1;
+                        }
+                    }
+                    answered
+                }));
+                served += 1;
+                if served == 8 {
+                    break;
+                }
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        });
+        let lg = TcpLoadgen::start(
+            addr,
+            TcpLoadgenConfig {
+                workers: 2,
+                conns: 8,
+                requests_per_conn: 10,
+                window: 3,
+                files: 150,
+                deadline: Duration::from_secs(20),
+            },
+        );
+        let report = lg.join().expect("no worker panicked");
+        assert_eq!(report.responses, 80, "{report:?}");
+        assert_eq!(report.ok, 80);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.failed_conns, 0);
+        assert!(report.rps() > 0.0);
+        let answered = server.join().unwrap();
+        assert_eq!(answered, 80, "server answered exactly what clients saw");
+    }
+
+    #[test]
+    fn unreachable_server_counts_failed_conns_not_responses() {
+        // A listener we bind then drop: connecting gets ECONNREFUSED.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let lg = TcpLoadgen::start(
+            addr,
+            TcpLoadgenConfig {
+                workers: 2,
+                conns: 4,
+                requests_per_conn: 1,
+                window: 1,
+                files: 1,
+                deadline: Duration::from_secs(5),
+            },
+        );
+        let report = lg.join().expect("workers survive refused connects");
+        assert_eq!(report.responses, 0);
+        assert_eq!(report.failed_conns, 4);
+    }
+}

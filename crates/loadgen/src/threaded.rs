@@ -146,6 +146,15 @@ pub struct InjectorPool {
     injected: Arc<AtomicU64>,
 }
 
+impl fmt::Debug for InjectorPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InjectorPool")
+            .field("threads", &self.threads.len())
+            .field("injected", &self.injected.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
 /// Flushes a producer's local injection count into the pool total on
 /// scope exit — including an unwinding one, so a panicking producer's
 /// completed work is still counted.
@@ -252,6 +261,45 @@ impl InjectorPool {
                         }
                     })
                     .expect("spawn producer")
+            })
+            .collect();
+        InjectorPool { threads, injected }
+    }
+
+    /// The coarse-grained sibling of [`InjectorPool::spawn_with`]:
+    /// `workers` threads start behind one barrier and each runs
+    /// `work(w)` once, returning how many units it completed. The pool
+    /// total (what [`InjectorPool::join`] returns) is the sum of those
+    /// returns — and a worker that panics mid-run contributes zero, so
+    /// the total only counts work whose completion the worker itself
+    /// vouched for. The TCP load generator uses this shape: each worker
+    /// owns a set of real client sockets for the whole run and returns
+    /// its client-verified response count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn spawn_workers<F>(workers: usize, work: F) -> Self
+    where
+        F: Fn(usize) -> u64 + Send + Sync + 'static,
+    {
+        assert!(workers > 0, "need at least one worker");
+        let work = Arc::new(work);
+        let barrier = Arc::new(Barrier::new(workers));
+        let injected = Arc::new(AtomicU64::new(0));
+        let threads = (0..workers)
+            .map(|w| {
+                let work = Arc::clone(&work);
+                let barrier = Arc::clone(&barrier);
+                let injected = Arc::clone(&injected);
+                std::thread::Builder::new()
+                    .name(format!("mely-load-{w}"))
+                    .spawn(move || {
+                        barrier.wait();
+                        let mut guard = CountGuard { injected, n: 0 };
+                        guard.n = work(w);
+                    })
+                    .expect("spawn worker")
             })
             .collect();
         InjectorPool { threads, injected }

@@ -45,6 +45,8 @@ use std::fmt;
 
 pub mod driver;
 pub mod inject;
+#[cfg(unix)]
+pub mod tcp;
 
 /// Network parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -34,17 +34,18 @@
 //! Both serve load produced by any [`mely_net::driver::Driver`]
 //! (normally `mely_loadgen::ClosedLoopLoad` with [`HttpProtocol`]).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use mely_core::color::{Color, ColorSpace};
 use mely_core::event::Event;
-use mely_core::exec::{Executor, Service};
+use mely_core::exec::{Executor, Injector, Service};
 use mely_core::handler::{HandlerId, HandlerSpec};
-use mely_core::stage::{PipelineBuilder, Stage, StageCtx, StageSpec};
-use mely_http::{parse_request, ParseOutcome, Request, Response, ResponseCache};
+use mely_core::stage::{Pipeline, PipelineBuilder, Stage, StageCtx, StageSpec};
+use mely_http::{Request, RequestParser, Response, ResponseCache};
 use mely_loadgen::ClientProtocol;
 use mely_net::driver::Driver;
 use mely_net::{Fd, NetEvent, SimNet};
@@ -153,15 +154,28 @@ pub struct SwsStats {
     pub accepted: u64,
     /// Connections closed by the server.
     pub closed: u64,
+    /// Requests aborted by the peer mid-flight: the connection hit EOF
+    /// (or was reset) while a partial request sat in its parse buffer.
+    /// Each one also fails exactly one carried request in the runtime's
+    /// `failed_requests` accounting.
+    pub aborted: u64,
 }
 
 #[derive(Debug, Default)]
 struct ConnState {
-    buf: Vec<u8>,
+    parser: RequestParser,
     registered: bool,
     read_pending: bool,
-    cur: Option<Request>,
-    resp: Option<Response>,
+    /// Parsed requests awaiting their cache lookup, in arrival order —
+    /// or, for an unparseable request, the prebuilt `400` that takes
+    /// its slot so responses stay in request order. Queues, not single
+    /// slots: a pipelining client keeps several per-connection stage
+    /// chains in flight at once, and an interleaved chain must never
+    /// overwrite a request (or response) another chain has produced but
+    /// not yet consumed.
+    reqs: VecDeque<Result<Request, Response>>,
+    /// Built responses awaiting their write, in request order.
+    resps: VecDeque<Response>,
     close_after: bool,
 }
 
@@ -374,10 +388,18 @@ struct SwsShared<D> {
     net: Arc<Mutex<SimNet>>,
     driver: Arc<Mutex<D>>,
     cfg: SwsConfig,
+    /// A [`SwsWaker`] tick is in flight: collapses wake bursts from an
+    /// external poller thread into at most one pending `PollTick`.
+    wake_pending: AtomicBool,
 }
 
-/// The poll loop's self-message.
-struct PollTick;
+/// The poll loop's self-message. Re-arming ticks (the seed and every
+/// tick the loop schedules for itself) keep the timer chain alive;
+/// waker-submitted ticks ([`SwsWaker`]) are one-shot extra polls and
+/// must not fork a second chain.
+struct PollTick {
+    rearm: bool,
+}
 
 /// One bounded accept batch.
 struct AcceptTick;
@@ -406,9 +428,11 @@ impl<D: Driver + 'static> Stage for EpollStage<D> {
             .penalty(SWS_LOOP_PENALTY)
     }
 
-    fn handle(&self, ctx: &mut StageCtx<'_, '_>, _msg: PollTick) {
+    fn handle(&self, ctx: &mut StageCtx<'_, '_>, msg: PollTick) {
         let now = ctx.now();
         let s = &self.0;
+        // This poll is happening: a new wake may be requested again.
+        s.wake_pending.store(false, Ordering::Release);
         let mut net = s.net.lock();
         let done = s.driver.lock().advance(&mut net, now);
         let events = net.poll(now);
@@ -438,17 +462,24 @@ impl<D: Driver + 'static> Stage for EpollStage<D> {
             }
         }
         // Re-arm: wake exactly when the network or the clients next
-        // have something for us.
+        // have something for us. Waker-submitted one-shot ticks skip
+        // this — the original chain is still armed.
         let next = [net.next_activity(now), s.driver.lock().next_due(now)]
             .into_iter()
             .flatten()
             .min();
         drop(net);
+        if !msg.rearm {
+            return;
+        }
         match next {
-            Some(t) => {
-                ctx.to_after::<EpollStage<D>>(t.saturating_sub(now).max(s.cfg.min_poll), PollTick)
+            Some(t) => ctx.to_after::<EpollStage<D>>(
+                t.saturating_sub(now).max(s.cfg.min_poll),
+                PollTick { rearm: true },
+            ),
+            None if !done => {
+                ctx.to_after::<EpollStage<D>>(s.cfg.poll_interval, PollTick { rearm: true })
             }
-            None if !done => ctx.to_after::<EpollStage<D>>(s.cfg.poll_interval, PollTick),
             None => {
                 // Load finished and the network is silent: stop
                 // re-arming so the simulation can drain and return.
@@ -543,11 +574,18 @@ impl<D: Driver + 'static> Stage for ReadRequestStage<D> {
         };
         conn.read_pending = false;
         if hup {
+            if conn.parser.has_partial() {
+                // The peer abandoned a request mid-flight (reset, or
+                // EOF with a partial request buffered): exactly one
+                // carried request fails.
+                ctx.fail();
+                st.stats.aborted += 1;
+            }
             ctx.to::<CloseStage<D>>(fd);
             return;
         }
         if !data.is_empty() {
-            conn.buf.extend_from_slice(&data);
+            conn.parser.feed(&data);
             ctx.to::<ParseRequestStage<D>>(fd);
         }
     }
@@ -568,21 +606,20 @@ impl<D: Driver + 'static> Stage for ParseRequestStage<D> {
         let Some(conn) = st.conns.get_mut(&fd) else {
             return;
         };
-        match parse_request(&conn.buf) {
-            ParseOutcome::Complete(req, n) => {
-                conn.buf.drain(..n);
-                conn.close_after = !req.keep_alive;
-                conn.cur = Some(req);
+        match conn.parser.next_request() {
+            Some(Ok(req)) => {
+                conn.close_after |= !req.keep_alive;
+                conn.reqs.push_back(Ok(req));
                 ctx.to::<GetFromCacheStage<D>>(fd);
             }
-            ParseOutcome::Partial => {
+            None => {
                 // Wait for more bytes; Epoll will re-trigger a read.
             }
-            ParseOutcome::Bad(_) => {
-                conn.resp = Some(Response::bad_request());
+            Some(Err(_)) => {
+                conn.reqs.push_back(Err(Response::bad_request()));
                 conn.close_after = true;
                 st.stats.bad_request += 1;
-                ctx.to::<WriteResponseStage<D>>(fd);
+                ctx.to::<GetFromCacheStage<D>>(fd);
             }
         }
     }
@@ -602,15 +639,19 @@ impl<D: Driver + 'static> Stage for GetFromCacheStage<D> {
         let Some(conn) = st.conns.get_mut(&fd) else {
             return;
         };
-        let Some(req) = conn.cur.take() else {
+        let Some(slot) = conn.reqs.pop_front() else {
             return;
         };
-        let resp = match st.cache.lookup(&req.path) {
-            Some(r) => r.clone(),
-            None => Response::not_found(),
+        let resp = match slot {
+            Ok(req) => match st.cache.lookup(&req.path) {
+                Some(r) => r.clone(),
+                None => Response::not_found(),
+            },
+            // Unparseable request: its `400` passes straight through.
+            Err(prebuilt) => prebuilt,
         };
         let conn = st.conns.get_mut(&fd).expect("checked above");
-        conn.resp = Some(resp);
+        conn.resps.push_back(resp);
         ctx.to::<WriteResponseStage<D>>(fd);
     }
 }
@@ -632,7 +673,7 @@ impl<D: Driver + 'static> Stage for WriteResponseStage<D> {
         let Some(conn) = st.conns.get_mut(&fd) else {
             return;
         };
-        let Some(resp) = conn.resp.take() else {
+        let Some(resp) = conn.resps.pop_front() else {
             return;
         };
         ctx.charge(resp.wire_len() as u64 * s.cfg.costs.write_per_byte_milli / 1_000);
@@ -644,7 +685,7 @@ impl<D: Driver + 'static> Stage for WriteResponseStage<D> {
         }
         let conn = st.conns.get_mut(&fd).expect("checked above");
         let close_after = conn.close_after;
-        let more = !conn.buf.is_empty();
+        let more = conn.parser.has_partial();
         drop(st);
         s.net.lock().write(fd, now, resp.to_vec());
         // The response left the server: the request is complete.
@@ -700,7 +741,7 @@ impl<D: Driver + 'static> Stage for DecAcceptedStage<D> {
     }
 }
 
-/// SWS as a typed stage [`Pipeline`](mely_core::stage::Pipeline):
+/// SWS as a typed stage [`Pipeline`]:
 /// bundle the network, the driver and the configuration, then
 /// `rt.install(SwsService::new(..))` on either executor. After the run,
 /// [`SwsService::stats`] reads the server counters, and the report's
@@ -720,6 +761,7 @@ pub struct SwsService<D> {
     cfg: SwsConfig,
     colors: Option<ColorSpace>,
     installed: Option<Arc<SwsShared<D>>>,
+    pipeline: Option<Pipeline>,
 }
 
 impl<D: Driver + 'static> SwsService<D> {
@@ -731,6 +773,7 @@ impl<D: Driver + 'static> SwsService<D> {
             cfg,
             colors: None,
             installed: None,
+            pipeline: None,
         }
     }
 
@@ -764,6 +807,54 @@ impl<D: Driver + 'static> SwsService<D> {
             .lock()
             .stats
     }
+
+    /// A wake handle for external pollers (the real-socket gateway's
+    /// poller thread): each [`SwsWaker::wake`] submits one extra
+    /// `Epoll` pass through the lock-free injection path, so readiness
+    /// that arrived from the kernel is polled promptly instead of
+    /// waiting out the poll interval. Wake bursts collapse — at most
+    /// one waker tick is in flight at a time — and waker ticks never
+    /// fork the poll loop's own re-arm chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service has not been installed yet.
+    pub fn waker(&self, injector: impl Into<Injector>) -> SwsWaker {
+        let shared = Arc::clone(self.installed.as_ref().expect("service not installed"));
+        let sender = self
+            .pipeline
+            .as_ref()
+            .expect("service not installed")
+            .sender(injector.into());
+        SwsWaker {
+            wake: Arc::new(move || {
+                if !shared.wake_pending.swap(true, Ordering::AcqRel) {
+                    sender.submit::<EpollStage<D>>(PollTick { rearm: false });
+                }
+            }),
+        }
+    }
+}
+
+/// A cloneable handle nudging an installed [`SwsService`]'s poll loop
+/// from outside the executor — see [`SwsService::waker`].
+#[derive(Clone)]
+pub struct SwsWaker {
+    wake: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl SwsWaker {
+    /// Requests one prompt `Epoll` pass (idempotent while one is
+    /// already pending).
+    pub fn wake(&self) {
+        (self.wake)()
+    }
+}
+
+impl std::fmt::Debug for SwsWaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwsWaker").finish()
+    }
 }
 
 impl<D: Driver + 'static> Service for SwsService<D> {
@@ -786,12 +877,13 @@ impl<D: Driver + 'static> Service for SwsService<D> {
             net: Arc::clone(&self.net),
             driver: Arc::clone(&self.driver),
             cfg: self.cfg.clone(),
+            wake_pending: AtomicBool::new(false),
         });
         let mut builder = PipelineBuilder::new("sws");
         if let Some(colors) = self.colors.take() {
             builder = builder.with_colors(colors);
         }
-        builder
+        let mut pipeline = builder
             .stage(EpollStage(Arc::clone(&shared)))
             .stage(AcceptStage(Arc::clone(&shared)))
             .stage(RegisterFdStage(Arc::clone(&shared)))
@@ -801,9 +893,10 @@ impl<D: Driver + 'static> Service for SwsService<D> {
             .stage(WriteResponseStage(Arc::clone(&shared)))
             .stage(CloseStage(Arc::clone(&shared)))
             .stage(DecAcceptedStage(Arc::clone(&shared)))
-            .seed::<EpollStage<D>>(PollTick)
-            .build()
-            .install(exec);
+            .seed::<EpollStage<D>>(PollTick { rearm: true })
+            .build();
+        pipeline.install(exec);
+        self.pipeline = Some(pipeline);
         self.installed = Some(shared);
     }
 }
@@ -924,11 +1017,17 @@ impl<D: Driver + 'static> App<D> {
                 };
                 conn.read_pending = false;
                 if hup {
+                    if conn.parser.has_partial() {
+                        // The peer abandoned a request mid-flight:
+                        // exactly one carried request fails.
+                        ctx.fail_request();
+                        st.stats.aborted += 1;
+                    }
                     ctx.register(app.close_event(fd));
                     return;
                 }
                 if !data.is_empty() {
-                    conn.buf.extend_from_slice(&data);
+                    conn.parser.feed(&data);
                     ctx.register(app.parse_request_event(fd));
                 }
             },
@@ -944,21 +1043,20 @@ impl<D: Driver + 'static> App<D> {
                 let Some(conn) = st.conns.get_mut(&fd) else {
                     return;
                 };
-                match parse_request(&conn.buf) {
-                    ParseOutcome::Complete(req, n) => {
-                        conn.buf.drain(..n);
-                        conn.close_after = !req.keep_alive;
-                        conn.cur = Some(req);
+                match conn.parser.next_request() {
+                    Some(Ok(req)) => {
+                        conn.close_after |= !req.keep_alive;
+                        conn.reqs.push_back(Ok(req));
                         ctx.register(app.get_from_cache_event(fd));
                     }
-                    ParseOutcome::Partial => {
+                    None => {
                         // Wait for more bytes; Epoll will re-trigger a read.
                     }
-                    ParseOutcome::Bad(_) => {
-                        conn.resp = Some(Response::bad_request());
+                    Some(Err(_)) => {
+                        conn.reqs.push_back(Err(Response::bad_request()));
                         conn.close_after = true;
                         st.stats.bad_request += 1;
-                        ctx.register(app.write_response_event(fd));
+                        ctx.register(app.get_from_cache_event(fd));
                     }
                 }
             },
@@ -974,15 +1072,19 @@ impl<D: Driver + 'static> App<D> {
                 let Some(conn) = st.conns.get_mut(&fd) else {
                     return;
                 };
-                let Some(req) = conn.cur.take() else {
+                let Some(slot) = conn.reqs.pop_front() else {
                     return;
                 };
-                let resp = match st.cache.lookup(&req.path) {
-                    Some(r) => r.clone(),
-                    None => Response::not_found(),
+                let resp = match slot {
+                    Ok(req) => match st.cache.lookup(&req.path) {
+                        Some(r) => r.clone(),
+                        None => Response::not_found(),
+                    },
+                    // Unparseable request: its `400` passes through.
+                    Err(prebuilt) => prebuilt,
                 };
                 let conn = st.conns.get_mut(&fd).expect("checked above");
-                conn.resp = Some(resp);
+                conn.resps.push_back(resp);
                 ctx.register(app.write_response_event(fd));
             },
         )
@@ -998,7 +1100,7 @@ impl<D: Driver + 'static> App<D> {
                 let Some(conn) = st.conns.get_mut(&fd) else {
                     return;
                 };
-                let Some(resp) = conn.resp.take() else {
+                let Some(resp) = conn.resps.pop_front() else {
                     return;
                 };
                 ctx.charge(resp.wire_len() as u64 * inner.cfg.costs.write_per_byte_milli / 1_000);
@@ -1015,7 +1117,7 @@ impl<D: Driver + 'static> App<D> {
                 };
                 let more = {
                     let conn = st.conns.get_mut(&fd).expect("checked above");
-                    !conn.buf.is_empty()
+                    conn.parser.has_partial()
                 };
                 drop(st);
                 inner.net.lock().write(fd, now, resp.to_vec());

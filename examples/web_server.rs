@@ -1,20 +1,39 @@
 //! The SWS web server under closed-loop HTTP load, comparing the
 //! paper's headline configurations side by side.
 //!
-//! Run with `cargo run --release --example web_server`.
+//! Run with `cargo run --release --example web_server`. The results
+//! block is printed through [`mely_repro::summary::RunSummary`] — the
+//! same aligned format `examples/serve.rs` uses for real sockets, so
+//! virtual-time and socket runs can be compared line by line.
 
-use mely_repro::bench::scenarios::{sws_ncopy_run, sws_run};
+use mely_repro::bench::scenarios::{sws_ncopy_run, sws_run, SwsRun};
 use mely_repro::bench::PaperConfig;
+use mely_repro::summary::{cycles_to_us, RunSummary};
+
+fn summarize(r: &SwsRun, clients: usize, duration: u64) -> RunSummary {
+    let secs = duration as f64 / mely_repro::core::cycles::NOMINAL_FREQ_HZ as f64;
+    RunSummary {
+        label: r.label.clone(),
+        conns: clients as u64,
+        responses: r.server.responses,
+        rps: if secs > 0.0 {
+            r.server.responses as f64 / secs
+        } else {
+            0.0
+        },
+        p50_us: cycles_to_us(r.report.latency_p50()),
+        p99_us: cycles_to_us(r.report.latency_p99()),
+        sheds: r.report.shed_requests(),
+        faults: r.report.failed_requests(),
+    }
+}
 
 fn main() {
     let clients = 800;
     let duration = 40_000_000; // ~17 ms of virtual time
 
     println!("SWS: {clients} closed-loop clients requesting 1 KB files\n");
-    println!(
-        "{:<22} {:>12} {:>10} {:>8} {:>14} {:>14}",
-        "configuration", "KReq/s", "steals", "200s", "lat p50 ≤", "lat p99 ≤"
-    );
+    println!("{}", RunSummary::header());
     for cfg in [
         PaperConfig::MelyImprovedWs,
         PaperConfig::Libasync,
@@ -24,24 +43,10 @@ fn main() {
         // The stage-based SWS closes one latency-pipeline request per
         // response it writes.
         assert_eq!(r.report.completed_requests(), r.server.responses);
-        println!(
-            "{:<22} {:>12.1} {:>10} {:>8} {:>11} cy {:>11} cy",
-            r.label,
-            r.kreq_per_sec(),
-            r.report.total().steals,
-            r.server.ok,
-            r.report.latency_p50(),
-            r.report.latency_p99()
-        );
+        println!("{}", summarize(&r, clients, duration));
     }
     let n = sws_ncopy_run(clients, duration);
-    println!(
-        "{:<22} {:>12.1} {:>10} {:>8}",
-        n.label,
-        n.kreq_per_sec(),
-        n.report.total().steals,
-        n.server.ok
-    );
+    println!("{}", summarize(&n, clients, duration));
     println!("\n(The paper's Figure 7: Mely-WS on top, N-copy competitive,");
     println!(" Libasync hurt by enabling its legacy workstealing.)");
 }

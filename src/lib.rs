@@ -62,6 +62,8 @@ pub fn exec_kind_from_env(default: mely_core::ExecKind) -> mely_core::ExecKind {
     }
 }
 
+pub mod summary;
+
 pub use mely_bench as bench;
 pub use mely_cachesim as cachesim;
 pub use mely_core as core;

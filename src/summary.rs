@@ -1,0 +1,111 @@
+//! One shared results block for the serving examples.
+//!
+//! `examples/web_server.rs` (virtual-time closed loop) and
+//! `examples/serve.rs` (real loopback sockets) report the same
+//! quantities; this helper keeps the two outputs byte-for-byte aligned
+//! so they can be eyeballed side by side and scraped by the same CI
+//! artifact step.
+
+use std::fmt;
+
+use mely_core::cycles::NOMINAL_FREQ_HZ;
+
+/// Converts a latency measured in cycles to microseconds at the
+/// nominal frequency shared by the simulator and the rdtsc clock.
+pub fn cycles_to_us(cycles: u64) -> f64 {
+    cycles as f64 * 1e6 / NOMINAL_FREQ_HZ as f64
+}
+
+/// One row of the serving summary: a labelled run with its throughput,
+/// tail latency, and loss accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Configuration name (first column).
+    pub label: String,
+    /// Concurrent client connections driven at the server.
+    pub conns: u64,
+    /// Responses completed (server-side accounting, cross-checked
+    /// against the client where a real client exists).
+    pub responses: u64,
+    /// Responses per second (wall-clock for socket runs, virtual time
+    /// for simulated runs).
+    pub rps: f64,
+    /// Median request latency from the stage-latency histograms, µs.
+    pub p50_us: f64,
+    /// 99th-percentile request latency, µs.
+    pub p99_us: f64,
+    /// Requests/connections shed under overload (admission +
+    /// accept-path sheds).
+    pub sheds: u64,
+    /// Requests failed by faults (peer resets, mid-request EOF,
+    /// quarantined handlers).
+    pub faults: u64,
+}
+
+impl RunSummary {
+    /// The column header; print once above the rows.
+    pub fn header() -> String {
+        format!(
+            "{:<24} {:>9} {:>11} {:>11} {:>11} {:>11} {:>7} {:>7}",
+            "configuration", "conns", "responses", "RPS", "p50 µs", "p99 µs", "sheds", "faults"
+        )
+    }
+}
+
+impl fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<24} {:>9} {:>11} {:>11.0} {:>11.1} {:>11.1} {:>7} {:>7}",
+            self.label,
+            self.conns,
+            self.responses,
+            self.rps,
+            self.p50_us,
+            self.p99_us,
+            self.sheds,
+            self.faults
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_align_with_the_header() {
+        let row = RunSummary {
+            label: "mely improved-ws".into(),
+            conns: 1000,
+            responses: 16_000,
+            rps: 123_456.7,
+            p50_us: 42.5,
+            p99_us: 812.0,
+            sheds: 3,
+            faults: 1,
+        }
+        .to_string();
+        let header = RunSummary::header();
+        // Char count, not byte length: the µ in the latency headers is
+        // two bytes, and fmt widths pad by chars.
+        assert_eq!(
+            header.chars().count(),
+            row.chars().count(),
+            "{header}\n{row}"
+        );
+        // Every numeric column ends where the header column ends.
+        for col in ["conns", "responses", "RPS", "sheds", "faults"] {
+            assert!(header.contains(col));
+        }
+        assert!(row.contains("123457"));
+        assert!(row.contains("42.5"));
+    }
+
+    #[test]
+    fn cycle_conversion_uses_the_nominal_frequency() {
+        assert_eq!(cycles_to_us(NOMINAL_FREQ_HZ), 1e6);
+        assert_eq!(cycles_to_us(2_330), 1.0);
+        assert_eq!(cycles_to_us(0), 0.0);
+    }
+}

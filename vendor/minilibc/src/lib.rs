@@ -1,0 +1,232 @@
+//! Minimal libc surface for the real-socket front-end
+//! (`mely_net::tcp`).
+//!
+//! The build environment has no access to crates.io, so instead of the
+//! `libc` crate this shim declares exactly the handful of symbols the
+//! TCP gateway needs — `epoll_create1` / `epoll_ctl` / `epoll_wait`,
+//! `accept4`, `read` / `write` / `close`, errno access, and the
+//! `RLIMIT_NOFILE` pair so fd-heavy runs can raise their descriptor
+//! budget. All of them resolve from the glibc that `std` already links;
+//! no new dependency enters the build.
+//!
+//! Sockets themselves come from `std::net` (`TcpListener::bind`,
+//! `TcpStream::connect`): the standard library covers connection setup
+//! fine, it is only readiness multiplexing that has no stable std API.
+//!
+//! Everything here is Linux ABI. On other targets the crate still
+//! compiles (so `cargo check --workspace` works anywhere) but every
+//! call fails with `ENOSYS`, and `mely_net::tcp` reports the error at
+//! runtime instead of existing at all.
+
+use std::os::raw::c_int;
+
+/// `EPOLL_CLOEXEC` for [`epoll_create1`].
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+/// `epoll_ctl` operations.
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// See [`EPOLL_CTL_ADD`].
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// See [`EPOLL_CTL_ADD`].
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+/// Readiness: data to read.
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: writable without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Condition: error on the descriptor (always reported).
+pub const EPOLLERR: u32 = 0x008;
+/// Condition: hang-up (always reported).
+pub const EPOLLHUP: u32 = 0x010;
+/// Condition: peer shut down its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered delivery.
+pub const EPOLLET: u32 = 1 << 31;
+
+/// `accept4` flag: accepted socket starts non-blocking.
+pub const SOCK_NONBLOCK: c_int = 0o4000;
+/// `accept4` flag: accepted socket is close-on-exec.
+pub const SOCK_CLOEXEC: c_int = 0o2000000;
+
+/// errno: interrupted by a signal.
+pub const EINTR: c_int = 4;
+/// errno: operation would block.
+pub const EAGAIN: c_int = 11;
+/// errno: same value as [`EAGAIN`] on Linux.
+pub const EWOULDBLOCK: c_int = EAGAIN;
+/// errno: system-wide descriptor table full.
+pub const ENFILE: c_int = 23;
+/// errno: per-process descriptor limit reached.
+pub const EMFILE: c_int = 24;
+/// errno: function not implemented (what the non-Linux stubs return).
+pub const ENOSYS: c_int = 38;
+/// errno: connection reset by peer.
+pub const ECONNRESET: c_int = 104;
+
+/// `getrlimit`/`setrlimit` resource id for the open-descriptor limit.
+pub const RLIMIT_NOFILE: c_int = 7;
+
+/// One epoll interest / readiness record.
+///
+/// The kernel ABI packs this struct on x86-64 (12 bytes); elsewhere it
+/// uses natural alignment — mirrored here so `epoll_wait` fills the
+/// buffer correctly.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Interest or readiness mask ([`EPOLLIN`] | ...).
+    pub events: u32,
+    /// Caller-owned cookie returned verbatim with each readiness.
+    pub data: u64,
+}
+
+/// The `getrlimit`/`setrlimit` pair's argument.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rlimit {
+    /// Soft limit (the enforced one).
+    pub rlim_cur: u64,
+    /// Hard limit (the ceiling the soft limit may be raised to).
+    pub rlim_max: u64,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{EpollEvent, Rlimit};
+    use std::os::raw::{c_int, c_void};
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn accept4(sockfd: c_int, addr: *mut c_void, addrlen: *mut u32, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+        fn __errno_location() -> *mut c_int;
+    }
+
+    pub fn errno() -> c_int {
+        // SAFETY: glibc guarantees a valid thread-local errno pointer.
+        unsafe { *__errno_location() }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    //! Non-Linux stubs: same signatures, every call fails with ENOSYS.
+    #![allow(clippy::missing_safety_doc)]
+
+    use super::{EpollEvent, Rlimit, ENOSYS};
+    use std::os::raw::{c_int, c_void};
+
+    pub unsafe fn epoll_create1(_flags: c_int) -> c_int {
+        -1
+    }
+    pub unsafe fn epoll_ctl(_e: c_int, _op: c_int, _fd: c_int, _ev: *mut EpollEvent) -> c_int {
+        -1
+    }
+    pub unsafe fn epoll_wait(_e: c_int, _evs: *mut EpollEvent, _max: c_int, _t: c_int) -> c_int {
+        -1
+    }
+    pub unsafe fn accept4(_s: c_int, _a: *mut c_void, _l: *mut u32, _f: c_int) -> c_int {
+        -1
+    }
+    pub unsafe fn read(_fd: c_int, _buf: *mut c_void, _count: usize) -> isize {
+        -1
+    }
+    pub unsafe fn write(_fd: c_int, _buf: *const c_void, _count: usize) -> isize {
+        -1
+    }
+    pub unsafe fn close(_fd: c_int) -> c_int {
+        -1
+    }
+    pub unsafe fn getrlimit(_r: c_int, _rlim: *mut Rlimit) -> c_int {
+        -1
+    }
+    pub unsafe fn setrlimit(_r: c_int, _rlim: *const Rlimit) -> c_int {
+        -1
+    }
+    pub fn errno() -> c_int {
+        ENOSYS
+    }
+}
+
+pub use sys::{
+    accept4, close, epoll_create1, epoll_ctl, epoll_wait, errno, getrlimit, read, setrlimit, write,
+};
+
+/// Tries to raise the soft `RLIMIT_NOFILE` to `min(target, hard)` and
+/// returns the soft limit in effect afterwards (the old one when the
+/// kernel refuses). Fd-heavy callers (the loopback soak, the 10k-conn
+/// sweep) size their connection counts from the returned value instead
+/// of assuming the raise worked.
+pub fn raise_nofile_limit(target: u64) -> u64 {
+    let mut lim = Rlimit::default();
+    // SAFETY: `lim` is a valid, writable Rlimit.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 1024; // the conventional conservative default
+    }
+    if lim.rlim_cur >= target {
+        return lim.rlim_cur;
+    }
+    let want = Rlimit {
+        rlim_cur: target.min(lim.rlim_max),
+        rlim_max: lim.rlim_max,
+    };
+    // SAFETY: `want` is a valid Rlimit; failure leaves the old limits.
+    if unsafe { setrlimit(RLIMIT_NOFILE, &want) } == 0 {
+        want.rlim_cur
+    } else {
+        lim.rlim_cur
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_matches_the_kernel_abi() {
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(std::mem::size_of::<EpollEvent>(), 12, "packed on x86-64");
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(std::mem::size_of::<EpollEvent>(), 16);
+    }
+
+    #[test]
+    fn epoll_create_and_close_work() {
+        // SAFETY: plain syscalls on owned descriptors.
+        unsafe {
+            let ep = epoll_create1(EPOLL_CLOEXEC);
+            assert!(ep >= 0, "epoll_create1 failed: errno {}", errno());
+            assert_eq!(close(ep), 0);
+        }
+    }
+
+    #[test]
+    fn errno_reports_failures() {
+        // SAFETY: closing an invalid fd is defined to fail with EBADF.
+        let r = unsafe { close(-1) };
+        assert_eq!(r, -1);
+        assert_ne!(errno(), 0);
+    }
+
+    #[test]
+    fn nofile_limit_is_readable_and_raisable_to_itself() {
+        let mut lim = Rlimit::default();
+        // SAFETY: valid out-pointer.
+        assert_eq!(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) }, 0);
+        assert!(lim.rlim_cur > 0);
+        // Re-raising to the current soft limit is always permitted.
+        assert_eq!(raise_nofile_limit(lim.rlim_cur), lim.rlim_cur);
+    }
+}
