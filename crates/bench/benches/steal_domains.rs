@@ -1,0 +1,103 @@
+//! Steal-domain ablation: flat vs hierarchical victim selection on a
+//! spoofed dual-socket machine, scored by the cachesim transfer model.
+//!
+//! The workload is the worst case for locality-blind stealing: one hot
+//! core *per socket* (cores 0 and 8 of a `2s×4c×2t/l2=2/llc=8` machine)
+//! seeded with hundreds of single-color events while every other core
+//! idles. A topology-blind victim order sends the idle cores of socket 1
+//! to the globally busiest core — across the interconnect — even though
+//! an equally loaded victim sits on their own socket. The hierarchical
+//! policy keeps them home.
+//!
+//! Each policy runs the same deterministic sim workload; from the
+//! per-tier steal counters the bench computes the *predicted* transfer
+//! penalty with `mely_cachesim::steal_transfer_penalty_cycles` (one
+//! working set refetched per successful steal, priced by the first
+//! cache level the thief/victim pair shares) and prints it next to the
+//! *measured* steal cost the simulator charged.
+//!
+//! Emitted ids (not in `benches/baseline.json`; the contract is the
+//! ratio, gated by `bench_gate --max-ratio`):
+//!
+//! - `steal/remote_frac_{policy}` — fraction of successful steals that
+//!   crossed sockets;
+//! - `steal/predicted_xfer_{policy}` — predicted transfer cycles.
+//!
+//! CI gates `steal/predicted_xfer_hierarchical` against
+//! `steal/predicted_xfer_flat`: hierarchical must predict strictly
+//! lower cross-socket traffic.
+
+use std::sync::Arc;
+
+use criterion::{emit_json, measure_budget};
+use mely_bench::steal::{predicted_transfer_cycles, tier_split};
+use mely_core::prelude::*;
+
+/// The spoofed topology: 2 sockets × 4 physical cores × 2 SMT threads,
+/// L2 per SMT pair, LLC per socket — the shape from the steal-domains
+/// design discussion.
+const SPEC: &str = "2s×4c×2t/l2=2/llc=8";
+
+/// Working set assumed to move with one successful steal (a stolen
+/// color queue's events plus the data they touch): 4 KiB.
+const WORKSET_BYTES: u64 = 4 << 10;
+
+/// Runs the two-hot-cores workload under `policy` and returns the
+/// report. Deterministic: same policy, same schedule, same counters.
+fn run(machine: &MachineModel, policy: Arc<dyn StealPolicy>, per_core: u16) -> RunReport {
+    let mut rt = RuntimeBuilder::new()
+        .cores(machine.num_cores())
+        .machine(machine.clone())
+        .flavor(Flavor::Mely)
+        .workstealing(WsPolicy::base())
+        .steal_policy(policy)
+        .build(ExecKind::Sim);
+    for (hot, base) in [(0usize, 1u16), (8, 20_000)] {
+        for i in 0..per_core {
+            rt.register_pinned(Event::new(Color::new(base + i), 30_000), hot);
+        }
+    }
+    rt.run()
+}
+
+fn main() {
+    let machine = MachineModel::from_spec(SPEC).expect("valid spec");
+    let domains = StealDomains::new(&machine, machine.num_cores());
+    let per_core = (measure_budget().as_millis() as u64 / 2).clamp(200, 2_000) as u16;
+
+    println!(
+        "steal-domain ablation on {} ({per_core} events per hot core)",
+        machine.name()
+    );
+    println!(
+        "{:<16} {:>9} {:>22} {:>8} {:>15} {:>15}",
+        "policy", "KEvents/s", "steals smt/llc/s/r", "remote%", "predicted cy", "measured cy"
+    );
+
+    let policies: [Arc<dyn StealPolicy>; 4] = [
+        Arc::new(FlatPolicy),
+        Arc::new(HierarchicalPolicy),
+        Arc::new(PaperBasePolicy),
+        Arc::new(PaperImprovedPolicy),
+    ];
+    for policy in policies {
+        let name = policy.name();
+        let r = run(&machine, policy, per_core);
+        let by_tier = r.steals_by_tier();
+        let steals = r.total().steals.max(1);
+        let remote_frac = by_tier[3] as f64 / steals as f64;
+        let predicted = predicted_transfer_cycles(&machine, &domains, by_tier, WORKSET_BYTES);
+        let measured = r.total().steal_cycles;
+        println!(
+            "{:<16} {:>9.0} {:>22} {:>7.1}% {:>15} {:>15}",
+            name,
+            r.kevents_per_sec(),
+            tier_split(by_tier),
+            100.0 * remote_frac,
+            predicted,
+            measured
+        );
+        emit_json(&format!("steal/remote_frac_{name}"), remote_frac);
+        emit_json(&format!("steal/predicted_xfer_{name}"), predicted as f64);
+    }
+}

@@ -6,14 +6,26 @@
 //! Shape: base stealing migrates B chains away from their parent arrays
 //! and pays for it in L2 misses; the penalty annotation steers thieves
 //! to the A events and keeps chains cache-local.
+//!
+//! The extra `Steals smt/llc/s/r` column breaks successful steals down
+//! by steal-domain tier. On the xeon model (no SMT, single socket in
+//! the cache model's eyes) steals land in the `llc` bucket when thief
+//! and victim share an L2 and in `s` (same socket, no shared cache)
+//! otherwise.
 
+use mely_bench::steal::tier_split;
 use mely_bench::table::TextTable;
 use mely_bench::workloads::{penalty, PenaltyCfg};
 use mely_bench::PaperConfig;
 
 fn main() {
     let cfg = PenaltyCfg::default();
-    let mut t = TextTable::new(vec!["Configuration", "KEvents/s", "L2 misses/Event"]);
+    let mut t = TextTable::new(vec![
+        "Configuration",
+        "KEvents/s",
+        "L2 misses/Event",
+        "Steals smt/llc/s/r",
+    ]);
     for c in [
         PaperConfig::Libasync,
         PaperConfig::LibasyncWs,
@@ -25,6 +37,7 @@ fn main() {
             c.label().to_string(),
             format!("{:.0}", r.kevents_per_sec()),
             format!("{:.1}", r.l2_misses_per_event()),
+            tier_split(r.steals_by_tier()),
         ]);
     }
     t.print("Table V: impact of the penalty-aware stealing (penalty)");

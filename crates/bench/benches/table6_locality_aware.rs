@@ -6,14 +6,39 @@
 //! Shapes: workstealing *helps* this fork/join workload (unlike the web
 //! server), and ordering victims by cache distance keeps the sort halves
 //! within the shared L2, cutting misses while improving throughput.
+//!
+//! Below the table, a cachesim-backed ablation block prices each run's
+//! per-tier steal counts with `steal_transfer_penalty_cycles` (one
+//! sorted half-array refetched per successful steal, at the latency of
+//! the first cache level the thief/victim pair shares) and prints that
+//! *predicted* transfer cost next to the *measured* steal cycles the
+//! simulator charged. The simulator's steal cost is tier-blind, so the
+//! measured column barely moves across configurations — the predicted
+//! column is where victim locality shows up, and it must drop when the
+//! locality heuristic is on.
 
+use mely_bench::steal::{predicted_transfer_cycles, tier_split};
 use mely_bench::table::TextTable;
 use mely_bench::workloads::{cache_efficient, CacheEfficientCfg};
 use mely_bench::PaperConfig;
+use mely_core::prelude::StealDomains;
+use mely_topology::MachineModel;
 
 fn main() {
     let cfg = CacheEfficientCfg::default();
-    let mut t = TextTable::new(vec!["Configuration", "KEvents/s", "L2 misses/Event"]);
+    // Same machine the workload runs on (xeon E5410: L2 shared per core
+    // pair, no SMT). A stolen B refetches its half of the array.
+    let machine = MachineModel::xeon_e5410();
+    let domains = StealDomains::new(&machine, cfg.cores);
+    let workset = cfg.array_len / 2;
+
+    let mut t = TextTable::new(vec![
+        "Configuration",
+        "KEvents/s",
+        "L2 misses/Event",
+        "Steals smt/llc/s/r",
+    ]);
+    let mut ablation = Vec::new();
     for c in [
         PaperConfig::Libasync,
         PaperConfig::LibasyncWs,
@@ -21,12 +46,30 @@ fn main() {
         PaperConfig::MelyLocalityWs,
     ] {
         let r = cache_efficient(c, &cfg);
+        let by_tier = r.steals_by_tier();
         t.row(vec![
             c.label().to_string(),
             format!("{:.0}", r.kevents_per_sec()),
             format!("{:.2}", r.l2_misses_per_event()),
+            tier_split(by_tier),
         ]);
+        ablation.push((
+            c,
+            predicted_transfer_cycles(&machine, &domains, by_tier, workset),
+            r.total().steal_cycles,
+        ));
     }
     t.print("Table VI: impact of the locality-aware stealing (cache efficient)");
     println!("(paper: 1156/0 ; 1497/13 ; 1426/12 ; 1869/2)");
+
+    println!("\nPredicted vs measured steal-transfer cost ({workset} B workset):");
+    println!(
+        "{:<26} {:>14} {:>14}",
+        "Configuration", "predicted cy", "measured cy"
+    );
+    for (c, predicted, measured) in ablation {
+        println!("{:<26} {:>14} {:>14}", c.label(), predicted, measured);
+    }
+    println!("(predicted = cachesim refetch model per steal tier; measured =");
+    println!(" tier-blind sim steal cost — locality only moves the prediction)");
 }

@@ -9,12 +9,15 @@
 //!   (SWS and SFS runs with any flavor/policy), plus the Figure 7
 //!   comparators;
 //! - [`table`] — a fixed-width text-table printer so every bench target
-//!   reproduces the paper's rows verbatim.
+//!   reproduces the paper's rows verbatim;
+//! - [`steal`] — shared helpers turning per-tier steal counters into
+//!   cachesim-predicted transfer cycles for the locality ablations.
 //!
 //! Each `benches/*.rs` target (with `harness = false`) regenerates one
 //! table or figure; see DESIGN.md's experiment index.
 
 pub mod scenarios;
+pub mod steal;
 pub mod table;
 pub mod workloads;
 

@@ -1,0 +1,64 @@
+//! Shared steal-domain ablation helpers for the bench targets.
+//!
+//! The per-tier steal counters (`RunReport::steals_by_tier`) say *where*
+//! thieves reached; these helpers turn them into a predicted transfer
+//! cost via the cachesim refetch model
+//! ([`mely_cachesim::steal_transfer_penalty_cycles`]) so the locality
+//! tables can print predicted next to measured steal cost per policy.
+
+use mely_cachesim::steal_transfer_penalty_cycles;
+use mely_core::prelude::{StealDomains, StealTier};
+use mely_topology::MachineModel;
+
+/// Formats a `[smt, llc, socket, remote]` split as `a/b/c/d`.
+pub fn tier_split(by_tier: [u64; 4]) -> String {
+    let [smt, llc, socket, remote] = by_tier;
+    format!("{smt}/{llc}/{socket}/{remote}")
+}
+
+/// Predicted transfer cycles for a run's per-tier steal counts: each
+/// successful steal at a tier refetches one `workset_bytes` working set
+/// across a representative core pair of that tier.
+///
+/// # Panics
+///
+/// Panics if a tier with a non-zero count does not exist in `domains`
+/// (counts produced on one machine, priced on another).
+pub fn predicted_transfer_cycles(
+    machine: &MachineModel,
+    domains: &StealDomains,
+    by_tier: [u64; 4],
+    workset_bytes: u64,
+) -> u64 {
+    let mut total = 0;
+    for (i, tier) in StealTier::ALL.into_iter().enumerate() {
+        if by_tier[i] == 0 {
+            continue;
+        }
+        let pair = (0..domains.num_cores())
+            .flat_map(|t| domains.victims(t).iter().map(move |&v| (t, v)))
+            .find(|&(t, v)| domains.tier_of(t, v) == tier)
+            .expect("counted steals at a tier the domains do not have");
+        total += by_tier[i] * steal_transfer_penalty_cycles(machine, pair.0, pair.1, workset_bytes);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_prices_each_tier_at_its_pair() {
+        let m = MachineModel::from_spec("2s×4c×2t/llc=8").unwrap();
+        let d = StealDomains::new(&m, 16);
+        let line = m.levels()[0].line_bytes as u64;
+        // 1 smt steal + 2 remote steals of one line each.
+        let p = predicted_transfer_cycles(&m, &d, [1, 0, 0, 2], line);
+        let smt = steal_transfer_penalty_cycles(&m, 0, 1, line);
+        let remote = steal_transfer_penalty_cycles(&m, 0, 8, line);
+        assert_eq!(p, smt + 2 * remote);
+        assert_eq!(predicted_transfer_cycles(&m, &d, [0; 4], line), 0);
+        assert_eq!(tier_split([1, 2, 3, 4]), "1/2/3/4");
+    }
+}

@@ -265,6 +265,47 @@ impl Hierarchy {
     }
 }
 
+/// Predicted cost, in cycles, of moving a stolen working set of `bytes`
+/// bytes from `victim`'s caches to `thief` — the analytical counterpart
+/// of what [`Hierarchy`] measures access by access, used by the steal-
+/// domain ablation benches to score a victim order without running the
+/// full simulation.
+///
+/// The model is deliberately simple: every line of the working set is
+/// refetched once by the thief, served by the *first cache level the two
+/// cores share*. With no shared level the line comes from memory; when
+/// the cores are on different sockets the fetch also crosses the
+/// interconnect, modelled as twice the memory latency (the classic
+/// local:remote NUMA ratio). Same core, or an empty working set, costs
+/// nothing.
+///
+/// # Panics
+///
+/// Panics if either core is out of range for `machine`.
+pub fn steal_transfer_penalty_cycles(
+    machine: &MachineModel,
+    thief: usize,
+    victim: usize,
+    bytes: u64,
+) -> u64 {
+    if thief == victim || bytes == 0 {
+        return 0;
+    }
+    let levels = machine.levels();
+    let line = levels.first().map(|l| l.line_bytes as u64).unwrap_or(64);
+    let lines = bytes.div_ceil(line);
+    let d = machine.distance(thief, victim) as usize;
+    let per_line = if (1..=levels.len()).contains(&d) {
+        // distance = 1 + index of the first shared level.
+        levels[d - 1].latency_cycles
+    } else if machine.socket_of(thief) == machine.socket_of(victim) {
+        machine.mem_latency_cycles()
+    } else {
+        2 * machine.mem_latency_cycles()
+    };
+    per_line * lines
+}
+
 /// Did an access that ended at `hit` miss in cache level `level`?
 fn level_missed(hit: HitLevel, level: u8) -> bool {
     match hit {
@@ -391,6 +432,41 @@ mod tests {
         h.access(0, 0);
         h.flush();
         assert_eq!(h.access(0, 0).hit, HitLevel::Memory);
+    }
+
+    #[test]
+    fn transfer_penalty_follows_the_first_shared_level() {
+        let m = MachineModel::xeon_e5410();
+        let line = m.levels()[0].line_bytes as u64;
+        // Same core or nothing to move: free.
+        assert_eq!(steal_transfer_penalty_cycles(&m, 0, 0, 4096), 0);
+        assert_eq!(steal_transfer_penalty_cycles(&m, 0, 1, 0), 0);
+        // L2 partners refetch from the shared L2: 15 cycles per line.
+        assert_eq!(
+            steal_transfer_penalty_cycles(&m, 0, 1, 8 * line),
+            8 * m.levels()[1].latency_cycles
+        );
+        // No shared cache, one socket: memory latency per line.
+        assert_eq!(
+            steal_transfer_penalty_cycles(&m, 0, 2, 8 * line),
+            8 * m.mem_latency_cycles()
+        );
+        // Partial lines round up.
+        assert_eq!(
+            steal_transfer_penalty_cycles(&m, 0, 1, line + 1),
+            2 * m.levels()[1].latency_cycles
+        );
+    }
+
+    #[test]
+    fn transfer_penalty_is_monotone_in_steal_distance() {
+        let m = MachineModel::from_spec("2s×4c×2t/l2=2/llc=8").unwrap();
+        let smt = steal_transfer_penalty_cycles(&m, 0, 1, 4096);
+        let llc = steal_transfer_penalty_cycles(&m, 0, 2, 4096);
+        let remote = steal_transfer_penalty_cycles(&m, 0, 8, 4096);
+        assert!(smt < llc, "SMT sibling refetch must be cheapest");
+        assert!(llc < remote, "cross-socket refetch must be dearest");
+        assert_eq!(remote, 2 * m.mem_latency_cycles() * (4096 / 64));
     }
 
     #[test]

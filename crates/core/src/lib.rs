@@ -92,7 +92,10 @@ pub mod prelude {
     pub use crate::stage::{
         Collected, Pipeline, PipelineBuilder, Stage, StageCtx, StageSender, StageSpec,
     };
-    pub use crate::steal::WsPolicy;
+    pub use crate::steal::{
+        default_steal_policy, FlatPolicy, HierarchicalPolicy, PaperBasePolicy, PaperImprovedPolicy,
+        StealDomains, StealPolicy, StealTier, WsPolicy,
+    };
     pub use crate::threaded::{RuntimeHandle, ThreadedRuntime};
     pub use mely_topology::MachineModel;
 }

@@ -170,6 +170,20 @@ pub struct CoreMetrics {
     pub failed_steal_cycles: u64,
     /// Events migrated into this core by its steals.
     pub stolen_events: u64,
+    /// Successful steals from an SMT sibling of this core
+    /// ([`crate::steal::StealTier::Smt`]). The four per-tier counters
+    /// partition `steals`; they are diagnostics and deliberately not
+    /// part of [`RunReport::fingerprint`].
+    pub steals_smt: u64,
+    /// Successful steals from a core sharing a cache with this core
+    /// ([`crate::steal::StealTier::Llc`]).
+    pub steals_llc: u64,
+    /// Successful steals from a same-socket core sharing no cache
+    /// ([`crate::steal::StealTier::Socket`]).
+    pub steals_socket: u64,
+    /// Successful steals that crossed a socket
+    /// ([`crate::steal::StealTier::Remote`]).
+    pub steals_remote: u64,
     /// Declared processing cost of the event sets this core stole (the
     /// paper's "stolen time").
     pub stolen_cost_cycles: u64,
@@ -252,6 +266,19 @@ impl CoreMetrics {
         );
     }
 
+    /// Attributes one successful steal to its
+    /// [`crate::steal::StealTier`] counter. Called by both executors
+    /// right after they count the steal itself, so the four tier
+    /// counters always sum to `steals`.
+    pub(crate) fn note_steal_tier(&mut self, tier: crate::steal::StealTier) {
+        match tier {
+            crate::steal::StealTier::Smt => self.steals_smt += 1,
+            crate::steal::StealTier::Llc => self.steals_llc += 1,
+            crate::steal::StealTier::Socket => self.steals_socket += 1,
+            crate::steal::StealTier::Remote => self.steals_remote += 1,
+        }
+    }
+
     /// Counts one contained fault and folds its site into this core's
     /// fault digest. `kind_code` is the [`crate::fault::FaultKind`]'s
     /// stable small code; `seq` identifies the faulting event (0 for
@@ -279,6 +306,10 @@ impl CoreMetrics {
         self.steal_cycles += o.steal_cycles;
         self.failed_steal_cycles += o.failed_steal_cycles;
         self.stolen_events += o.stolen_events;
+        self.steals_smt += o.steals_smt;
+        self.steals_llc += o.steals_llc;
+        self.steals_socket += o.steals_socket;
+        self.steals_remote += o.steals_remote;
         self.stolen_cost_cycles += o.stolen_cost_cycles;
         self.registered += o.registered;
         self.l2_misses += o.l2_misses;
@@ -474,6 +505,35 @@ impl RunReport {
     pub fn avg_stolen_cost(&self) -> Option<f64> {
         let t = self.total();
         (t.steals > 0).then(|| t.stolen_cost_cycles as f64 / t.steals as f64)
+    }
+
+    /// Successful steals per [`crate::steal::StealTier`], nearest tier
+    /// first: `[smt, llc, socket, remote]`. The four entries partition
+    /// [`CoreMetrics::steals`] (every successful steal lands in exactly
+    /// one tier), so the sum equals `total().steals`.
+    pub fn steals_by_tier(&self) -> [u64; 4] {
+        let t = self.total();
+        [t.steals_smt, t.steals_llc, t.steals_socket, t.steals_remote]
+    }
+
+    /// Successful steals from an SMT sibling.
+    pub fn steals_smt(&self) -> u64 {
+        self.total().steals_smt
+    }
+
+    /// Successful steals from a cache-sharing core.
+    pub fn steals_llc(&self) -> u64 {
+        self.total().steals_llc
+    }
+
+    /// Successful steals from a same-socket core sharing no cache.
+    pub fn steals_socket(&self) -> u64 {
+        self.total().steals_socket
+    }
+
+    /// Successful steals that crossed a socket.
+    pub fn steals_remote(&self) -> u64 {
+        self.total().steals_remote
     }
 
     /// Events injected through the lock-free inboxes (threaded executor;

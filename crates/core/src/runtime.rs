@@ -1,6 +1,7 @@
 //! Runtime construction: flavor selection and the builder.
 
 use std::fmt;
+use std::sync::Arc;
 
 use mely_topology::{CacheLevel, MachineModel};
 
@@ -10,7 +11,7 @@ use crate::exec::{ExecKind, Runtime};
 use crate::fault::{FaultCtl, FaultPolicy};
 use crate::fuzz::{FaultPlan, SchedulePerturbation};
 use crate::sim::{SimConfig, SimRuntime};
-use crate::steal::WsPolicy;
+use crate::steal::{default_steal_policy, StealPolicy, WsPolicy};
 use crate::threaded::ThreadedRuntime;
 
 /// Which runtime architecture to use (paper Sections II and IV).
@@ -65,6 +66,7 @@ pub struct RuntimeBuilder {
     perturb: Option<SchedulePerturbation>,
     fault_policy: FaultPolicy,
     fault_plan: Option<FaultPlan>,
+    steal_policy: Option<Arc<dyn StealPolicy>>,
 }
 
 impl Default for RuntimeBuilder {
@@ -92,6 +94,7 @@ impl RuntimeBuilder {
             perturb: None,
             fault_policy: FaultPolicy::default(),
             fault_plan: None,
+            steal_policy: None,
         }
     }
 
@@ -226,6 +229,30 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Installs a victim-selection / steal-budget policy
+    /// ([`crate::steal::StealPolicy`]). When unset, the builder picks
+    /// [`crate::steal::default_steal_policy`] for the resolved machine:
+    /// `FlatPolicy` (today's behavior, bit for bit) on single-tier
+    /// machines, `HierarchicalPolicy` on machines that declare SMT or
+    /// multiple sockets (e.g. via [`MachineModel::from_spec`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use mely_core::prelude::*;
+    ///
+    /// let rt = RuntimeBuilder::new()
+    ///     .cores(4)
+    ///     .workstealing(WsPolicy::improved())
+    ///     .steal_policy(Arc::new(HierarchicalPolicy))
+    ///     .build(ExecKind::Sim);
+    /// ```
+    pub fn steal_policy(mut self, policy: Arc<dyn StealPolicy>) -> Self {
+        self.steal_policy = Some(policy);
+        self
+    }
+
     fn resolve(&self) -> (usize, MachineModel) {
         let machine = match &self.machine {
             Some(m) => m.clone(),
@@ -275,11 +302,15 @@ impl RuntimeBuilder {
 
     pub(crate) fn make_sim(self) -> SimRuntime {
         let (cores, machine) = self.resolve();
+        let steal_policy = self
+            .steal_policy
+            .unwrap_or_else(|| default_steal_policy(&machine));
         SimRuntime::new(SimConfig {
             cores,
             flavor: self.flavor,
             ws: self.ws,
             machine,
+            steal_policy,
             costs: self.costs,
             batch_threshold: self.batch_threshold,
             track_cache: self.track_cache,
@@ -301,11 +332,15 @@ impl RuntimeBuilder {
         // chaos on real threads too, just probabilistic rather than
         // replayable.
         let (cores, machine) = self.resolve();
+        let steal_policy = self
+            .steal_policy
+            .unwrap_or_else(|| default_steal_policy(&machine));
         ThreadedRuntime::new(
             cores,
             self.flavor,
             self.ws,
             machine,
+            steal_policy,
             self.batch_threshold,
             self.initial_steal_estimate,
             AdmissionCtl::new(self.queue_limits, self.admission),

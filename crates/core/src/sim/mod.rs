@@ -53,7 +53,7 @@ use crate::handler::{HandlerId, HandlerRegistry, HandlerSpec};
 use crate::metrics::{CoreMetrics, RunReport};
 use crate::queue::{LegacyQueue, MelyQueue, QueueImpl};
 use crate::runtime::Flavor;
-use crate::steal::{construct_core_set, WsPolicy};
+use crate::steal::{StealContext, StealDomains, StealPolicy, WsPolicy};
 use mely_topology::MachineModel;
 
 /// Configuration of a [`SimRuntime`] (built by
@@ -68,6 +68,12 @@ pub struct SimConfig {
     pub ws: WsPolicy,
     /// Machine model (topology, latencies, frequency).
     pub machine: MachineModel,
+    /// Victim-selection and steal-budget policy
+    /// ([`crate::steal::StealPolicy`]). The builder defaults this to
+    /// [`crate::steal::default_steal_policy`] for the machine;
+    /// `FlatPolicy` reproduces the pre-policy victim choices bit for
+    /// bit.
+    pub steal_policy: Arc<dyn StealPolicy>,
     /// Runtime operation costs.
     pub costs: CostParams,
     /// Max events of one color processed in a row (10 in the paper).
@@ -136,6 +142,11 @@ impl Ord for TimerEntry {
 /// The deterministic multicore simulator.
 pub struct SimRuntime {
     cfg: SimConfig,
+    /// Steal tiers over the running cores, computed once from the
+    /// machine model and consulted by the steal path (victim tiers for
+    /// the per-tier counters; the policy reads it through
+    /// [`StealContext`]).
+    domains: StealDomains,
     cores: Vec<SimCore>,
     /// Current owner core per color (`u32::MAX` = unassigned).
     color_owner: Vec<u32>,
@@ -209,8 +220,10 @@ impl SimRuntime {
         ));
         let sched_rng = cfg.perturb.map(|p| p.rng());
         let fault_rng = faults.plan.map(|p| p.rng());
+        let domains = StealDomains::new(&cfg.machine, cfg.cores);
         let mut rt = SimRuntime {
             cfg,
+            domains,
             cores,
             color_owner: vec![u32::MAX; COLOR_SPACE],
             registry: HandlerRegistry::new(),
@@ -793,7 +806,16 @@ impl SimRuntime {
         self.attempt_wait = 0;
 
         let loads: Vec<usize> = self.cores.iter().map(|x| x.queue.len()).collect();
-        let mut set = construct_core_set(self.cfg.ws, c, &loads, &self.cfg.machine);
+        let policy = Arc::clone(&self.cfg.steal_policy);
+        let mut set = policy.victims(
+            c,
+            &loads,
+            &StealContext {
+                ws: self.cfg.ws,
+                machine: &self.cfg.machine,
+                domains: &self.domains,
+            },
+        );
         if let Some(rng) = self.perturb_rng(|p| p.shuffle_victims) {
             // Perturbed victim choice: visit candidates in a shuffled
             // order instead of the policy's canonical one.
@@ -821,15 +843,28 @@ impl SimRuntime {
             if !can {
                 continue;
             }
+            let budget = policy
+                .steal_budget(
+                    c,
+                    v,
+                    &StealContext {
+                        ws: self.cfg.ws,
+                        machine: &self.cfg.machine,
+                        domains: &self.domains,
+                    },
+                )
+                .max(1);
             let stolen = match self.cfg.flavor {
-                Flavor::Libasync => self.steal_from_legacy(c, v),
-                Flavor::Mely => self.steal_from_mely(c, v),
+                Flavor::Libasync => self.steal_from_legacy(c, v, budget),
+                Flavor::Mely => self.steal_from_mely(c, v, budget),
             };
             if stolen {
                 let dur = (self.cores[c].clock - t_start).saturating_sub(self.attempt_wait);
+                let tier = self.domains.tier_of(c, v);
                 let m = &mut self.cores[c].metrics;
                 m.steals += 1;
                 m.steal_cycles += dur;
+                m.note_steal_tier(tier);
                 self.steal_est.record(dur);
                 self.sync_steal_estimates();
                 return true;
@@ -844,48 +879,76 @@ impl SimRuntime {
         false
     }
 
-    fn steal_from_legacy(&mut self, c: usize, v: usize) -> bool {
+    /// Steals up to `budget` colors from `v` under one victim-lock
+    /// hold. A budget of 1 is the classic algorithm, charge for
+    /// charge; larger budgets (far-tier steals under
+    /// [`crate::steal::HierarchicalPolicy`]) amortize the lock pair
+    /// and the migration trip over several colors.
+    fn steal_from_legacy(&mut self, c: usize, v: usize, budget: usize) -> bool {
         let costs = self.cfg.costs.clone();
         let vin = self.cores[v].in_flight_at(self.cores[c].clock);
-        let QueueImpl::Legacy(q) = &mut self.cores[v].queue else {
-            unreachable!("legacy flavor uses legacy queues");
-        };
-        // can_be_stolen: at least two distinct colors (Figure 2).
-        if q.distinct_colors() < 2 {
-            self.lock(v, c, costs.lock_acquire);
+        let mut taken: Vec<(Color, Vec<Event>)> = Vec::new();
+        let mut hold = costs.lock_acquire;
+        // Lock-hold cost of a futile visit, when nothing was taken.
+        let mut futile: Option<u64> = None;
+        {
+            let QueueImpl::Legacy(q) = &mut self.cores[v].queue else {
+                unreachable!("legacy flavor uses legacy queues");
+            };
+            // can_be_stolen: at least two distinct colors (Figure 2);
+            // re-checked before every extra color so the victim always
+            // keeps work.
+            if q.distinct_colors() < 2 {
+                futile = Some(0);
+            }
+            while futile.is_none() && taken.len() < budget && q.distinct_colors() >= 2 {
+                let Some((color, scanned_choose)) = q.choose_color_to_steal(vin) else {
+                    if taken.is_empty() {
+                        // Scanned the whole queue to find nothing.
+                        let scanned = (q.len() as u64).min(costs.scan_cap_events);
+                        futile = Some(costs.scan_per_event * scanned);
+                    }
+                    break;
+                };
+                // `construct_event_set` walks the victim's linked list; the
+                // paper's measurements (Section II-C: 197 Kcycles on ~1000-event
+                // queues at ~190 cycles per scanned event) show the traversal
+                // effectively covers the whole queue, so that is what we charge,
+                // bounded by `scan_cap_events` (the pending-count early stop).
+                let full_scan = (q.len() as u64).min(costs.scan_cap_events);
+                let (events, _scanned_extract) = q.extract_color(color);
+                debug_assert!(!events.is_empty());
+                hold += costs.scan_per_event * (scanned_choose as u64 + full_scan)
+                    + costs.migrate_per_event * events.len() as u64;
+                taken.push((color, events));
+            }
+        }
+        if let Some(scan) = futile {
+            self.lock(v, c, costs.lock_acquire + scan);
             return false;
         }
-        let Some((color, scanned_choose)) = q.choose_color_to_steal(vin) else {
-            // Scanned the whole queue to find nothing.
-            let scanned = (q.len() as u64).min(costs.scan_cap_events);
-            self.lock(v, c, costs.lock_acquire + costs.scan_per_event * scanned);
-            return false;
-        };
-        // `construct_event_set` walks the victim's linked list; the
-        // paper's measurements (Section II-C: 197 Kcycles on ~1000-event
-        // queues at ~190 cycles per scanned event) show the traversal
-        // effectively covers the whole queue, so that is what we charge,
-        // bounded by `scan_cap_events` (the pending-count early stop).
-        let full_scan = (q.len() as u64).min(costs.scan_cap_events);
-        let (events, _scanned_extract) = q.extract_color(color);
-        debug_assert!(!events.is_empty());
-        let hold = costs.lock_acquire
-            + costs.scan_per_event * (scanned_choose as u64 + full_scan)
-            + costs.migrate_per_event * events.len() as u64;
         self.lock(v, c, hold);
 
         // migrate: append to our own queue under our own lock.
-        let n = events.len() as u64;
-        let cost_sum: u64 = events.iter().map(|e| e.cost()).sum();
+        let n: u64 = taken.iter().map(|(_, e)| e.len() as u64).sum();
+        let cost_sum: u64 = taken
+            .iter()
+            .flat_map(|(_, e)| e.iter())
+            .map(|e| e.cost())
+            .sum();
         self.lock(c, c, costs.lock_acquire + costs.migrate_per_event * n);
         let now = self.cores[c].clock;
-        self.color_owner[color.value() as usize] = c as u32;
+        for (color, _) in &taken {
+            self.color_owner[color.value() as usize] = c as u32;
+        }
         let QueueImpl::Legacy(own) = &mut self.cores[c].queue else {
             unreachable!();
         };
-        for mut ev in events {
-            ev.visible_at = ev.visible_at.max(now);
-            own.push(ev);
+        for (_, events) in taken {
+            for mut ev in events {
+                ev.visible_at = ev.visible_at.max(now);
+                own.push(ev);
+            }
         }
         let m = &mut self.cores[c].metrics;
         m.stolen_events += n;
@@ -893,49 +956,82 @@ impl SimRuntime {
         true
     }
 
-    fn steal_from_mely(&mut self, c: usize, v: usize) -> bool {
+    /// Steals up to `budget` color-queues from `v` under one
+    /// victim-lock hold; budget 1 is the classic single-color steal,
+    /// charge for charge.
+    fn steal_from_mely(&mut self, c: usize, v: usize, budget: usize) -> bool {
         let costs = self.cfg.costs.clone();
         let vin = self.cores[v].in_flight_at(self.cores[c].clock);
         let time_left = self.cfg.ws.time_left;
-        let QueueImpl::Mely(q) = &mut self.cores[v].queue else {
-            unreachable!("mely flavor uses mely queues");
-        };
-        let (slot, inspect_cost) = if time_left {
-            // O(1) lookup in the stealing-queue.
-            (q.choose_worthy(vin), costs.queue_op)
-        } else {
-            if !q.can_be_stolen_base() {
-                self.lock(v, c, costs.lock_acquire);
-                return false;
+        let mut detached: Vec<crate::queue::DetachedColorQueue> = Vec::new();
+        let mut hold = costs.lock_acquire;
+        // Lock-hold cost of a futile visit, when nothing was taken.
+        let mut futile: Option<u64> = None;
+        {
+            let QueueImpl::Mely(q) = &mut self.cores[v].queue else {
+                unreachable!("mely flavor uses mely queues");
+            };
+            while futile.is_none() && detached.len() < budget {
+                let (slot, inspect_cost) = if time_left {
+                    // O(1) lookup in the stealing-queue.
+                    (q.choose_worthy(vin), costs.queue_op)
+                } else {
+                    // can_be_stolen, re-checked per color so the
+                    // victim keeps at least one.
+                    if !q.can_be_stolen_base() {
+                        if detached.is_empty() {
+                            futile = Some(0);
+                        }
+                        break;
+                    }
+                    match q.choose_scan(vin) {
+                        Some((slot, scanned)) => (Some(slot), costs.queue_op * scanned as u64),
+                        None => {
+                            if detached.is_empty() {
+                                let scanned = q.distinct_colors() as u64;
+                                futile = Some(costs.queue_op * scanned);
+                            }
+                            break;
+                        }
+                    }
+                };
+                let Some(slot) = slot else {
+                    if detached.is_empty() {
+                        futile = Some(inspect_cost);
+                    }
+                    break;
+                };
+                hold += inspect_cost + costs.colorqueue_unlink;
+                detached.push(q.detach(slot));
             }
-            match q.choose_scan(vin) {
-                Some((slot, scanned)) => (Some(slot), costs.queue_op * scanned as u64),
-                None => {
-                    let scanned = q.distinct_colors() as u64;
-                    self.lock(v, c, costs.lock_acquire + costs.queue_op * scanned);
-                    return false;
-                }
-            }
-        };
-        let Some(slot) = slot else {
-            self.lock(v, c, costs.lock_acquire + inspect_cost);
+        }
+        if let Some(x) = futile {
+            self.lock(v, c, costs.lock_acquire + x);
             return false;
-        };
-        let mut d = q.detach(slot);
-        let hold = costs.lock_acquire + inspect_cost + costs.colorqueue_unlink;
+        }
         self.lock(v, c, hold);
 
-        // migrate: absorb the color-queue under our own lock.
-        self.lock(c, c, costs.lock_acquire + costs.colorqueue_link);
+        // migrate: absorb the color-queues under our own lock.
+        self.lock(
+            c,
+            c,
+            costs.lock_acquire + costs.colorqueue_link * detached.len() as u64,
+        );
         let now = self.cores[c].clock;
-        d.set_visible_at_floor(now);
-        let n = d.len() as u64;
-        let cost_sum = d.cum_cost();
-        self.color_owner[d.color().value() as usize] = c as u32;
+        let mut n = 0u64;
+        let mut cost_sum = 0u64;
+        for d in &detached {
+            self.color_owner[d.color().value() as usize] = c as u32;
+        }
         let QueueImpl::Mely(own) = &mut self.cores[c].queue else {
             unreachable!();
         };
-        own.absorb(d);
+        for mut d in detached {
+            d.set_visible_at_floor(now);
+            n += d.len() as u64;
+            cost_sum += d.cum_cost();
+            own.absorb(d);
+        }
         let m = &mut self.cores[c].metrics;
         m.stolen_events += n;
         m.stolen_cost_cycles += cost_sum;

@@ -23,6 +23,13 @@
 
 use mely_topology::MachineModel;
 
+pub mod domains;
+
+pub use domains::{
+    default_steal_policy, FlatPolicy, HierarchicalPolicy, PaperBasePolicy, PaperImprovedPolicy,
+    StealContext, StealDomains, StealPolicy, StealTier,
+};
+
 /// Which workstealing heuristics are active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WsPolicy {

@@ -64,7 +64,7 @@ use crate::handler::{HandlerId, HandlerRegistry, HandlerSpec};
 use crate::metrics::{CoreMetrics, RunReport};
 use crate::queue::{LegacyQueue, MelyQueue, QueueImpl};
 use crate::runtime::Flavor;
-use crate::steal::{construct_core_set, WsPolicy};
+use crate::steal::{StealContext, StealDomains, StealPolicy, WsPolicy};
 use crate::sync::SpinLock;
 use inbox::InjectionInbox;
 use mely_topology::MachineModel;
@@ -134,6 +134,11 @@ struct Shared {
     color_owner: Vec<AtomicU32>,
     registry: HandlerRegistry,
     machine: MachineModel,
+    /// Steal tiers of the running cores (see [`crate::steal::domains`]);
+    /// also the socket map for [`RuntimeHandle::with_home_socket`].
+    domains: StealDomains,
+    /// Victim selection and steal budgets (see [`StealPolicy`]).
+    policy: Arc<dyn StealPolicy>,
     flavor: Flavor,
     ws: WsPolicy,
     batch_threshold: u32,
@@ -326,9 +331,46 @@ impl Shared {
 #[derive(Clone)]
 pub struct RuntimeHandle {
     shared: Arc<Shared>,
+    /// When set, unclaimed colors injected through this handle are homed
+    /// on a core of this socket (see [`RuntimeHandle::with_home_socket`]).
+    home_socket: Option<usize>,
 }
 
 impl RuntimeHandle {
+    /// Returns a handle whose injections prefer `socket`: an event whose
+    /// color has no owner yet is homed on one of that socket's running
+    /// cores (hash-spread within the socket) instead of the global hash
+    /// core. Colors that already have an owner are untouched — per-color
+    /// routing and mutual exclusion are unchanged — so this only segments
+    /// *new* colors, letting a producer pinned near one socket keep its
+    /// connections' events on local inboxes and queues. Sockets wrap
+    /// modulo the occupied-socket count, so any index is valid.
+    pub fn with_home_socket(mut self, socket: usize) -> Self {
+        self.home_socket = Some(socket % self.shared.domains.num_sockets());
+        self
+    }
+
+    /// Claims an unclaimed color for a core of the preferred socket
+    /// before the normal owner lookup runs. Lost CAS races are fine —
+    /// someone else claimed the color first and their choice wins.
+    fn preclaim(&self, ev: &Event) {
+        let Some(socket) = self.home_socket else {
+            return;
+        };
+        let slot = ev.color().value() as usize;
+        if self.shared.color_owner[slot].load(Ordering::Acquire) != NO_OWNER {
+            return;
+        }
+        let set = self.shared.domains.socket_cores(socket);
+        let home = set[ev.color().home_core(set.len())] as u32;
+        let _ = self.shared.color_owner[slot].compare_exchange(
+            NO_OWNER,
+            home,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
     /// Registers an event (hash-dispatched, or to the color's current
     /// owner) through the owning core's lock-free injection inbox — the
     /// producer never contends on the core's spinlock. The canonical
@@ -339,6 +381,7 @@ impl RuntimeHandle {
         if self.shared.shed_if_quarantined(&ev) {
             return;
         }
+        self.preclaim(&ev);
         if self.shared.admission.is_unbounded() {
             self.shared.register_injected(ev);
             return;
@@ -352,6 +395,7 @@ impl RuntimeHandle {
     /// [`AdmissionPolicy`]). Every rejected call counts one
     /// `admission_rejects`.
     pub fn try_inject(&self, ev: Event) -> Result<Admitted, Overload> {
+        self.preclaim(&ev);
         self.shared.try_register_injected(ev).map_err(|(ov, _ev)| {
             self.shared.admission.note_reject();
             ov
@@ -363,6 +407,7 @@ impl RuntimeHandle {
     /// current occupancy — by the time the timer fires the event is
     /// already admitted (its per-color slot is held across the delay).
     pub fn try_inject_after(&self, delay: u64, mut ev: Event) -> Result<Admitted, Overload> {
+        self.preclaim(&ev);
         if self.shared.faults.is_quarantined(ev.color()) {
             self.shared.admission.note_reject();
             return Err(self
@@ -432,6 +477,7 @@ impl RuntimeHandle {
         if self.shared.shed_if_quarantined(&ev) {
             return;
         }
+        self.preclaim(&ev);
         self.shared.register(ev);
     }
 
@@ -442,6 +488,7 @@ impl RuntimeHandle {
         if self.shared.shed_if_quarantined(&ev) {
             return;
         }
+        self.preclaim(&ev);
         self.shared.register_after(delay, ev);
     }
 
@@ -502,6 +549,7 @@ impl ThreadedRuntime {
         flavor: Flavor,
         ws: WsPolicy,
         machine: MachineModel,
+        steal_policy: Arc<dyn StealPolicy>,
         batch_threshold: u32,
         initial_steal_estimate: u64,
         admission: AdmissionCtl,
@@ -516,6 +564,7 @@ impl ThreadedRuntime {
             cores
         );
         cycles::init();
+        let domains = StealDomains::new(&machine, cores);
         let cores_vec = (0..cores)
             .map(|_| CoreShared {
                 queue: SpinLock::new(match flavor {
@@ -539,6 +588,8 @@ impl ThreadedRuntime {
                 color_owner: owners,
                 registry: HandlerRegistry::new(),
                 machine,
+                domains,
+                policy: steal_policy,
                 flavor,
                 ws,
                 batch_threshold,
@@ -599,6 +650,7 @@ impl ThreadedRuntime {
     pub fn handle(&self) -> RuntimeHandle {
         RuntimeHandle {
             shared: Arc::clone(&self.shared),
+            home_socket: None,
         }
     }
 
@@ -1005,7 +1057,12 @@ fn try_steal(shared: &Shared, me: usize, m: &mut CoreMetrics) -> bool {
     // pushed but the owner has not drained yet is still pending work,
     // and `construct_core_set` must see it.
     let loads: Vec<usize> = shared.cores.iter().map(|c| c.load_estimate()).collect();
-    let set = construct_core_set(shared.ws, me, &loads, &shared.machine);
+    let ctx = StealContext {
+        ws: shared.ws,
+        machine: &shared.machine,
+        domains: &shared.domains,
+    };
+    let set = shared.policy.victims(me, &loads, &ctx);
     for v in set {
         if v == me || v >= shared.cores.len() {
             continue;
@@ -1015,10 +1072,12 @@ fn try_steal(shared: &Shared, me: usize, m: &mut CoreMetrics) -> bool {
             // only be drained by the victim itself).
             continue;
         }
-        if steal_from(shared, me, v, m) {
+        let budget = shared.policy.steal_budget(me, v, &ctx).max(1);
+        if steal_from(shared, me, v, budget, m) {
             let dur = cycles::now().wrapping_sub(t0);
             m.steals += 1;
             m.steal_cycles += dur;
+            m.note_steal_tier(shared.domains.tier_of(me, v));
             update_estimate(shared, dur);
             return true;
         }
@@ -1038,7 +1097,7 @@ fn update_estimate(shared: &Shared, sample: u64) {
     shared.steal_est.store(next, Ordering::Relaxed);
 }
 
-fn steal_from(shared: &Shared, me: usize, v: usize, m: &mut CoreMetrics) -> bool {
+fn steal_from(shared: &Shared, me: usize, v: usize, budget: usize, m: &mut CoreMetrics) -> bool {
     debug_assert_ne!(me, v);
     let (a, b) = if v < me { (v, me) } else { (me, v) };
     let ga = shared.cores[a].queue.lock();
@@ -1052,49 +1111,61 @@ fn steal_from(shared: &Shared, me: usize, v: usize, m: &mut CoreMetrics) -> bool
         c => Some(Color::new(c as u16)),
     };
 
+    // Up to `budget` colors migrate under the one lock pair (budget 1 is
+    // the classic steal; far-tier steals under the hierarchical policy
+    // amortize the trip over several colors).
     let est = shared.steal_est.load(Ordering::Relaxed);
+    let mut taken = 0usize;
     match (&mut *gv, &mut *gm) {
         (QueueImpl::Legacy(vq), QueueImpl::Legacy(mq)) => {
-            if vq.distinct_colors() < 2 {
-                return false;
+            // can_be_stolen re-checked per color: the victim always
+            // keeps at least one.
+            while taken < budget && vq.distinct_colors() >= 2 {
+                let Some((color, _)) = vq.choose_color_to_steal(vin) else {
+                    break;
+                };
+                let (events, _) = vq.extract_color(color);
+                if events.is_empty() {
+                    break;
+                }
+                let n = events.len() as u64;
+                let cost: u64 = events.iter().map(|e| e.cost()).sum();
+                shared.color_owner[color.value() as usize].store(me as u32, Ordering::Release);
+                mq.append(events);
+                m.stolen_events += n;
+                m.stolen_cost_cycles += cost;
+                taken += 1;
             }
-            let Some((color, _)) = vq.choose_color_to_steal(vin) else {
-                return false;
-            };
-            let (events, _) = vq.extract_color(color);
-            if events.is_empty() {
-                return false;
-            }
-            let n = events.len() as u64;
-            let cost: u64 = events.iter().map(|e| e.cost()).sum();
-            shared.color_owner[color.value() as usize].store(me as u32, Ordering::Release);
-            mq.append(events);
-            m.stolen_events += n;
-            m.stolen_cost_cycles += cost;
         }
         (QueueImpl::Mely(vq), QueueImpl::Mely(mq)) => {
             vq.set_steal_cost_estimate(est);
-            let slot = if shared.ws.time_left {
-                vq.choose_worthy(vin)
-            } else {
-                if !vq.can_be_stolen_base() {
-                    return false;
-                }
-                vq.choose_scan(vin).map(|(s, _)| s)
-            };
-            let Some(slot) = slot else {
-                return false;
-            };
-            let d = vq.detach(slot);
-            let n = d.len() as u64;
-            let cost = d.cum_cost();
-            shared.color_owner[d.color().value() as usize].store(me as u32, Ordering::Release);
             mq.set_steal_cost_estimate(est);
-            mq.absorb(d);
-            m.stolen_events += n;
-            m.stolen_cost_cycles += cost;
+            while taken < budget {
+                let slot = if shared.ws.time_left {
+                    vq.choose_worthy(vin)
+                } else {
+                    if !vq.can_be_stolen_base() {
+                        break;
+                    }
+                    vq.choose_scan(vin).map(|(s, _)| s)
+                };
+                let Some(slot) = slot else {
+                    break;
+                };
+                let d = vq.detach(slot);
+                let n = d.len() as u64;
+                let cost = d.cum_cost();
+                shared.color_owner[d.color().value() as usize].store(me as u32, Ordering::Release);
+                mq.absorb(d);
+                m.stolen_events += n;
+                m.stolen_cost_cycles += cost;
+                taken += 1;
+            }
         }
         _ => unreachable!("both cores share one flavor"),
+    }
+    if taken == 0 {
+        return false;
     }
 
     // Rescue the victim's inbox backlog while both locks are held.

@@ -31,8 +31,10 @@
 use std::fmt;
 use std::path::Path;
 
+mod spec;
 mod sysfs;
 
+pub use spec::{SpecError, TOPOLOGY_ENV};
 pub use sysfs::DiscoverError;
 
 /// Description of one level of the cache hierarchy.
@@ -80,6 +82,16 @@ pub struct MachineModel {
     levels: Vec<CacheLevel>,
     mem_latency_cycles: u64,
     freq_hz: u64,
+    /// Hardware threads per physical core: consecutive blocks of
+    /// `smt_per_core` core ids are SMT siblings of one physical core.
+    /// `1` (the default) means no SMT.
+    smt_per_core: usize,
+    /// Processor packages: consecutive blocks of
+    /// `num_cores / sockets` core ids share a socket. `1` (the
+    /// default) means the package layout is unknown or single-socket;
+    /// cache distances are unaffected either way — sockets only refine
+    /// steal-domain tiers.
+    sockets: usize,
 }
 
 /// Error returned by [`MachineModel::new`] when the description is
@@ -92,6 +104,8 @@ pub enum ModelError {
     LevelsOutOfOrder,
     /// A cache level has a zero-sized or zero-associativity configuration.
     DegenerateLevel(u8),
+    /// An SMT or socket grouping does not evenly partition the cores.
+    UnevenPartition(&'static str),
 }
 
 impl fmt::Display for ModelError {
@@ -103,6 +117,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::DegenerateLevel(l) => {
                 write!(f, "cache level L{l} has a degenerate configuration")
+            }
+            ModelError::UnevenPartition(what) => {
+                write!(f, "{what} does not evenly partition the cores")
             }
         }
     }
@@ -148,7 +165,41 @@ impl MachineModel {
             levels,
             mem_latency_cycles,
             freq_hz,
+            smt_per_core: 1,
+            sockets: 1,
         })
+    }
+
+    /// Declares `threads` SMT siblings per physical core (consecutive
+    /// core ids form one physical core). Cache distances do not change;
+    /// the information feeds the steal-domain tiering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnevenPartition`] when `threads` is zero or
+    /// does not divide the core count.
+    pub fn with_smt_per_core(mut self, threads: usize) -> Result<Self, ModelError> {
+        if threads == 0 || !self.num_cores.is_multiple_of(threads) {
+            return Err(ModelError::UnevenPartition("SMT sibling grouping"));
+        }
+        self.smt_per_core = threads;
+        Ok(self)
+    }
+
+    /// Declares `sockets` processor packages (consecutive blocks of core
+    /// ids share a socket). Cache distances do not change; the
+    /// information feeds the steal-domain tiering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnevenPartition`] when `sockets` is zero or
+    /// does not divide the core count.
+    pub fn with_sockets(mut self, sockets: usize) -> Result<Self, ModelError> {
+        if sockets == 0 || !self.num_cores.is_multiple_of(sockets) {
+            return Err(ModelError::UnevenPartition("socket grouping"));
+        }
+        self.sockets = sockets;
+        Ok(self)
     }
 
     /// The paper's testbed: two quad-core Intel Xeon E5410 "Harpertown"
@@ -367,6 +418,68 @@ impl MachineModel {
     pub fn innermost_shared_level(&self) -> Option<&CacheLevel> {
         self.levels.iter().find(|l| l.cores_per_instance > 1)
     }
+
+    /// Hardware threads per physical core (`1` when no SMT is
+    /// declared). See [`MachineModel::with_smt_per_core`].
+    pub fn smt_per_core(&self) -> usize {
+        self.smt_per_core
+    }
+
+    /// Number of processor packages (`1` when the package layout is
+    /// unknown). See [`MachineModel::with_sockets`].
+    pub fn num_sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Cores (hardware threads) per socket.
+    pub fn cores_per_socket(&self) -> usize {
+        self.num_cores / self.sockets
+    }
+
+    /// The socket `core` belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is not a valid core id for this machine.
+    pub fn socket_of(&self, core: usize) -> usize {
+        assert!(core < self.num_cores, "core out of range");
+        core / self.cores_per_socket()
+    }
+
+    /// The physical core `core` belongs to (identity when no SMT is
+    /// declared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is not a valid core id for this machine.
+    pub fn physical_core_of(&self, core: usize) -> usize {
+        assert!(core < self.num_cores, "core out of range");
+        core / self.smt_per_core
+    }
+
+    /// Whether `a` and `b` are distinct hardware threads of the same
+    /// physical core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is not a valid core id for this machine.
+    pub fn is_smt_sibling(&self, a: usize, b: usize) -> bool {
+        a != b && self.smt_per_core > 1 && self.physical_core_of(a) == self.physical_core_of(b)
+    }
+
+    /// The SMT siblings of `core` (excluding `core` itself); empty when
+    /// no SMT is declared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is not a valid core id for this machine.
+    pub fn smt_siblings(&self, core: usize) -> Vec<usize> {
+        let phys = self.physical_core_of(core);
+        let base = phys * self.smt_per_core;
+        (base..base + self.smt_per_core)
+            .filter(|&c| c != core)
+            .collect()
+    }
 }
 
 impl fmt::Display for MachineModel {
@@ -467,6 +580,51 @@ mod tests {
         assert_eq!(
             MachineModel::new("x", 4, vec![bad], 100, 1_000_000).unwrap_err(),
             ModelError::DegenerateLevel(1)
+        );
+    }
+
+    #[test]
+    fn default_topology_is_single_socket_no_smt() {
+        let m = MachineModel::xeon_e5410();
+        assert_eq!(m.smt_per_core(), 1);
+        assert_eq!(m.num_sockets(), 1);
+        assert_eq!(m.cores_per_socket(), 8);
+        assert_eq!(m.socket_of(7), 0);
+        assert_eq!(m.physical_core_of(5), 5);
+        assert!(m.smt_siblings(3).is_empty());
+        assert!(!m.is_smt_sibling(0, 1));
+    }
+
+    #[test]
+    fn declared_smt_and_sockets_partition_cores() {
+        let m = MachineModel::xeon_e5410()
+            .with_sockets(2)
+            .unwrap()
+            .with_smt_per_core(2)
+            .unwrap();
+        // Sockets are consecutive blocks: {0..4} and {4..8}.
+        assert_eq!(m.socket_of(3), 0);
+        assert_eq!(m.socket_of(4), 1);
+        assert_eq!(m.cores_per_socket(), 4);
+        // SMT pairs: {0,1}, {2,3}, ...
+        assert!(m.is_smt_sibling(0, 1));
+        assert!(!m.is_smt_sibling(1, 2));
+        assert_eq!(m.smt_siblings(6), vec![7]);
+        assert_eq!(m.physical_core_of(7), 3);
+        // Cache distances are untouched by the declarations.
+        assert_eq!(m.distance(0, 1), 2);
+        assert_eq!(m.distance(0, 7), 3);
+    }
+
+    #[test]
+    fn uneven_partitions_are_rejected() {
+        assert_eq!(
+            MachineModel::xeon_e5410().with_sockets(3).unwrap_err(),
+            ModelError::UnevenPartition("socket grouping")
+        );
+        assert_eq!(
+            MachineModel::xeon_e5410().with_smt_per_core(0).unwrap_err(),
+            ModelError::UnevenPartition("SMT sibling grouping")
         );
     }
 

@@ -101,12 +101,18 @@ struct RawCache {
     shared_with: Vec<usize>,
 }
 
-fn read_cpu_caches(cpu_dir: &Path) -> Result<Vec<RawCache>, DiscoverError> {
+/// Reads the cache index directories of one cpu. Tolerant by design:
+/// a missing `cache/` directory yields no caches (the cpu still
+/// counts as a core), and an index directory with an unparseable
+/// `level` or `size` is skipped rather than failing the whole
+/// discovery — a partially populated sysfs tree (hybrid parts, exotic
+/// kernels, containers that mask files) degrades instead of erroring.
+fn read_cpu_caches(cpu_dir: &Path) -> Vec<RawCache> {
     let cache_dir = cpu_dir.join("cache");
     let mut caches = Vec::new();
     let entries = match fs::read_dir(&cache_dir) {
         Ok(e) => e,
-        Err(e) => return Err(DiscoverError::Io(cache_dir, e)),
+        Err(_) => return caches,
     };
     for entry in entries.flatten() {
         let name = entry.file_name();
@@ -121,10 +127,19 @@ fn read_cpu_caches(cpu_dir: &Path) -> Result<Vec<RawCache>, DiscoverError> {
         if ty == "Instruction" {
             continue;
         }
-        let level: u8 = read_trimmed(&dir.join("level"))?
-            .parse()
-            .map_err(|_| DiscoverError::Parse(dir.join("level"), "bad level".into()))?;
-        let size = parse_size(&dir.join("size"), &read_trimmed(&dir.join("size"))?)?;
+        let Some(level) = read_trimmed(&dir.join("level"))
+            .ok()
+            .and_then(|s| s.parse::<u8>().ok())
+        else {
+            continue;
+        };
+        let Some(size) = read_trimmed(&dir.join("size"))
+            .ok()
+            .and_then(|s| parse_size(&dir.join("size"), &s).ok())
+            .filter(|&s| s > 0)
+        else {
+            continue;
+        };
         let line: u32 = read_trimmed(&dir.join("coherency_line_size"))
             .ok()
             .and_then(|s| s.parse().ok())
@@ -133,10 +148,11 @@ fn read_cpu_caches(cpu_dir: &Path) -> Result<Vec<RawCache>, DiscoverError> {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(8);
-        let shared = parse_cpu_list(
-            &dir.join("shared_cpu_list"),
-            &read_trimmed(&dir.join("shared_cpu_list"))?,
-        )?;
+        // A missing or malformed shared_cpu_list means "private".
+        let shared = read_trimmed(&dir.join("shared_cpu_list"))
+            .ok()
+            .and_then(|s| parse_cpu_list(&dir.join("shared_cpu_list"), &s).ok())
+            .unwrap_or_default();
         caches.push(RawCache {
             level,
             size_bytes: size,
@@ -146,11 +162,19 @@ fn read_cpu_caches(cpu_dir: &Path) -> Result<Vec<RawCache>, DiscoverError> {
         });
     }
     caches.sort_by_key(|c| c.level);
-    Ok(caches)
+    caches
 }
 
 /// Walks a `/sys/devices/system/cpu`-shaped tree and assembles a
 /// [`MachineModel`].
+///
+/// Every `cpuN` directory counts as a core, whether or not it exposes
+/// cache information; the hierarchy is taken from the first cpu that
+/// does (homogeneous machines assumed, as in the paper — on a hybrid
+/// part the template is the lowest-numbered cpu, typically a P-core).
+/// When *no* cpu exposes caches the model degrades to a flat machine
+/// (no levels, every pair equidistant) instead of erroring: a runtime
+/// on an opaque container should still come up, just without locality.
 pub(crate) fn discover(root: &Path) -> Result<MachineModel, DiscoverError> {
     let mut cpus: Vec<usize> = Vec::new();
     let entries = fs::read_dir(root).map_err(|e| DiscoverError::Io(root.to_path_buf(), e))?;
@@ -159,7 +183,7 @@ pub(crate) fn discover(root: &Path) -> Result<MachineModel, DiscoverError> {
         let name = name.to_string_lossy();
         if let Some(num) = name.strip_prefix("cpu") {
             if let Ok(id) = num.parse::<usize>() {
-                if entry.path().join("cache").is_dir() {
+                if entry.path().is_dir() {
                     cpus.push(id);
                 }
             }
@@ -169,13 +193,27 @@ pub(crate) fn discover(root: &Path) -> Result<MachineModel, DiscoverError> {
     if cpus.is_empty() {
         return Err(DiscoverError::NoCpus);
     }
+    // Offline cpus leave holes in the id space; the model only needs
+    // the count (victim orders are over the online set).
     let num_cores = cpus.len();
 
-    // Use cpu0's caches as the template (homogeneous machines assumed, as
-    // in the paper) and derive sharing from shared_cpu_list sizes.
-    let raw = read_cpu_caches(&root.join(format!("cpu{}", cpus[0])))?;
+    // Template: the first cpu that exposes cache information.
+    let raw = cpus
+        .iter()
+        .map(|id| read_cpu_caches(&root.join(format!("cpu{id}"))))
+        .find(|caches| !caches.is_empty())
+        .unwrap_or_default();
     if raw.is_empty() {
-        return Err(DiscoverError::NoCpus);
+        // No cache information anywhere: flat model, every other core
+        // at the same (memory) distance.
+        return MachineModel::new(
+            format!("discovered ({num_cores} cores, flat: no cache info)"),
+            num_cores,
+            Vec::new(),
+            110,
+            2_330_000_000,
+        )
+        .map_err(DiscoverError::Invalid);
     }
     let mut levels: Vec<CacheLevel> = Vec::new();
     for c in raw {
@@ -251,14 +289,21 @@ mod tests {
         }
     }
 
-    #[test]
-    fn discovers_fake_xeon_tree() {
+    /// A private scratch root per test (process + thread in the name so
+    /// parallel test threads never collide).
+    fn temp_root(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
-            "mely-topology-test-{}-{:?}",
+            "mely-topology-{tag}-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
         let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn discovers_fake_xeon_tree() {
+        let dir = temp_root("xeon");
         fake_xeon(&dir);
         let m = discover(&dir).unwrap();
         assert_eq!(m.num_cores(), 4);
@@ -276,6 +321,81 @@ mod tests {
     fn missing_root_is_io_error() {
         let err = discover(Path::new("/nonexistent-mely-sysfs")).unwrap_err();
         assert!(matches!(err, DiscoverError::Io(..)));
+    }
+
+    #[test]
+    fn no_cache_index_degrades_to_flat_model() {
+        // cpus exist but none exposes cache/index* (masked sysfs, some
+        // containers): discovery must yield a flat model, not an error.
+        let dir = temp_root("flat");
+        for cpu in 0..3 {
+            fs::create_dir_all(dir.join(format!("cpu{cpu}"))).unwrap();
+        }
+        // An empty cache/ dir on one cpu must not change the outcome.
+        fs::create_dir_all(dir.join("cpu1/cache")).unwrap();
+        let m = discover(&dir).unwrap();
+        assert_eq!(m.num_cores(), 3);
+        assert!(m.levels().is_empty(), "flat model has no cache levels");
+        assert!(m.name().contains("flat"));
+        // Every other core is equidistant (memory distance 1 + 0 levels).
+        assert_eq!(m.distance(0, 1), 1);
+        assert_eq!(m.distance(0, 2), 1);
+        assert_eq!(m.victims_by_distance(0), vec![1, 2]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hybrid_tree_uses_first_cpu_with_caches_as_template() {
+        // Hybrid P/E shape where the low-numbered cpus expose nothing
+        // (cpu0 has no cache dir, cpu1's entries are malformed): the
+        // template must come from the first cpu with usable entries,
+        // and every cpu still counts as a core.
+        let dir = temp_root("hybrid");
+        fs::create_dir_all(dir.join("cpu0")).unwrap();
+        // cpu1: index dir with a garbage level and a zero size — both
+        // entries are skipped, leaving it cache-less.
+        write(&dir.join("cpu1/cache/index0/level"), "banana");
+        write(&dir.join("cpu1/cache/index0/size"), "32K");
+        write(&dir.join("cpu1/cache/index1/level"), "1");
+        write(&dir.join("cpu1/cache/index1/size"), "0");
+        // cpu2 and cpu3: E-core-ish pair sharing one L2, and no
+        // shared_cpu_list on L1 (defaults to private).
+        for cpu in 2..4 {
+            let base = dir.join(format!("cpu{cpu}/cache"));
+            write(&base.join("index0/type"), "Data");
+            write(&base.join("index0/level"), "1");
+            write(&base.join("index0/size"), "32K");
+            write(&base.join("index1/type"), "Unified");
+            write(&base.join("index1/level"), "2");
+            write(&base.join("index1/size"), "2M");
+            write(&base.join("index1/shared_cpu_list"), "2-3");
+        }
+        let m = discover(&dir).unwrap();
+        assert_eq!(m.num_cores(), 4);
+        assert_eq!(m.levels().len(), 2);
+        assert_eq!(m.levels()[0].cores_per_instance, 1);
+        assert_eq!(m.levels()[1].cores_per_instance, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn offline_cpus_leave_holes_but_not_errors() {
+        // cpu1 is offline (directory absent): the model covers the
+        // remaining cpus and the hierarchy still comes from cpu0.
+        let dir = temp_root("offline");
+        for cpu in [0usize, 2, 3] {
+            let base = dir.join(format!("cpu{cpu}/cache"));
+            write(&base.join("index0/type"), "Data");
+            write(&base.join("index0/level"), "1");
+            write(&base.join("index0/size"), "32K");
+            write(&base.join("index0/shared_cpu_list"), &format!("{cpu}"));
+        }
+        // Non-cpu siblings such as cpufreq must be ignored.
+        fs::create_dir_all(dir.join("cpufreq")).unwrap();
+        let m = discover(&dir).unwrap();
+        assert_eq!(m.num_cores(), 3);
+        assert_eq!(m.levels().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -119,6 +119,7 @@ fn main() {
         p99_us: cycles_to_us(report.latency_p99()),
         sheds: report.shed_requests() + gw.accept_sheds,
         faults: report.failed_requests() + gw.resets,
+        steals_by_tier: report.steals_by_tier(),
     };
     let block = format!("{}\n{}\n", RunSummary::header(), row);
     print!("{block}");

@@ -25,6 +25,7 @@ fn summarize(r: &SwsRun, clients: usize, duration: u64) -> RunSummary {
         p99_us: cycles_to_us(r.report.latency_p99()),
         sheds: r.report.shed_requests(),
         faults: r.report.failed_requests(),
+        steals_by_tier: r.report.steals_by_tier(),
     }
 }
 

@@ -40,23 +40,37 @@ pub struct RunSummary {
     /// Requests failed by faults (peer resets, mid-request EOF,
     /// quarantined handlers).
     pub faults: u64,
+    /// Successful steals split by steal tier, `[smt, llc, socket,
+    /// remote]` — `RunReport::steals_by_tier`. All four are zero on a
+    /// run without workstealing.
+    pub steals_by_tier: [u64; 4],
 }
 
 impl RunSummary {
-    /// The column header; print once above the rows.
+    /// The column header; print once above the rows. The last column is
+    /// the per-tier steal split, `smt/llc/socket/remote`.
     pub fn header() -> String {
         format!(
-            "{:<24} {:>9} {:>11} {:>11} {:>11} {:>11} {:>7} {:>7}",
-            "configuration", "conns", "responses", "RPS", "p50 µs", "p99 µs", "sheds", "faults"
+            "{:<24} {:>9} {:>11} {:>11} {:>11} {:>11} {:>7} {:>7} {:>19}",
+            "configuration",
+            "conns",
+            "responses",
+            "RPS",
+            "p50 µs",
+            "p99 µs",
+            "sheds",
+            "faults",
+            "steals smt/llc/s/r"
         )
     }
 }
 
 impl fmt::Display for RunSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [smt, llc, socket, remote] = self.steals_by_tier;
         write!(
             f,
-            "{:<24} {:>9} {:>11} {:>11.0} {:>11.1} {:>11.1} {:>7} {:>7}",
+            "{:<24} {:>9} {:>11} {:>11.0} {:>11.1} {:>11.1} {:>7} {:>7} {:>19}",
             self.label,
             self.conns,
             self.responses,
@@ -64,7 +78,8 @@ impl fmt::Display for RunSummary {
             self.p50_us,
             self.p99_us,
             self.sheds,
-            self.faults
+            self.faults,
+            format!("{smt}/{llc}/{socket}/{remote}")
         )
     }
 }
@@ -84,6 +99,7 @@ mod tests {
             p99_us: 812.0,
             sheds: 3,
             faults: 1,
+            steals_by_tier: [4, 17, 0, 2],
         }
         .to_string();
         let header = RunSummary::header();
@@ -95,11 +111,12 @@ mod tests {
             "{header}\n{row}"
         );
         // Every numeric column ends where the header column ends.
-        for col in ["conns", "responses", "RPS", "sheds", "faults"] {
+        for col in ["conns", "responses", "RPS", "sheds", "faults", "steals"] {
             assert!(header.contains(col));
         }
         assert!(row.contains("123457"));
         assert!(row.contains("42.5"));
+        assert!(row.contains("4/17/0/2"));
     }
 
     #[test]

@@ -33,15 +33,19 @@ const PRELUDE_EXPORTS: &[&str] = &[
     "FaultKind",
     "FaultPlan",
     "FaultPolicy",
+    "FlatPolicy",
     "Flavor",
     "HandlerId",
     "HandlerSpec",
+    "HierarchicalPolicy",
     "Injector",
     "KeepAlive",
     "LatencyHistogram",
     "MachineModel",
     "Overload",
     "OverloadReason",
+    "PaperBasePolicy",
+    "PaperImprovedPolicy",
     "Pipeline",
     "PipelineBuilder",
     "QueueLimits",
@@ -58,8 +62,12 @@ const PRELUDE_EXPORTS: &[&str] = &[
     "StageCtx",
     "StageSender",
     "StageSpec",
+    "StealDomains",
+    "StealPolicy",
+    "StealTier",
     "ThreadedRuntime",
     "WsPolicy",
+    "default_steal_policy",
 ];
 
 /// Compile-time resolution of every snapshot name. A name removed from
@@ -86,15 +94,19 @@ fn every_export_resolves() {
     ty::<p::FaultKind>();
     ty::<p::FaultPlan>();
     ty::<p::FaultPolicy>();
+    ty::<p::FlatPolicy>();
     ty::<p::Flavor>();
     ty::<p::HandlerId>();
     ty::<p::HandlerSpec>();
+    ty::<p::HierarchicalPolicy>();
     ty::<p::Injector>();
     ty::<p::KeepAlive>();
     ty::<p::LatencyHistogram>();
     ty::<p::MachineModel>();
     ty::<p::Overload>();
     ty::<p::OverloadReason>();
+    ty::<p::PaperBasePolicy>();
+    ty::<p::PaperImprovedPolicy>();
     ty::<p::Pipeline>();
     ty::<p::PipelineBuilder>();
     ty::<p::QueueLimits>();
@@ -110,8 +122,14 @@ fn every_export_resolves() {
     ty::<p::StageCtx<'_, '_>>();
     ty::<p::StageSender>();
     ty::<p::StageSpec<u64>>();
+    ty::<p::StealDomains>();
+    ty::<dyn p::StealPolicy>();
+    ty::<p::StealTier>();
     ty::<p::ThreadedRuntime>();
     ty::<p::WsPolicy>();
+    // `default_steal_policy` is a function, not a type: resolve it by
+    // value.
+    let _: fn(&p::MachineModel) -> std::sync::Arc<dyn p::StealPolicy> = p::default_steal_policy;
     // `Stage` is a non-object-safe trait (associated types, Sized):
     // resolve it through a bound instead of a `dyn` type.
     struct Nop;
